@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Quickstart: the asynchronous speedup theorem in five minutes.
+
+Walks through the library's core objects on the consensus task:
+
+1. build the wait-free IIS model and look at one round of it (the standard
+   chromatic subdivision);
+2. state the binary consensus task;
+3. compute its closure and observe that it is consensus itself — a fixed
+   point;
+4. conclude impossibility via Lemma 1;
+5. contrast with approximate agreement, whose closure genuinely relaxes.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    ClosureComputer,
+    ImmediateSnapshotModel,
+    Simplex,
+    approximate_agreement_task,
+    binary_consensus_task,
+    impossibility_from_fixed_point,
+    standard_chromatic_subdivision,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. One round of wait-free IIS = the standard chromatic subdivision.
+    # ------------------------------------------------------------------
+    iis = ImmediateSnapshotModel()
+    sigma = Simplex([(1, "a"), (2, "b"), (3, "c")])
+    subdivision = standard_chromatic_subdivision(sigma)
+    print("One IIS round on a triangle:")
+    print(f"  facets     : {len(subdivision.facets)} (13 = Fubini(3))")
+    print(f"  f-vector   : {subdivision.f_vector()}")
+    print(f"  solo views : every process can run alone —",
+          iis.allows_solo_executions([1, 2, 3]))
+    print()
+
+    # ------------------------------------------------------------------
+    # 2–3. Consensus and its closure.
+    # ------------------------------------------------------------------
+    consensus = binary_consensus_task([1, 2, 3])
+    computer = ClosureComputer(consensus, iis)
+    mixed = Simplex([(1, 0), (2, 1), (3, 0)])
+    closure_outputs = computer.legal_outputs(mixed)
+    print("Closure of consensus on inputs (0, 1, 0):")
+    for tau in closure_outputs:
+        print(f"  legal output: {tau.as_mapping()}")
+    print("  — exactly the two unanimous outputs: CL(consensus) = consensus.")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Lemma 1: fixed point + not 0-round solvable ⟹ unsolvable.
+    # ------------------------------------------------------------------
+    report = impossibility_from_fixed_point(binary_consensus_task([1, 2]), iis)
+    print("Lemma 1 pipeline (n = 2):")
+    print(f"  {report.summary()}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 5. Approximate agreement escapes: its closure relaxes ε to 3ε.
+    # ------------------------------------------------------------------
+    eps = Fraction(1, 4)
+    aa = approximate_agreement_task([1, 2], eps, 4)
+    aa_computer = ClosureComputer(aa, iis)
+    wide = Simplex([(1, Fraction(0)), (2, Fraction(1))])
+    legal = aa_computer.legal_outputs(wide)
+    spreads = sorted(
+        {
+            abs(tau.value_of(1) - tau.value_of(2))
+            for tau in legal
+        }
+    )
+    print(f"Closure of {eps}-approximate agreement on inputs (0, 1):")
+    print(f"  allowed output spreads: {[str(s) for s in spreads]}")
+    print(f"  max spread = {max(spreads)} = 3ε — the closure is (3ε)-AA,")
+    print("  which is why ε-AA needs ⌈log₃ 1/ε⌉ rounds for two processes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Upper-bound algorithms matching the paper's lower bounds.
+
+* :class:`~repro.algorithms.approximate_agreement.HalvingAA` — ε-approximate
+  agreement for ``n ≥ 3`` in ``⌈log₂ 1/ε⌉`` IIS rounds; each round applies
+  the map of Eq. (3), halving the value diameter.
+* :class:`~repro.algorithms.approximate_agreement.TwoProcessThirdsAA` —
+  ε-approximate agreement for ``n = 2`` in ``⌈log₃ 1/ε⌉`` rounds; each round
+  applies the asymmetric map of Eq. (2), dividing the diameter by 3.
+* :class:`~repro.algorithms.consensus_tas.TwoProcessConsensusTAS` —
+  multi-valued consensus for two processes in a single round with test&set
+  (Fig. 4).
+* :class:`~repro.algorithms.consensus_bc.ConsensusViaBinaryConsensus` —
+  multi-valued consensus for ``n`` processes in ``⌈log₂ n⌉`` rounds with a
+  binary consensus object, agreeing on a participant ID bit by bit (the
+  first algorithm family of Section 5.3, whose box inputs depend only on
+  IDs and round numbers).
+* :class:`~repro.algorithms.bitwise_aa.BitwiseAA` — ε-approximate agreement
+  in ``⌈log₂ 1/ε⌉`` rounds with a binary consensus object, agreeing on the
+  output's bits most-significant first (the second family of Section 5.3,
+  whose box inputs depend on values — outside Theorem 4's restriction).
+"""
+
+from repro.algorithms.approximate_agreement import (
+    HalvingAA,
+    NonIteratedHalvingAA,
+    TwoProcessThirdsAA,
+)
+from repro.algorithms.consensus_tas import TwoProcessConsensusTAS
+from repro.algorithms.consensus_bc import ConsensusViaBinaryConsensus
+from repro.algorithms.bitwise_aa import BitwiseAA
+
+__all__ = [
+    "HalvingAA",
+    "NonIteratedHalvingAA",
+    "TwoProcessThirdsAA",
+    "TwoProcessConsensusTAS",
+    "ConsensusViaBinaryConsensus",
+    "BitwiseAA",
+]

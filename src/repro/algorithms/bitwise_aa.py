@@ -1,0 +1,110 @@
+"""ε-approximate agreement from binary consensus, one bit per round.
+
+The second algorithm family of Section 5.3: at round ``r`` each process
+writes its current value and calls the binary consensus object with the
+``r``-th bit (most significant first) of that value; the agreed bits pin
+the output to a dyadic window that halves every round.
+
+Invariant: entering round ``r``, every current value lies in the closed
+window ``[a, a + 2^{1-r}]`` where ``a = 0.b₁…b_{r-1}`` is the agreed
+prefix.  The round's proposal is "am I in the upper half?"; the box agrees
+on a half; processes outside the agreed half adopt a visible first-block
+value inside it (the first block is contained in every immediate snapshot,
+and first-block inputs are valid for the box, so such a value exists).
+After ``t = ⌈log₂ 1/ε⌉`` rounds the window has width ``2^{-t} ≤ ε``.
+
+Every adopted value is an actual written value, so outputs stay in the
+input range and on the grid.  Note the box input depends on the process's
+*value*, not only its ID — this family deliberately escapes Theorem 4's
+hypothesis, which is exactly why the theorem's lower bound does not contradict
+its ``⌈log₂ 1/ε⌉`` round complexity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Mapping, Optional, Union
+
+from repro.core.lower_bounds import ceil_log
+from repro.errors import RuntimeModelError
+from repro.runtime.algorithm import RoundAlgorithm
+
+__all__ = ["BitwiseAA"]
+
+Rational = Union[Fraction, int, str]
+
+
+@dataclass(frozen=True)
+class _State:
+    """Current value plus the low end of the agreed dyadic window."""
+
+    value: Fraction
+    window_low: Fraction
+
+
+class BitwiseAA(RoundAlgorithm):
+    """ε-AA in ``⌈log₂ 1/ε⌉`` rounds, IIS + binary consensus (value-called).
+
+    Parameters
+    ----------
+    epsilon:
+        Target agreement; values must lie in ``[0, 1]``.
+    """
+
+    name = "bitwise-AA-binary-consensus"
+
+    def __init__(self, epsilon: Rational) -> None:
+        self.epsilon = Fraction(epsilon)
+        if not 0 < self.epsilon <= 1:
+            raise RuntimeModelError("ε must lie in (0, 1]")
+        self.rounds = ceil_log(2, 1 / self.epsilon)
+
+    def _half_width(self, round_index: int) -> Fraction:
+        """The width ``2^{-r}`` of each half-window at round ``r``."""
+        return Fraction(1, 2**round_index)
+
+    def initial_state(self, process: int, input_value: Hashable) -> _State:
+        value = Fraction(input_value)
+        if not 0 <= value <= 1:
+            raise RuntimeModelError("inputs must lie in [0, 1]")
+        return _State(value=value, window_low=Fraction(0))
+
+    def box_input(self, process: int, state: _State, round_index: int) -> int:
+        mid = state.window_low + self._half_width(round_index)
+        return 1 if state.value >= mid else 0
+
+    def step(
+        self,
+        process: int,
+        state: _State,
+        seen_states: Mapping[int, _State],
+        box_output: Optional[Hashable],
+        round_index: int,
+    ) -> _State:
+        if box_output is None:
+            raise RuntimeModelError(
+                "BitwiseAA requires the binary consensus box"
+            )
+        half = self._half_width(round_index)
+        low = state.window_low + box_output * half
+        high = low + half
+        if low <= state.value <= high:
+            return _State(value=state.value, window_low=low)
+        # Adopt a visible value inside the agreed half; the box's validity
+        # w.r.t. the first block guarantees one is in every snapshot.
+        candidates = [
+            other.value
+            for other in seen_states.values()
+            if low <= other.value <= high
+        ]
+        if not candidates:
+            raise RuntimeModelError(
+                f"round {round_index}: no visible value in the agreed window "
+                f"[{low}, {high}] — box validity w.r.t. the first block is "
+                "broken"
+            )
+        return _State(value=min(candidates), window_low=low)
+
+    def decide(self, process: int, state: _State) -> Fraction:
+        return state.value

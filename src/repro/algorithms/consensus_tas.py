@@ -1,0 +1,70 @@
+"""Two-process consensus with test&set, in one round (Fig. 4).
+
+The winner of test&set outputs its own input; the loser outputs the other
+process's input.  Losing certifies that the winner's write precedes the
+loser's snapshot (else the loser would have run the object solo and won),
+so the loser always finds the winner's value in its view — the observation
+spelled out under Fig. 4 in Section 4.3.
+
+With three or more processes this recipe breaks down, and indeed Corollary 2
+shows no other recipe exists: consensus is unsolvable for ``n > 2`` even
+with test&set.  The algorithm refuses to run with more than two
+participants.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional, Tuple
+
+from repro.errors import RuntimeModelError
+from repro.runtime.algorithm import RoundAlgorithm
+
+__all__ = ["TwoProcessConsensusTAS"]
+
+State = Tuple[Hashable, Hashable]  # (own input, decided value or None)
+
+
+class TwoProcessConsensusTAS(RoundAlgorithm):
+    """Multi-valued consensus for 2 processes, 1 round, IIS + test&set."""
+
+    name = "two-process-consensus-test&set"
+    rounds = 1
+
+    def initial_state(self, process: int, input_value: Hashable) -> State:
+        return (input_value, None)
+
+    def step(
+        self,
+        process: int,
+        state: State,
+        seen_states: Mapping[int, State],
+        box_output: Optional[Hashable],
+        round_index: int,
+    ) -> State:
+        if len(seen_states) > 2:
+            raise RuntimeModelError(
+                "TwoProcessConsensusTAS supports at most two participants"
+            )
+        own_input, _ = state
+        if box_output == 1:
+            return (own_input, own_input)
+        # Lost test&set ⟹ the winner wrote before our snapshot, so the
+        # other process's input is in our view.
+        others = {
+            j: other_state
+            for j, other_state in seen_states.items()
+            if j != process
+        }
+        if not others:
+            raise RuntimeModelError(
+                "a test&set loser must have seen the winner's write; "
+                "the box and the schedule are inconsistent"
+            )
+        ((_, (other_input, _)),) = others.items()
+        return (own_input, other_input)
+
+    def decide(self, process: int, state: State) -> Hashable:
+        _, decision = state
+        if decision is None:
+            raise RuntimeModelError("decide called before the round ran")
+        return decision

@@ -1,0 +1,41 @@
+"""Analysis and reporting: census of complexes, figure reconstructions,
+experiment tables.
+
+* :mod:`repro.analysis.counting` — f-vectors, per-color view censuses,
+  model comparisons (the numbers behind Fig. 8 and Fig. 5);
+* :mod:`repro.analysis.figures` — the structures shown in the paper's
+  figures, reconstructed as data;
+* :mod:`repro.analysis.reporting` — plain-text tables for EXPERIMENTS.md
+  and the benchmark harness.
+"""
+
+from repro.analysis.counting import (
+    model_census,
+    per_color_census,
+    compare_models,
+)
+from repro.analysis.figures import (
+    figure4_complex_and_map,
+    figure5_complex,
+    figure6_simplices,
+    figure7_complex,
+    figure8_census,
+)
+from repro.analysis.reporting import render_table, ExperimentRow
+from repro.analysis.export import to_dot, facet_listing, vertex_legend
+
+__all__ = [
+    "model_census",
+    "per_color_census",
+    "compare_models",
+    "figure4_complex_and_map",
+    "figure5_complex",
+    "figure6_simplices",
+    "figure7_complex",
+    "figure8_census",
+    "render_table",
+    "ExperimentRow",
+    "to_dot",
+    "facet_listing",
+    "vertex_legend",
+]

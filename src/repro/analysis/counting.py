@@ -1,0 +1,88 @@
+"""Census utilities for protocol complexes.
+
+These functions compute the combinatorial data the paper's figures display:
+facet counts, f-vectors, per-color vertex counts, and strict-inclusion
+comparisons between models (Fig. 8's message is precisely
+``IIS ⊂ snapshot ⊂ collect`` with facet counts 13 / 19 / 25 for ``n = 3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.models.base import ComputationModel
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+
+__all__ = ["ComplexCensus", "model_census", "per_color_census", "compare_models"]
+
+
+@dataclass(frozen=True)
+class ComplexCensus:
+    """Summary statistics of a complex."""
+
+    facets: int
+    vertices: int
+    f_vector: Tuple[int, ...]
+    euler_characteristic: int
+    dim: int
+    pure: bool
+
+    @classmethod
+    def of(cls, complex_: SimplicialComplex) -> "ComplexCensus":
+        """Compute the census of a complex."""
+        return cls(
+            facets=len(complex_.facets),
+            vertices=len(complex_.vertices),
+            f_vector=complex_.f_vector(),
+            euler_characteristic=complex_.euler_characteristic(),
+            dim=complex_.dim,
+            pure=complex_.is_pure(),
+        )
+
+
+def model_census(
+    model: ComputationModel, sigma: Simplex, rounds: int = 1
+) -> ComplexCensus:
+    """Census of the ``rounds``-round protocol complex of one input simplex.
+
+    Includes the sub-executions of the faces of ``σ`` (i.e. the protocol
+    complex over ``σ̄``), matching what the paper's figures draw.
+    """
+    base = SimplicialComplex.from_simplex(sigma)
+    protocol = model.protocol_complex(base, rounds)
+    return ComplexCensus.of(protocol)
+
+
+def per_color_census(complex_: SimplicialComplex) -> Dict[int, int]:
+    """Vertex count per color — Fig. 5's "seven vertices with the same ID"."""
+    counts: Dict[int, int] = {}
+    for vertex in complex_.vertices:
+        counts[vertex.color] = counts.get(vertex.color, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def compare_models(
+    smaller: ComputationModel,
+    larger: ComputationModel,
+    sigma: Simplex,
+    rounds: int = 1,
+) -> Dict[str, object]:
+    """Check (strict) inclusion of two models' protocol complexes.
+
+    Returns a report dictionary with the simplex-level containment verdicts
+    and the facet counts of both complexes.
+    """
+    base = SimplicialComplex.from_simplex(sigma)
+    small = smaller.protocol_complex(base, rounds)
+    large = larger.protocol_complex(base, rounds)
+    return {
+        "smaller_model": smaller.name,
+        "larger_model": larger.name,
+        "contained": small.simplices <= large.simplices,
+        "strict": small.simplices < large.simplices,
+        "smaller_facets": len(small.facets),
+        "larger_facets": len(large.facets),
+        "extra_facets": len(large.facets - small.facets),
+    }

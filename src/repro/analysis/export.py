@@ -1,0 +1,107 @@
+"""Exporting complexes for inspection and visualization.
+
+Protocol complexes are the paper's figures; these helpers serialize them
+into formats a human (or graphviz) can look at:
+
+* :func:`to_dot` — the 1-skeleton as a Graphviz ``graph``, colored by
+  process, with box outputs annotated for augmented models;
+* :func:`facet_listing` — a deterministic, diff-friendly text dump of the
+  facets (useful in golden tests and bug reports);
+* :func:`vertex_legend` — a numbered legend mapping short vertex labels to
+  full views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.connectivity import one_skeleton_adjacency
+from repro.topology.vertex import Vertex
+from repro.topology.views import View
+
+__all__ = ["to_dot", "facet_listing", "vertex_legend"]
+
+# A small qualitative palette; colors cycle for > 8 processes.
+_PALETTE = (
+    "#1b6ca8",
+    "#c23b22",
+    "#2e8540",
+    "#8e44ad",
+    "#d98e04",
+    "#16a085",
+    "#7f8c8d",
+    "#c2185b",
+)
+
+
+def _short_value(value: Hashable) -> str:
+    """A compact single-line rendering of a vertex value."""
+    if isinstance(value, View):
+        inner = ",".join(str(color) for color, _ in value)
+        return "{" + inner + "}"
+    if isinstance(value, tuple) and len(value) == 2 and isinstance(value[1], View):
+        return f"b={value[0]}·{_short_value(value[1])}"
+    return str(value)
+
+
+def vertex_legend(complex_: SimplicialComplex) -> Dict[str, Vertex]:
+    """Map deterministic short labels (``p1_0``, ``p1_1``, …) to vertices."""
+    legend: Dict[str, Vertex] = {}
+    counters: Dict[int, int] = {}
+    for vertex in complex_.sorted_vertices():
+        index = counters.get(vertex.color, 0)
+        counters[vertex.color] = index + 1
+        legend[f"p{vertex.color}_{index}"] = vertex
+    return legend
+
+
+def to_dot(complex_: SimplicialComplex, title: str = "complex") -> str:
+    """Render the 1-skeleton as Graphviz DOT text.
+
+    Vertices are colored by process; labels show the process and a compact
+    view summary.  Deterministic output (stable node order), so the result
+    can be used in golden tests.
+    """
+    legend = vertex_legend(complex_)
+    label_of = {vertex: label for label, vertex in legend.items()}
+    lines: List[str] = [
+        f'graph "{title}" {{',
+        "  node [style=filled, fontcolor=white];",
+    ]
+    for label, vertex in legend.items():
+        color = _PALETTE[(vertex.color - 1) % len(_PALETTE)]
+        text = f"{vertex.color}:{_short_value(vertex.value)}"
+        lines.append(
+            f'  {label} [label="{text}", fillcolor="{color}"];'
+        )
+    adjacency = one_skeleton_adjacency(complex_)
+    emitted = set()
+    for vertex in complex_.sorted_vertices():
+        for neighbor in sorted(
+            adjacency[vertex], key=lambda v: v._sort_key()
+        ):
+            edge = frozenset((vertex, neighbor))
+            if edge in emitted:
+                continue
+            emitted.add(edge)
+            lines.append(f"  {label_of[vertex]} -- {label_of[neighbor]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def facet_listing(complex_: SimplicialComplex) -> str:
+    """A deterministic text listing of the complex's facets.
+
+    One facet per line, vertices sorted by color, views summarized.
+    """
+    lines: List[str] = [
+        f"# {len(complex_.facets)} facets, "
+        f"{len(complex_.vertices)} vertices, dim {complex_.dim}"
+    ]
+    for index, facet in enumerate(complex_.sorted_facets()):
+        cells = ", ".join(
+            f"{v.color}:{_short_value(v.value)}" for v in facet.vertices
+        )
+        lines.append(f"[{index:>3}] {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,327 @@
+"""Command-line interface.
+
+Exposes the library's headline computations without writing Python::
+
+    repro models                      # Fig. 8 census of the three models
+    repro impossibility consensus --n 3 --model iis
+    repro closure --n 3 --eps 1/4 --m 4 --liberal --model tas
+    repro bounds --eps 1/8 --n 3
+    repro run halving --eps 1/8 --inputs 0,1/2,1 --seed 7 --crash 0.2
+
+Also available as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.algorithms import (
+    BitwiseAA,
+    ConsensusViaBinaryConsensus,
+    HalvingAA,
+    TwoProcessConsensusTAS,
+    TwoProcessThirdsAA,
+)
+from repro.analysis import ExperimentRow, figure8_census, render_table
+from repro.core import (
+    ClosureComputer,
+    aa_lower_bound_iis,
+    aa_lower_bound_iis_bc,
+    aa_lower_bound_iis_tas,
+    impossibility_from_fixed_point,
+)
+from repro.models import ImmediateSnapshotModel
+from repro.objects import (
+    AugmentedModel,
+    BinaryConsensusBox,
+    TestAndSetBox,
+    beta_input_function,
+)
+from repro.objects.base import BlackBox
+from repro.runtime import IteratedExecutor, RandomAdversary
+from repro.tasks import (
+    approximate_agreement_task,
+    binary_consensus_task,
+    liberal_approximate_agreement_task,
+    relaxed_consensus_task,
+)
+from repro.tasks.inputs import input_simplex
+
+__all__ = ["main", "build_parser"]
+
+
+def _resolve_model(name: str, n: int):
+    """Map a CLI model name to a computation model instance."""
+    if name == "iis":
+        return ImmediateSnapshotModel()
+    if name == "tas":
+        return AugmentedModel(TestAndSetBox())
+    if name == "bc":
+        # Theorem 4 style: ID-called, alternating bits.
+        beta = {i: i % 2 for i in range(1, n + 1)}
+        return AugmentedModel(BinaryConsensusBox(), beta_input_function(beta))
+    raise SystemExit(f"unknown model {name!r}: use iis, tas, or bc")
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    data = figure8_census()
+    rows = [
+        ExperimentRow(
+            "immediate snapshot",
+            "13 facets (chromatic subdivision)",
+            f"{data['immediate_snapshot'].facets} facets, "
+            f"f-vector {data['immediate_snapshot'].f_vector}",
+            data["immediate_snapshot"].facets == 13,
+        ),
+        ExperimentRow(
+            "snapshot",
+            "19 facets",
+            f"{data['snapshot'].facets} facets",
+            data["snapshot"].facets == 19,
+        ),
+        ExperimentRow(
+            "collect",
+            "25 facets",
+            f"{data['collect'].facets} facets",
+            data["collect"].facets == 25,
+        ),
+        ExperimentRow(
+            "strict hierarchy IIS ⊂ snap ⊂ collect",
+            "yes",
+            str(
+                data["iis_strictly_inside_snapshot"]
+                and data["snapshot_strictly_inside_collect"]
+            ),
+            True,
+        ),
+    ]
+    print(render_table("One-round models, n = 3 (Fig. 8)", rows))
+    return 0
+
+
+def _cmd_impossibility(args: argparse.Namespace) -> int:
+    ids = list(range(1, args.n + 1))
+    if args.task == "consensus":
+        task = binary_consensus_task(ids)
+    elif args.task == "relaxed-consensus":
+        task = relaxed_consensus_task(ids)
+    else:
+        raise SystemExit(f"unknown task {args.task!r}")
+    model = _resolve_model(args.model, args.n)
+    report = impossibility_from_fixed_point(task, model)
+    print(report.summary())
+    return 0 if report.fixed_point or report.zero_round_solvable else 1
+
+
+def _cmd_closure(args: argparse.Namespace) -> int:
+    ids = list(range(1, args.n + 1))
+    eps = Fraction(args.eps)
+    builder = (
+        liberal_approximate_agreement_task
+        if args.liberal
+        else approximate_agreement_task
+    )
+    task = builder(ids, eps, args.m)
+    model = _resolve_model(args.model, args.n)
+    computer = ClosureComputer(task, model)
+    values = {i: Fraction(k, args.n - 1) for k, i in enumerate(ids)}
+    # Snap onto the grid.
+    values = {
+        i: Fraction(round(v * args.m), args.m) for i, v in values.items()
+    }
+    sigma = input_simplex(values)
+    outputs = computer.legal_outputs(sigma)
+    spreads = sorted(
+        {
+            max(v.value for v in tau.vertices)
+            - min(v.value for v in tau.vertices)
+            for tau in outputs
+        }
+    )
+    print(f"task      : {task.name}")
+    print(f"model     : {model.name}")
+    print(f"input σ   : { {i: str(v) for i, v in values.items()} }")
+    print(f"|Δ'(σ)|   : {len(outputs)} legal output sets")
+    print(f"spreads   : {[str(s) for s in spreads]}")
+    print(f"max spread: {max(spreads)}  (ε = {eps})")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    eps = Fraction(args.eps)
+    n = args.n
+    rows = [
+        ExperimentRow(
+            "wait-free IIS",
+            "⌈log₃ 1/ε⌉ (n=2) / ⌈log₂ 1/ε⌉ (n≥3)",
+            f"{aa_lower_bound_iis(n, eps)} rounds",
+            True,
+        ),
+        ExperimentRow(
+            "IIS + test&set",
+            "1 (n=2) / ⌈log₂ 1/ε⌉ (n≥3)",
+            f"{aa_lower_bound_iis_tas(n, eps)} rounds",
+            True,
+        ),
+    ]
+    if n >= 3:
+        rows.append(
+            ExperimentRow(
+                "IIS + binary consensus (ID-called)",
+                "min(⌈log₂ 1/ε⌉, ⌈log₂ n⌉ − 1)",
+                f"{aa_lower_bound_iis_bc(n, eps)} rounds",
+                True,
+            )
+        )
+    print(
+        render_table(
+            f"ε-approximate agreement round bounds — n = {n}, ε = {eps}",
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    eps = Fraction(args.eps) if args.eps else None
+    raw_inputs = [Fraction(part) for part in args.inputs.split(",")]
+    inputs = {i + 1: value for i, value in enumerate(raw_inputs)}
+
+    box: Optional[BlackBox] = None
+    if args.algorithm == "halving":
+        algorithm = HalvingAA(eps)
+    elif args.algorithm == "thirds":
+        algorithm = TwoProcessThirdsAA(eps)
+    elif args.algorithm == "tas-consensus":
+        algorithm = TwoProcessConsensusTAS()
+        box = TestAndSetBox()
+    elif args.algorithm == "bc-consensus":
+        algorithm = ConsensusViaBinaryConsensus(len(inputs))
+        box = BinaryConsensusBox()
+    elif args.algorithm == "bitwise":
+        algorithm = BitwiseAA(eps)
+        box = BinaryConsensusBox()
+    else:
+        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+
+    executor = IteratedExecutor(box=box)
+    adversary = RandomAdversary(seed=args.seed, crash_probability=args.crash)
+    result = executor.run(algorithm, inputs, adversary)
+    print(f"algorithm : {algorithm.name} ({algorithm.rounds} rounds)")
+    for record in result.trace:
+        blocks = " | ".join(",".join(map(str, b)) for b in record.blocks)
+        extra = (
+            f"  box={dict(record.box_outputs)}" if record.box_outputs else ""
+        )
+        print(f"  round {record.round_index}: [{blocks}]{extra}")
+    if result.crashed:
+        print(f"crashed   : {result.crashed}")
+    print(
+        "decisions :",
+        {p: str(v) for p, v in sorted(result.decisions.items())},
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from pprint import pformat
+
+    from repro.experiments import EXPERIMENTS, get_experiment
+
+    if args.id is None:
+        print("Available experiments (see DESIGN.md §4):")
+        for identifier in sorted(
+            EXPERIMENTS, key=lambda e: int(e[1:])
+        ):
+            entry = EXPERIMENTS[identifier]
+            print(f"  {identifier:<4} {entry.artifact:<28} {entry.summary}")
+        return 0
+    experiment = get_experiment(args.id)
+    print(f"{experiment.identifier} — {experiment.artifact}")
+    print(experiment.summary)
+    print()
+    data = experiment.run()
+    print(pformat(data))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Asynchronous speedup theorem toolbox (Fraigniaud–Paz–Rajsbaum, "
+            "PODC 2022)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="census of the three one-round models")
+
+    p = sub.add_parser(
+        "impossibility", help="run the Lemma 1 fixed-point pipeline"
+    )
+    p.add_argument("task", choices=["consensus", "relaxed-consensus"])
+    p.add_argument("--n", type=int, default=2)
+    p.add_argument("--model", default="iis", choices=["iis", "tas", "bc"])
+
+    p = sub.add_parser("closure", help="compute Δ' of ε-approximate agreement")
+    p.add_argument("--n", type=int, default=2)
+    p.add_argument("--eps", default="1/4")
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--liberal", action="store_true")
+    p.add_argument("--model", default="iis", choices=["iis", "tas", "bc"])
+
+    p = sub.add_parser("bounds", help="ε-AA round-bound table per model")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--eps", default="1/8")
+
+    p = sub.add_parser(
+        "experiment",
+        help="list or run the paper's experiments (E1–E20)",
+    )
+    p.add_argument("id", nargs="?", default=None)
+
+    p = sub.add_parser("run", help="execute an algorithm under an adversary")
+    p.add_argument(
+        "algorithm",
+        choices=["halving", "thirds", "tas-consensus", "bc-consensus", "bitwise"],
+    )
+    p.add_argument("--eps", default="1/8")
+    p.add_argument("--inputs", default="0,1/2,1", help="comma-separated rationals")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--crash", type=float, default=0.0)
+
+    return parser
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "impossibility": _cmd_impossibility,
+    "closure": _cmd_closure,
+    "bounds": _cmd_bounds,
+    "run": _cmd_run,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (`| head`).
+        import os
+
+        try:
+            os.close(sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

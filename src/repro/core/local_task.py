@@ -1,0 +1,77 @@
+"""Local tasks ``Π_{τ,σ}`` (Definition 1).
+
+Given a task ``Π = (I, O, Δ)``, an input simplex ``σ``, and a chromatic set
+``τ ⊆ V(Δ(σ))`` with ``ID(τ) = ID(σ)``, the local task asks the processes,
+starting from the (possibly illegal) configuration ``τ``, to converge to a
+legal output in ``Δ(σ)``:
+
+1. a process running solo must keep its value (``Δ_{τ,σ}(v) = {v}``);
+2. any larger group may output any ``Δ(σ)``-simplex on its colors
+   (``Δ_{τ,σ}(τ') = proj_{ID(τ')}(Δ(σ))``).
+
+``τ`` need not be a simplex of ``Δ(σ)`` — it is an arbitrary chromatic set
+of legal-output *vertices* — but it always forms an abstract simplex, which
+serves as the local task's input complex.  Note that ``Δ_{τ,σ}`` is *not*
+monotone: singletons are pinned while faces of dimension ≥ 1 are free, so
+the solvability engine must constrain every face of ``τ``, which it does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import TaskSpecificationError
+from repro.tasks.task import Task
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+
+__all__ = ["local_task"]
+
+
+def local_task(task: Task, sigma: Simplex, tau: Simplex) -> Task:
+    """Build the local task ``Π_{τ,σ} = (τ, Δ(σ), Δ_{τ,σ})``.
+
+    Parameters
+    ----------
+    task:
+        The ambient task ``Π``.
+    sigma:
+        An input simplex of ``Π``.
+    tau:
+        A chromatic set of output vertices with ``ID(τ) = ID(σ)``, all drawn
+        from ``V(Δ(σ))``.
+
+    Raises
+    ------
+    TaskSpecificationError
+        If ``τ``'s colors differ from ``σ``'s or some vertex of ``τ`` is not
+        a vertex of ``Δ(σ)``.
+    """
+    if tau.ids != sigma.ids:
+        raise TaskSpecificationError(
+            f"local task needs ID(τ) = ID(σ): got {sorted(tau.ids)} vs "
+            f"{sorted(sigma.ids)}"
+        )
+    allowed = task.delta(sigma)
+    stray = set(tau.vertices) - allowed.vertices
+    if stray:
+        raise TaskSpecificationError(
+            f"τ must be drawn from V(Δ(σ)); offending vertices: "
+            f"{sorted(stray, key=lambda v: v._sort_key())}"
+        )
+
+    input_complex = SimplicialComplex.from_simplex(tau)
+
+    def delta_local(face: Simplex) -> SimplicialComplex:
+        if face not in input_complex:
+            raise TaskSpecificationError(
+                f"{face!r} is not a face of the local task's input τ"
+            )
+        if len(face) == 1:
+            # Condition 1: solo processes are pinned to their τ-value.
+            return SimplicialComplex.from_simplex(face)
+        # Condition 2: free within Δ(σ), projected onto the face's colors.
+        return allowed.proj(face.ids)
+
+    name = f"local[{task.name}]"
+    return Task(name, input_complex, allowed, delta_local)

@@ -1,0 +1,405 @@
+"""Deciding ``t``-round solvability by exhaustive simplicial-map search.
+
+A task ``Π = (I, O, Δ)`` is solvable in ``t`` rounds in model ``M`` iff
+there is a chromatic simplicial map ``f : P^(t) → O`` with
+``f(P^(t)(σ)) ⊆ Δ(σ)`` for **every** simplex ``σ ∈ I`` (Section 2.2).  On a
+finite instance this is a finite constraint-satisfaction problem over the
+protocol vertices:
+
+* the variables are the vertices of ``P^(t)`` (one per (process, view));
+* the domain of a vertex is the set of same-colored output vertices allowed
+  by every ``Δ(σ)`` whose protocol complex contains it;
+* for every input simplex ``σ`` and every facet ``ρ`` of ``P^(t)(σ)``, the
+  image ``f(ρ)`` must be a simplex of ``Δ(σ)``.
+
+Because complexes are face-closed, a *partial* image of a facet must already
+be a simplex of the allowed complex — which gives the backtracking search a
+cheap, exact forward check.  The engine is model-agnostic: register-only and
+augmented models both work, and the closure machinery reuses it for the
+one-round local tasks of Definition 2 (whose ``Δ`` is not monotone, which is
+why constraints range over all input simplices, not only facets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import SolvabilityError
+from repro.models.base import ComputationModel
+from repro.models.protocol import ProtocolOperator
+from repro.tasks.task import Task
+from repro.topology.complex import SimplicialComplex
+from repro.topology.maps import SimplicialMap
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+__all__ = [
+    "DecisionMap",
+    "SolvabilityProblem",
+    "build_solvability_problem",
+    "find_decision_map",
+    "is_solvable",
+]
+
+
+@dataclass(frozen=True)
+class DecisionMap:
+    """A solution to a solvability problem: the algorithm's output map ``f``.
+
+    Attributes
+    ----------
+    assignment:
+        The vertex map: protocol vertex ``(i, V_i)`` ↦ output vertex
+        ``(i, y_i)``.
+    rounds:
+        The number of communication rounds the map decides after.
+    """
+
+    assignment: Mapping[Vertex, Vertex]
+    rounds: int
+
+    def __call__(self, vertex: Vertex) -> Vertex:
+        return self.assignment[vertex]
+
+    def output_simplex(self, protocol_simplex: Simplex) -> Simplex:
+        """The decided configuration for one execution."""
+        return Simplex(
+            self.assignment[v] for v in protocol_simplex.vertices
+        )
+
+    def as_simplicial_map(
+        self, source: SimplicialComplex, target: SimplicialComplex
+    ) -> SimplicialMap:
+        """Package the assignment as a checked :class:`SimplicialMap`."""
+        restricted = {
+            vertex: self.assignment[vertex] for vertex in source.vertices
+        }
+        return SimplicialMap(source, target, restricted)
+
+
+@dataclass
+class SolvabilityProblem:
+    """A compiled solvability instance, ready to be searched.
+
+    Attributes
+    ----------
+    candidates:
+        Allowed output vertices per protocol vertex.
+    constraints:
+        Pairs ``(protocol facet, allowed face set)``: the image of the facet
+        (and of each of its faces, incrementally) must belong to the set.
+    rounds:
+        Recorded for reporting only.
+    """
+
+    candidates: Dict[Vertex, Tuple[Vertex, ...]]
+    constraints: List[Tuple[Simplex, FrozenSet[Simplex]]]
+    rounds: int = 0
+    _by_vertex: Dict[Vertex, List[int]] = field(default_factory=dict)
+
+    def _index(self) -> None:
+        self._by_vertex = {vertex: [] for vertex in self.candidates}
+        for position, (facet, _) in enumerate(self.constraints):
+            for vertex in facet.vertices:
+                self._by_vertex[vertex].append(position)
+
+    #: Number of search nodes explored by the most recent :meth:`solve`.
+    last_search_nodes: int = 0
+
+    def solve(
+        self,
+        use_propagation: bool = True,
+        use_components: bool = True,
+        node_limit: Optional[int] = None,
+    ) -> Optional[DecisionMap]:
+        """Search for a satisfying assignment; ``None`` if none exists.
+
+        The search runs in three stages: pairwise arc-consistency
+        propagation (prunes values with no compatible partner inside some
+        constraint facet — complete for binary constraints), decomposition
+        of the constraint graph into connected components (independent
+        sub-searches cannot poison each other), and per-component
+        backtracking with incremental face checks for the higher-arity
+        constraints.
+
+        The two flags disable the first two stages; they exist for the
+        ablation benchmarks — leave them on in real use (without them,
+        refutations can degenerate to exponential thrashing).  An optional
+        ``node_limit`` bounds the number of explored search nodes; when it
+        is exceeded a :class:`SolvabilityError` is raised (used by the same
+        benchmarks to quantify the thrashing without waiting it out).
+        """
+        self.last_search_nodes = 0
+        if any(not domain for domain in self.candidates.values()):
+            return None
+        self._index()
+        domains: Dict[Vertex, List[Vertex]] = {
+            vertex: list(options)
+            for vertex, options in self.candidates.items()
+        }
+        if use_propagation and not self._propagate_pairwise(domains):
+            return None
+
+        # Forced vertices (singleton domains — e.g. every solo view, whose
+        # carrier intersection pins the output) are assigned up front.
+        # Beyond saving search depth, this is what lets the component
+        # decomposition genuinely split the problem: forced vertices are
+        # shared between otherwise-independent input windows and would
+        # bridge their components.
+        assignment: Dict[Vertex, Vertex] = {
+            vertex: options[0]
+            for vertex, options in domains.items()
+            if len(options) == 1
+        }
+        for facet, allowed in self.constraints:
+            pinned = [
+                assignment[v] for v in facet.vertices if v in assignment
+            ]
+            if len(pinned) >= 2 and Simplex(pinned) not in allowed:
+                return None
+
+        free = [v for v in domains if v not in assignment]
+        components = (
+            self._components(free)
+            if use_components
+            else ([sorted(free, key=lambda v: v._sort_key())] if free else [])
+        )
+        for component in components:
+            if not self._search_component(
+                component, domains, assignment, node_limit
+            ):
+                return None
+        return DecisionMap(dict(assignment), self.rounds)
+
+    def _propagate_pairwise(
+        self, domains: Dict[Vertex, List[Vertex]]
+    ) -> bool:
+        """AC-3 over the pairs of every constraint facet.
+
+        A candidate for ``u`` survives only if, for every facet containing
+        both ``u`` and some ``v``, a candidate of ``v`` forms an allowed
+        edge with it (complexes are face-closed, so the pair must itself
+        be an allowed simplex).
+        """
+        arcs = []
+        arc_set = set()
+        for facet, allowed in self.constraints:
+            vertices = facet.vertices
+            for i, u in enumerate(vertices):
+                for v in vertices[i + 1 :]:
+                    for left, right in ((u, v), (v, u)):
+                        key = (left, right, allowed)
+                        if key not in arc_set:
+                            arc_set.add(key)
+                            arcs.append(key)
+        from collections import deque
+
+        queue = deque(arcs)
+        watchers: Dict[Vertex, List] = {}
+        for key in arcs:
+            watchers.setdefault(key[1], []).append(key)
+
+        while queue:
+            u, v, allowed = queue.popleft()
+            kept = [
+                cand_u
+                for cand_u in domains[u]
+                if any(
+                    Simplex((cand_u, cand_v)) in allowed
+                    for cand_v in domains[v]
+                )
+            ]
+            if len(kept) != len(domains[u]):
+                if not kept:
+                    return False
+                domains[u] = kept
+                for key in watchers.get(u, ()):
+                    queue.append(key)
+        return True
+
+    def _components(self, free: List[Vertex]) -> List[List[Vertex]]:
+        """Connected components of the constraint graph over free vertices.
+
+        Forced vertices are excluded: their values are already fixed, so
+        they transmit no uncertainty between the subproblems they touch.
+        """
+        free_set = set(free)
+        neighbors: Dict[Vertex, set] = {v: set() for v in free_set}
+        for facet, _ in self.constraints:
+            vertices = [v for v in facet.vertices if v in free_set]
+            for i, u in enumerate(vertices):
+                for v in vertices[i + 1 :]:
+                    neighbors[u].add(v)
+                    neighbors[v].add(u)
+        remaining = set(free_set)
+        components: List[List[Vertex]] = []
+        while remaining:
+            seed = min(remaining, key=lambda v: v._sort_key())
+            stack, seen = [seed], {seed}
+            while stack:
+                current = stack.pop()
+                for neighbor in neighbors[current]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            components.append(
+                sorted(seen, key=lambda v: v._sort_key())
+            )
+            remaining -= seen
+        return components
+
+    def _search_component(
+        self,
+        component: List[Vertex],
+        domains: Dict[Vertex, List[Vertex]],
+        assignment: Dict[Vertex, Vertex],
+        node_limit: Optional[int] = None,
+    ) -> bool:
+        order = sorted(
+            component, key=lambda v: (len(domains[v]), v._sort_key())
+        )
+
+        def consistent(vertex: Vertex) -> bool:
+            for constraint_index in self._by_vertex[vertex]:
+                facet, allowed = self.constraints[constraint_index]
+                partial = [
+                    assignment[v] for v in facet.vertices if v in assignment
+                ]
+                if len(partial) < 2:
+                    continue
+                if Simplex(partial) not in allowed:
+                    return False
+            return True
+
+        def backtrack(depth: int) -> bool:
+            if depth == len(order):
+                return True
+            vertex = order[depth]
+            for image in domains[vertex]:
+                self.last_search_nodes += 1
+                if node_limit is not None and (
+                    self.last_search_nodes > node_limit
+                ):
+                    raise SolvabilityError(
+                        f"search exceeded the node budget of {node_limit}"
+                    )
+                assignment[vertex] = image
+                if consistent(vertex) and backtrack(depth + 1):
+                    return True
+                del assignment[vertex]
+            return False
+
+        return backtrack(0)
+
+
+def build_solvability_problem(
+    input_simplices: Iterable[Simplex],
+    delta_of: Callable[[Simplex], SimplicialComplex],
+    protocol_of: Callable[[Simplex], SimplicialComplex],
+    rounds: int = 0,
+) -> SolvabilityProblem:
+    """Compile constraints for a (generalized) solvability question.
+
+    Parameters
+    ----------
+    input_simplices:
+        Every input simplex whose executions constrain ``f`` (for tasks,
+        all simplices of ``I``; for local tasks, all faces of ``τ``).
+    delta_of:
+        The specification ``σ ↦ Δ(σ)``.
+    protocol_of:
+        ``σ ↦ P^(t)(σ)``, the executions where exactly ``ID(σ)``
+        participate.
+    """
+    candidates: Dict[Vertex, set] = {}
+    seen_vertices: Dict[Vertex, bool] = {}
+    constraints: List[Tuple[Simplex, FrozenSet[Simplex]]] = []
+    constraint_keys: set = set()
+
+    for sigma in input_simplices:
+        allowed = delta_of(sigma)
+        allowed_faces = allowed.simplices
+        allowed_by_color: Dict[int, frozenset] = {}
+        for output_vertex in allowed.vertices:
+            allowed_by_color.setdefault(output_vertex.color, frozenset())
+            allowed_by_color[output_vertex.color] |= {output_vertex}
+        protocol = protocol_of(sigma)
+        for vertex in protocol.vertices:
+            domain = allowed_by_color.get(vertex.color, frozenset())
+            if vertex in seen_vertices:
+                candidates[vertex] &= set(domain)
+            else:
+                seen_vertices[vertex] = True
+                candidates[vertex] = set(domain)
+        for facet in protocol.facets:
+            key = (facet, allowed_faces)
+            if key not in constraint_keys:
+                constraint_keys.add(key)
+                constraints.append((facet, allowed_faces))
+
+    ordered_candidates = {
+        vertex: tuple(sorted(domain, key=lambda v: v._sort_key()))
+        for vertex, domain in candidates.items()
+    }
+    return SolvabilityProblem(ordered_candidates, constraints, rounds)
+
+
+def find_decision_map(
+    task: Task,
+    model: ComputationModel,
+    rounds: int,
+    input_simplices: Optional[Iterable[Simplex]] = None,
+    operator: Optional[ProtocolOperator] = None,
+) -> Optional[DecisionMap]:
+    """Search for a ``rounds``-round decision map solving ``task`` in ``model``.
+
+    Parameters
+    ----------
+    input_simplices:
+        Restrict the constraints to these input simplices (default: every
+        simplex of the task's input complex).  Restricting weakens the
+        question, which is safe for *impossibility*: if the restricted
+        instance is unsolvable, so is the full task.
+    operator:
+        Reuse a memoized :class:`ProtocolOperator` across calls.
+    """
+    if rounds < 0:
+        raise SolvabilityError("rounds must be non-negative")
+    op = operator or ProtocolOperator(model)
+    simplices: Sequence[Simplex] = (
+        list(input_simplices)
+        if input_simplices is not None
+        else list(task.input_complex)
+    )
+    problem = build_solvability_problem(
+        simplices,
+        task.delta,
+        lambda sigma: op.of_simplex(sigma, rounds),
+        rounds=rounds,
+    )
+    return problem.solve()
+
+
+def is_solvable(
+    task: Task,
+    model: ComputationModel,
+    rounds: int,
+    input_simplices: Optional[Iterable[Simplex]] = None,
+    operator: Optional[ProtocolOperator] = None,
+) -> bool:
+    """``True`` iff a ``rounds``-round algorithm solves the task instance."""
+    return (
+        find_decision_map(task, model, rounds, input_simplices, operator)
+        is not None
+    )

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so user
+code can catch library failures with a single ``except`` clause while still
+being able to distinguish the failure modes that matter (malformed chromatic
+data, non-simplicial maps, invalid schedules, ill-specified tasks).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ChromaticityError",
+    "SimplicialityError",
+    "ScheduleError",
+    "TaskSpecificationError",
+    "SolvabilityError",
+    "ModelError",
+    "RuntimeModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ChromaticityError(ReproError, ValueError):
+    """A chromatic object (simplex, complex, map) violates color constraints.
+
+    Chromatic complexes require every simplex to carry pairwise-distinct
+    colors, and chromatic maps must preserve the color of every vertex.
+    """
+
+
+class SimplicialityError(ReproError, ValueError):
+    """A vertex map fails to send some simplex onto a simplex of the target."""
+
+
+class ScheduleError(ReproError, ValueError):
+    """A one-round schedule violates the matrix conditions of Appendix A.3.4.
+
+    Collect schedules must satisfy the five matrix conditions; snapshot
+    schedules additionally require the view sets to form a chain; immediate
+    snapshot schedules must be ordered partitions.
+    """
+
+
+class TaskSpecificationError(ReproError, ValueError):
+    """A task triple ``(I, O, Δ)`` is malformed.
+
+    Typical causes: ``Δ(σ)`` contains simplices whose ID set differs from
+    ``ID(σ)``, or output simplices that are not part of the output complex.
+    """
+
+
+class SolvabilityError(ReproError, RuntimeError):
+    """The solvability engine was invoked with inconsistent arguments."""
+
+
+class ModelError(ReproError, ValueError):
+    """A computational model is queried outside its domain of definition."""
+
+
+class RuntimeModelError(ReproError, RuntimeError):
+    """The operational runtime simulator reached an inconsistent state."""

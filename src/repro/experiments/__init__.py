@@ -1,0 +1,78 @@
+"""The paper's experiments, as library functions.
+
+Every evaluation artifact of the paper (and each ablation/extension this
+reproduction adds) has a ``reproduce_*`` function here returning plain
+data; the benchmark harness wraps them with timing and paper-vs-measured
+tables, and the CLI exposes them via ``repro experiment <id>``.
+
+The registry maps experiment ids (E1–E21, matching DESIGN.md §4) to
+:class:`Experiment` descriptors.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.figures import (
+    reproduce_fig4,
+    reproduce_fig5,
+    reproduce_fig7,
+    reproduce_fig8,
+)
+from repro.experiments.consensus import (
+    reproduce_closure_machinery,
+    reproduce_corollary1,
+    reproduce_corollary2,
+)
+from repro.experiments.approximate import (
+    reproduce_claim1,
+    reproduce_claim2,
+    reproduce_claim3,
+    reproduce_corollary3,
+    reproduce_theorem3,
+    reproduce_theorem4,
+)
+from repro.experiments.speedup import reproduce_speedup
+from repro.experiments.operational import (
+    reproduce_runtime_vs_matrices,
+    reproduce_upper_bounds,
+)
+from repro.experiments.extensions import (
+    reproduce_affine_concurrency,
+    reproduce_kset,
+    reproduce_noniterated,
+)
+from repro.experiments.performance import (
+    reproduce_scaling,
+    reproduce_solver_ablation,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "run_experiment",
+    "reproduce_fig4",
+    "reproduce_fig5",
+    "reproduce_fig7",
+    "reproduce_fig8",
+    "reproduce_closure_machinery",
+    "reproduce_corollary1",
+    "reproduce_corollary2",
+    "reproduce_claim1",
+    "reproduce_claim2",
+    "reproduce_claim3",
+    "reproduce_corollary3",
+    "reproduce_theorem3",
+    "reproduce_theorem4",
+    "reproduce_speedup",
+    "reproduce_runtime_vs_matrices",
+    "reproduce_upper_bounds",
+    "reproduce_affine_concurrency",
+    "reproduce_kset",
+    "reproduce_noniterated",
+    "reproduce_scaling",
+    "reproduce_solver_ablation",
+]

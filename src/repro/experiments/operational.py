@@ -1,0 +1,178 @@
+"""Experiments E15, E16 — the operational layer vs the combinatorial one."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, Iterable, List, Tuple
+
+from repro.algorithms import (
+    BitwiseAA,
+    ConsensusViaBinaryConsensus,
+    HalvingAA,
+    TwoProcessConsensusTAS,
+    TwoProcessThirdsAA,
+)
+from repro.core import ceil_log
+from repro.models.schedules import (
+    collect_schedules,
+    immediate_snapshot_schedules,
+    snapshot_schedules,
+    view_maps_of_schedules,
+)
+from repro.objects import BinaryConsensusBox, TestAndSetBox
+from repro.runtime import (
+    IteratedExecutor,
+    RandomAdversary,
+    random_collect_round,
+    random_immediate_snapshot_round,
+    random_snapshot_round,
+)
+
+__all__ = ["reproduce_upper_bounds", "reproduce_runtime_vs_matrices"]
+
+F = Fraction
+
+
+def _aa_ok(result, inputs, eps) -> bool:
+    values = list(result.decisions.values())
+    lo, hi = min(inputs.values()), max(inputs.values())
+    return (
+        bool(values)
+        and max(values) - min(values) <= eps
+        and all(lo <= v <= hi for v in values)
+    )
+
+
+def _consensus_ok(result, inputs) -> bool:
+    values = set(result.decisions.values())
+    return len(values) == 1 and values <= set(inputs.values())
+
+
+def reproduce_upper_bounds(
+    seeds: Iterable[int] = range(60),
+) -> List[Tuple[str, int, int, bool]]:
+    """E15 — all five upper-bound algorithm families under adversarial
+    randomized schedules with crashes; returns (label, expected rounds,
+    actual rounds, all-correct)."""
+    seeds = list(seeds)
+    eps = F(1, 8)
+    cases: List[Tuple[str, int, int, bool]] = []
+
+    algorithm = TwoProcessThirdsAA(F(1, 9))
+    inputs = {1: F(0), 2: F(1)}
+    ok = all(
+        _aa_ok(
+            IteratedExecutor().run(
+                algorithm, inputs, RandomAdversary(seed, 0.1)
+            ),
+            inputs,
+            F(1, 9),
+        )
+        for seed in seeds
+    )
+    cases.append(("thirds AA n=2 ε=1/9", 2, algorithm.rounds, ok))
+
+    algorithm = HalvingAA(eps)
+    inputs = {1: F(0), 2: F(3, 8), 3: F(5, 8), 4: F(1)}
+    ok = all(
+        _aa_ok(
+            IteratedExecutor().run(
+                algorithm, inputs, RandomAdversary(seed, 0.15)
+            ),
+            inputs,
+            eps,
+        )
+        for seed in seeds
+    )
+    cases.append(("halving AA n=4 ε=1/8", 3, algorithm.rounds, ok))
+
+    algorithm = TwoProcessConsensusTAS()
+    inputs = {1: "a", 2: "b"}
+    executor = IteratedExecutor(box=TestAndSetBox())
+    ok = all(
+        _consensus_ok(
+            executor.run(algorithm, inputs, RandomAdversary(seed, 0.1)),
+            inputs,
+        )
+        for seed in seeds
+    )
+    cases.append(("t&s consensus n=2", 1, algorithm.rounds, ok))
+
+    algorithm = BitwiseAA(eps)
+    inputs = {1: F(0), 2: F(5, 16), 3: F(1)}
+    executor = IteratedExecutor(box=BinaryConsensusBox())
+    ok = all(
+        _aa_ok(
+            executor.run(algorithm, inputs, RandomAdversary(seed, 0.15)),
+            inputs,
+            eps,
+        )
+        for seed in seeds
+    )
+    cases.append(("bitwise AA n=3 ε=1/8", 3, algorithm.rounds, ok))
+
+    algorithm = ConsensusViaBinaryConsensus(5)
+    inputs = {i: f"v{i}" for i in range(1, 6)}
+    executor = IteratedExecutor(box=BinaryConsensusBox())
+    ok = all(
+        _consensus_ok(
+            executor.run(algorithm, inputs, RandomAdversary(seed, 0.15)),
+            inputs,
+        )
+        for seed in seeds
+    )
+    cases.append(("consensus via bc n=5", ceil_log(2, 5), algorithm.rounds, ok))
+    return cases
+
+
+def reproduce_runtime_vs_matrices(
+    samples: int = 1000,
+) -> Dict[str, Dict[str, object]]:
+    """E16 — operation-level executions land inside (and cover) the matrix
+    sets of Appendix A.3.4, per model."""
+    ids = [1, 2, 3]
+    values = {1: "a", 2: "b", 3: "c"}
+
+    def normalize(view_map):
+        return tuple(
+            (p, tuple(sorted(v))) for p, v in sorted(view_map.items())
+        )
+
+    matrix_sets = {
+        "collect": {
+            normalize(m)
+            for m in view_maps_of_schedules(collect_schedules(ids))
+        },
+        "snapshot": {
+            normalize(m)
+            for m in view_maps_of_schedules(snapshot_schedules(ids))
+        },
+        "immediate": {
+            normalize(m)
+            for m in view_maps_of_schedules(
+                immediate_snapshot_schedules(ids)
+            )
+        },
+    }
+    runners = {
+        "collect": random_collect_round,
+        "snapshot": random_snapshot_round,
+        "immediate": random_immediate_snapshot_round,
+    }
+    report: Dict[str, Dict[str, object]] = {}
+    rng = random.Random(2022)
+    for name, runner in runners.items():
+        reached = set()
+        sound = True
+        for _ in range(samples):
+            views = normalize(runner(ids, values, rng))
+            reached.add(views)
+            if views not in matrix_sets[name]:
+                sound = False
+        report[name] = {
+            "sound": sound,
+            "reached": len(reached),
+            "total": len(matrix_sets[name]),
+        }
+    return report

@@ -1,0 +1,98 @@
+"""Experiments E18, E19 — engine ablation and scaling characteristics."""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+from typing import Dict
+
+from repro.core import ClosureComputer
+from repro.core.solvability import build_solvability_problem
+from repro.errors import SolvabilityError
+from repro.models import ImmediateSnapshotModel, ProtocolOperator
+from repro.tasks import approximate_agreement_task
+from repro.topology import Simplex
+
+__all__ = [
+    "reproduce_solver_ablation",
+    "reproduce_scaling",
+    "SOLVER_NODE_BUDGET",
+]
+
+F = Fraction
+
+#: Node budget after which the ablation declares a configuration thrashing.
+SOLVER_NODE_BUDGET = 2_000_000
+
+
+def _refutation_problem():
+    """The canonical refutation: 1-round ε = 1/4 AA for n = 2, m = 4."""
+    iis = ImmediateSnapshotModel()
+    task = approximate_agreement_task([1, 2], F(1, 4), 4)
+    operator = ProtocolOperator(iis)
+    return build_solvability_problem(
+        list(task.input_complex),
+        task.delta,
+        lambda sigma: operator.of_simplex(sigma, 1),
+        rounds=1,
+    )
+
+
+def _measure_solver(use_propagation: bool, use_components: bool):
+    problem = _refutation_problem()
+    start = time.perf_counter()
+    try:
+        result = problem.solve(
+            use_propagation=use_propagation,
+            use_components=use_components,
+            node_limit=SOLVER_NODE_BUDGET,
+        )
+        exceeded = False
+    except SolvabilityError:
+        result = "budget-exceeded"
+        exceeded = True
+    return {
+        "refuted": result is None,
+        "exceeded": exceeded,
+        "nodes": problem.last_search_nodes,
+        "seconds": time.perf_counter() - start,
+    }
+
+
+def reproduce_solver_ablation() -> Dict[str, Dict[str, object]]:
+    """E18 — search-node counts per solver configuration."""
+    return {
+        "full": _measure_solver(True, True),
+        "components_only": _measure_solver(False, True),
+        "propagation_only": _measure_solver(True, False),
+        "none": _measure_solver(False, False),
+    }
+
+
+def reproduce_scaling() -> Dict[str, object]:
+    """E19 — Fubini growth, per-round protocol growth, cache effectiveness."""
+    iis = ImmediateSnapshotModel()
+    subdivision_counts = {}
+    for n in (1, 2, 3, 4):
+        sigma = Simplex((i, i) for i in range(1, n + 1))
+        subdivision_counts[n] = len(iis.one_round_complex(sigma).facets)
+
+    operator = ProtocolOperator(iis)
+    triangle = Simplex([(1, "a"), (2, "b"), (3, "c")])
+    round_counts = {
+        t: len(operator.of_simplex(triangle, t).facets) for t in (0, 1, 2)
+    }
+
+    task = approximate_agreement_task([1, 2], F(1, 4), 4)
+    computer = ClosureComputer(task, iis)
+    queries = 0
+    for sigma in task.input_complex.simplices_of_dim(1):
+        queries += len(computer.legal_outputs(sigma))
+    cache_entries = len(computer._membership_cache)
+
+    return {
+        "subdivision": subdivision_counts,
+        "rounds": round_counts,
+        "queries": queries,
+        "cache_entries": cache_entries,
+    }

@@ -1,0 +1,40 @@
+"""Experiment E13 — the constructive speedup theorem on real algorithms."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict
+
+from repro.algorithms import TwoProcessConsensusTAS, TwoProcessThirdsAA
+from repro.core import verify_speedup_theorem
+from repro.core.speedup import SpeedupReport
+from repro.models import ImmediateSnapshotModel
+from repro.objects import AugmentedModel, TestAndSetBox
+from repro.runtime import extract_decision_map
+from repro.tasks import approximate_agreement_task, binary_consensus_task
+
+__all__ = ["reproduce_speedup"]
+
+
+def reproduce_speedup() -> Dict[str, SpeedupReport]:
+    """E13 — run ``f ↦ f'`` on real decision maps and verify Theorems 1–2.
+
+    Theorem 1 on the 2-round thirds algorithm for ε = 1/9 approximate
+    agreement; Theorem 2 on the 1-round test&set consensus algorithm.
+    """
+    F = Fraction
+    iis = ImmediateSnapshotModel()
+    eps = F(1, 9)
+    aa = approximate_agreement_task([1, 2], eps, 9)
+    thirds = TwoProcessThirdsAA(eps)
+    aa_map = extract_decision_map(thirds, iis, aa.input_complex)
+    aa_report = verify_speedup_theorem(aa, iis, aa_map)
+
+    tas_model = AugmentedModel(TestAndSetBox())
+    consensus = binary_consensus_task([1, 2])
+    tas_map = extract_decision_map(
+        TwoProcessConsensusTAS(), tas_model, consensus.input_complex
+    )
+    tas_report = verify_speedup_theorem(consensus, tas_model, tas_map)
+
+    return {"theorem1": aa_report, "theorem2": tas_report}

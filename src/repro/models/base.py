@@ -1,0 +1,128 @@
+"""Model interfaces.
+
+Two layers of abstraction:
+
+* :class:`ComputationModel` is what the closure/solvability engine consumes —
+  anything that can produce the ``t``-round protocol complex of an input
+  simplex and extend a process's view by a solo round (the operation at the
+  heart of the speedup theorem's ``f ↦ f'`` construction).
+
+* :class:`IteratedModel` is the register-only specialization: a model defined
+  by a set of one-round schedules (collect / snapshot / immediate snapshot /
+  affine restrictions).  Augmented models (with black boxes) implement
+  :class:`ComputationModel` directly in :mod:`repro.objects.augmented`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+from repro.topology.views import View
+
+__all__ = ["ComputationModel", "IteratedModel"]
+
+
+class ComputationModel(ABC):
+    """Anything the solvability and closure engines can reason about."""
+
+    #: Human-readable model name, used in reports and experiment tables.
+    name: str = "abstract"
+
+    @abstractmethod
+    def one_round_complex(self, sigma: Simplex) -> SimplicialComplex:
+        """The complex ``P^(1)(σ)`` of one-round executions of ``ID(σ)``.
+
+        The returned complex contains only the executions in which *exactly*
+        the processes of ``σ`` participate; executions of faces of ``σ`` are
+        obtained by calling this method on the faces (the protocol operator
+        takes the union).
+        """
+
+    @abstractmethod
+    def solo_value(self, vertex: Vertex) -> Hashable:
+        """The value of ``vertex``'s carrier after one *solo* round.
+
+        For register-only models this is the view ``{(i, V_i)}``; augmented
+        models pair it with the black box's solo output.  This is the
+        operation used to define ``f'(i, V_i) = f(i, solo_value)`` in the
+        proofs of Theorems 1 and 2.
+        """
+
+    def solo_vertex(self, vertex: Vertex) -> Vertex:
+        """The protocol vertex reached from ``vertex`` by a solo round."""
+        return Vertex(vertex.color, self.solo_value(vertex))
+
+    # ------------------------------------------------------------------
+    # Derived operations
+    # ------------------------------------------------------------------
+    def protocol_complex(
+        self, base: SimplicialComplex, rounds: int
+    ) -> SimplicialComplex:
+        """Apply the one-round operator ``Ξ`` to a complex, ``rounds`` times.
+
+        ``Ξ(K)`` is the union of ``P^(1)(σ)`` over every simplex ``σ ∈ K``
+        (Section 2.2).
+        """
+        current = base
+        for _ in range(rounds):
+            pieces = [
+                self.one_round_complex(simplex) for simplex in current
+            ]
+            merged = SimplicialComplex(
+                facet for piece in pieces for facet in piece.facets
+            )
+            current = merged
+        return current
+
+    def protocol_complex_of_simplex(
+        self, sigma: Simplex, rounds: int
+    ) -> SimplicialComplex:
+        """``P^(t)(σ)``: the ``rounds``-round protocol complex of ``σ``."""
+        return self.protocol_complex(
+            SimplicialComplex.from_simplex(sigma), rounds
+        )
+
+    def allows_solo_executions(self, ids: Iterable[int]) -> bool:
+        """Check the speedup theorem's hypothesis on a participant set.
+
+        For every process ``i``, some execution must give ``i`` the solo
+        view; we verify it on a canonical input simplex over ``ids``.
+        """
+        id_list = sorted(set(ids))
+        sigma = Simplex((i, f"x{i}") for i in id_list)
+        complex_ = self.one_round_complex(sigma)
+        for i in id_list:
+            solo = self.solo_vertex(Vertex(i, f"x{i}"))
+            if solo not in complex_.vertices:
+                return False
+        return True
+
+
+class IteratedModel(ComputationModel):
+    """A register-only iterated model defined by one-round view maps."""
+
+    @abstractmethod
+    def view_maps(
+        self, ids: FrozenSet[int]
+    ) -> List[Dict[int, FrozenSet[int]]]:
+        """The distinct per-process view maps of one round among ``ids``."""
+
+    def one_round_complex(self, sigma: Simplex) -> SimplicialComplex:
+        """Materialize the view maps into the complex ``P^(1)(σ)``."""
+        facets = []
+        values = sigma.as_mapping()
+        for view_map in self.view_maps(sigma.ids):
+            vertices = []
+            for process, seen in view_map.items():
+                view = View((j, values[j]) for j in seen)
+                vertices.append(Vertex(process, view))
+            facets.append(Simplex(vertices))
+        return SimplicialComplex(facets)
+
+    def solo_value(self, vertex: Vertex) -> Hashable:
+        """A solo round leaves process ``i`` with the view ``{(i, value)}``."""
+        return View([(vertex.color, vertex.value)])

@@ -1,0 +1,35 @@
+"""The write-collect model.
+
+One round: every participant writes its view to its register of the round's
+array and then reads all registers sequentially, in arbitrary order
+(Algorithm 1).  The resulting one-round complex is the largest of the three
+models — its facets are exactly the view simplices of the collect matrices
+of Appendix A.3.4 (Fig. 8(d) shows the simplices unique to it).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, FrozenSet, List
+
+from repro.models.base import IteratedModel
+from repro.models.schedules import collect_schedules, view_maps_of_schedules
+
+__all__ = ["CollectModel"]
+
+
+class CollectModel(IteratedModel):
+    """Iterated write-collect (sequential reads)."""
+
+    name = "write-collect"
+
+    def __init__(self) -> None:
+        self._cache: Dict[FrozenSet[int], List[Dict[int, FrozenSet[int]]]] = {}
+
+    def view_maps(
+        self, ids: FrozenSet[int]
+    ) -> List[Dict[int, FrozenSet[int]]]:
+        key = frozenset(ids)
+        if key not in self._cache:
+            self._cache[key] = view_maps_of_schedules(collect_schedules(key))
+        return self._cache[key]

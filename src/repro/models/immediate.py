@@ -1,0 +1,57 @@
+"""The iterated immediate snapshot (IIS) model.
+
+One round: a sequence of *blocks* of processes; the processes of a block
+write simultaneously and immediately take an atomic snapshot, so each sees
+exactly the writes of its own and all earlier blocks.  The one-round complex
+``P^(1)(σ)`` is the **standard chromatic subdivision** of ``σ``
+(Herlihy–Shavit): ``{(i, V_i)}`` is a simplex iff for all ``i, j``,
+``j ∈ V_i`` or ``i ∈ V_j``, and ``j ∈ V_i ⟹ V_j ⊆ V_i`` (Section 2.2).
+
+This is the model in which all the paper's approximate-agreement lower
+bounds are proved (lower bounds in IIS imply lower bounds in the weaker
+models and in the non-iterated variants).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.models.base import IteratedModel
+from repro.models.schedules import (
+    immediate_snapshot_schedules,
+    view_maps_of_schedules,
+)
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+
+__all__ = ["ImmediateSnapshotModel", "standard_chromatic_subdivision"]
+
+
+class ImmediateSnapshotModel(IteratedModel):
+    """Iterated immediate snapshot (the wait-free IIS model)."""
+
+    name = "iterated-immediate-snapshot"
+
+    def __init__(self) -> None:
+        self._cache: Dict[FrozenSet[int], List[Dict[int, FrozenSet[int]]]] = {}
+
+    def view_maps(
+        self, ids: FrozenSet[int]
+    ) -> List[Dict[int, FrozenSet[int]]]:
+        key = frozenset(ids)
+        if key not in self._cache:
+            self._cache[key] = view_maps_of_schedules(
+                immediate_snapshot_schedules(key)
+            )
+        return self._cache[key]
+
+
+def standard_chromatic_subdivision(sigma: Simplex) -> SimplicialComplex:
+    """The standard chromatic subdivision of a simplex.
+
+    Convenience wrapper equal to one round of IIS applied to ``σ`` together
+    with all its faces — i.e. ``Ξ(σ̄)``, the full subdivided simplex
+    including its subdivided boundary.
+    """
+    model = ImmediateSnapshotModel()
+    return model.protocol_complex(SimplicialComplex.from_simplex(sigma), 1)

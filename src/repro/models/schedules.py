@@ -1,0 +1,316 @@
+"""One-round communication schedules (Appendix A.3.4).
+
+The paper represents one round of communication among the participants
+``I`` by a matrix
+
+.. code-block:: text
+
+    M = [ P_0  P_1  …  P_r ]
+        [ I_0  I_1  …  I_r ]
+
+subject to the five conditions (1) ``0 ≤ r ≤ |I| - 1``, (2) ``P_s ⊆ I``,
+(3) ``P_0 = I``, (4) the ``I_s`` partition ``I``, and (5)
+``∪_{j=s}^r I_j ⊆ P_s``.  The semantics: every process in group ``I_s``
+reads exactly the values written by ``P_s``, so its one-round view is
+``{(j, x_j) : j ∈ P_s}``.
+
+* The **collect** model admits every such matrix.
+* The **snapshot** model additionally requires the view sets to be pairwise
+  comparable (they form a chain — footnote 1 of the paper).
+* The **immediate snapshot** model requires that whenever ``q ∈ P_i`` and
+  ``q ∈ I_j``, then ``P_j ⊆ P_i`` (footnote 2); these matrices correspond
+  exactly to *ordered set partitions* ``B_1, …, B_k`` of ``I`` in which the
+  processes of block ``B_s`` all see ``B_1 ∪ … ∪ B_s``.
+
+This module enumerates schedules for all three models and converts between
+the matrix form and the ordered-blocks form.  Enumeration is exhaustive and
+deterministic; distinct matrices can induce the same view map, so consumers
+deduplicate at the view-map level via :func:`view_maps_of_schedules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import ScheduleError
+
+__all__ = [
+    "OneRoundSchedule",
+    "ordered_partitions",
+    "collect_schedules",
+    "snapshot_schedules",
+    "immediate_snapshot_schedules",
+    "schedule_from_blocks",
+    "view_maps_of_schedules",
+]
+
+Ids = FrozenSet[int]
+ViewMap = Dict[int, Ids]
+
+
+@dataclass(frozen=True)
+class OneRoundSchedule:
+    """A one-round communication pattern in matrix form.
+
+    Attributes
+    ----------
+    groups:
+        The groups ``I_0, …, I_r`` (a partition of the participants).
+    views:
+        The view sets ``P_0, …, P_r``; every process of ``groups[s]`` reads
+        exactly the writes of ``views[s]``.
+    """
+
+    groups: Tuple[Ids, ...]
+    views: Tuple[Ids, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.groups) != len(self.views):
+            raise ScheduleError(
+                "schedule must have as many groups as view sets"
+            )
+        if not self.groups:
+            raise ScheduleError("schedule must have at least one group")
+        participants = self.participants
+        seen: set = set()
+        for group in self.groups:
+            if not group:
+                raise ScheduleError("schedule groups must be non-empty")
+            if group & seen:
+                raise ScheduleError("schedule groups must be disjoint")
+            seen |= group
+        if self.views[0] != participants:
+            raise ScheduleError(
+                "condition (3) violated: P_0 must equal the participant set"
+            )
+        suffix: Ids = frozenset()
+        for index in range(len(self.groups) - 1, -1, -1):
+            suffix = suffix | self.groups[index]
+            if not suffix <= self.views[index]:
+                raise ScheduleError(
+                    "condition (5) violated: P_s must contain "
+                    "I_s ∪ … ∪ I_r"
+                )
+            if not self.views[index] <= participants:
+                raise ScheduleError(
+                    "condition (2) violated: P_s must be a subset of I"
+                )
+
+    @property
+    def participants(self) -> Ids:
+        """The participant set ``I = I_0 ∪ … ∪ I_r``."""
+        return frozenset(chain.from_iterable(self.groups))
+
+    def view_map(self) -> ViewMap:
+        """The per-process view sets ``{i: P_s}`` for ``i ∈ I_s``."""
+        result: ViewMap = {}
+        for group, view in zip(self.groups, self.views):
+            for process in group:
+                result[process] = view
+        return result
+
+    def view_of(self, process: int) -> Ids:
+        """The set of processes whose writes ``process`` reads."""
+        for group, view in zip(self.groups, self.views):
+            if process in group:
+                return view
+        raise ScheduleError(f"process {process} does not participate")
+
+    def is_snapshot(self) -> bool:
+        """``True`` iff the view sets form a chain (snapshot condition)."""
+        ordered = sorted(self.views, key=len)
+        return all(
+            ordered[i] <= ordered[i + 1] for i in range(len(ordered) - 1)
+        )
+
+    def is_immediate_snapshot(self) -> bool:
+        """``True`` iff the matrix satisfies the immediate-snapshot condition.
+
+        For every group ``I_i`` and every ``q ∈ P_i`` with ``q ∈ I_j``, it
+        must hold that ``P_j ⊆ P_i``.
+        """
+        location = {}
+        for index, group in enumerate(self.groups):
+            for process in group:
+                location[process] = index
+        for index, view in enumerate(self.views):
+            for seen_process in view:
+                other = location[seen_process]
+                if not self.views[other] <= view:
+                    return False
+        return True
+
+    def solo_processes(self) -> Ids:
+        """Processes whose view is exactly themselves (solo executions)."""
+        return frozenset(
+            process
+            for process, view in self.view_map().items()
+            if view == frozenset({process})
+        )
+
+    def blocks(self) -> Tuple[Ids, ...]:
+        """Temporal blocks ``B_1, …, B_k`` for immediate-snapshot schedules.
+
+        The matrix orders groups by decreasing views; temporally the group
+        with the *smallest* view acts first.  Only meaningful when
+        :meth:`is_immediate_snapshot` holds.
+
+        Raises
+        ------
+        ScheduleError
+            If the schedule is not an immediate-snapshot schedule.
+        """
+        if not self.is_immediate_snapshot():
+            raise ScheduleError(
+                "temporal blocks are only defined for immediate-snapshot "
+                "schedules"
+            )
+        indexed = sorted(
+            range(len(self.groups)), key=lambda s: len(self.views[s])
+        )
+        merged: List[Ids] = []
+        merged_views: List[Ids] = []
+        for s in indexed:
+            if merged_views and self.views[s] == merged_views[-1]:
+                merged[-1] = merged[-1] | self.groups[s]
+            else:
+                merged.append(self.groups[s])
+                merged_views.append(self.views[s])
+        return tuple(merged)
+
+
+def schedule_from_blocks(blocks: Sequence[Iterable[int]]) -> OneRoundSchedule:
+    """Build the immediate-snapshot schedule of temporal blocks ``B_1…B_k``.
+
+    Every process of block ``B_s`` sees ``B_1 ∪ … ∪ B_s``.  The returned
+    matrix lists groups in the paper's order (largest view first).
+    """
+    resolved = [frozenset(block) for block in blocks]
+    if not resolved:
+        raise ScheduleError("at least one block is required")
+    groups: List[Ids] = []
+    views: List[Ids] = []
+    prefix: Ids = frozenset()
+    for block in resolved:
+        if not block:
+            raise ScheduleError("blocks must be non-empty")
+        if block & prefix:
+            raise ScheduleError("blocks must be disjoint")
+        prefix = prefix | block
+        groups.append(block)
+        views.append(prefix)
+    groups.reverse()
+    views.reverse()
+    return OneRoundSchedule(tuple(groups), tuple(views))
+
+
+def _set_partitions(items: Tuple[int, ...]) -> Iterator[List[Ids]]:
+    """Yield every partition of ``items`` into non-empty unordered parts."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partial in _set_partitions(rest):
+        for index in range(len(partial)):
+            updated = list(partial)
+            updated[index] = updated[index] | {first}
+            yield updated
+        yield partial + [frozenset({first})]
+
+
+def ordered_partitions(ids: Iterable[int]) -> Iterator[Tuple[Ids, ...]]:
+    """Yield every ordered set partition of ``ids`` (temporal block order).
+
+    The number of ordered partitions of an ``n``-set is the ``n``-th Fubini
+    number (1, 3, 13, 75, 541, …) — exactly the facet count of the standard
+    chromatic subdivision.
+    """
+    from itertools import permutations
+
+    items = tuple(sorted(set(ids)))
+    if not items:
+        return
+    for partition in _set_partitions(items):
+        for arrangement in permutations(partition):
+            yield tuple(arrangement)
+
+
+def immediate_snapshot_schedules(
+    ids: Iterable[int],
+) -> Iterator[OneRoundSchedule]:
+    """Yield the immediate-snapshot schedules: one per ordered partition."""
+    for blocks in ordered_partitions(ids):
+        yield schedule_from_blocks(blocks)
+
+
+def _subsets_containing(
+    lower: Ids, universe: Ids
+) -> Iterator[Ids]:
+    """Yield every set ``S`` with ``lower ⊆ S ⊆ universe``."""
+    optional = tuple(sorted(universe - lower))
+    for size in range(len(optional) + 1):
+        for extra in combinations(optional, size):
+            yield lower | frozenset(extra)
+
+
+def collect_schedules(ids: Iterable[int]) -> Iterator[OneRoundSchedule]:
+    """Yield every collect-model schedule (matrix) over ``ids``.
+
+    Enumeration follows the matrix conditions directly: for every ordered
+    partition ``I_0, …, I_r`` (in matrix order) choose each ``P_s`` with
+    ``I_s ∪ … ∪ I_r ⊆ P_s ⊆ I`` and ``P_0 = I``.  Distinct matrices may
+    induce the same view map; deduplicate with
+    :func:`view_maps_of_schedules` when only views matter.
+    """
+    participants = frozenset(ids)
+    if not participants:
+        return
+    for groups in ordered_partitions(participants):
+        suffixes: List[Ids] = []
+        suffix: Ids = frozenset()
+        for group in reversed(groups):
+            suffix = suffix | group
+            suffixes.append(suffix)
+        suffixes.reverse()
+
+        def choose(
+            index: int, chosen: Tuple[Ids, ...]
+        ) -> Iterator[OneRoundSchedule]:
+            if index == len(groups):
+                yield OneRoundSchedule(groups, chosen)
+                return
+            if index == 0:
+                yield from choose(1, (participants,))
+                return
+            for view in _subsets_containing(suffixes[index], participants):
+                yield from choose(index + 1, chosen + (view,))
+
+        yield from choose(0, ())
+
+
+def snapshot_schedules(ids: Iterable[int]) -> Iterator[OneRoundSchedule]:
+    """Yield the snapshot-model schedules: collect matrices whose views chain."""
+    for schedule in collect_schedules(ids):
+        if schedule.is_snapshot():
+            yield schedule
+
+
+def view_maps_of_schedules(
+    schedules: Iterable[OneRoundSchedule],
+) -> List[ViewMap]:
+    """Deduplicate schedules down to their distinct view maps.
+
+    Returns the view maps in a deterministic order (sorted by the per-process
+    view tuples).
+    """
+    seen = {}
+    for schedule in schedules:
+        view_map = schedule.view_map()
+        key = tuple(
+            (process, tuple(sorted(view)))
+            for process, view in sorted(view_map.items())
+        )
+        seen.setdefault(key, view_map)
+    return [seen[key] for key in sorted(seen)]

@@ -1,0 +1,34 @@
+"""The write-snapshot model.
+
+One round: every participant writes, then takes an *atomic snapshot* of the
+whole round array.  Because snapshots are linearizable, any two views are
+comparable under inclusion — the views of one round form a chain (footnote 1
+of the paper).  The one-round complex sits strictly between immediate
+snapshot and collect (Fig. 8(c)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.models.base import IteratedModel
+from repro.models.schedules import snapshot_schedules, view_maps_of_schedules
+
+__all__ = ["SnapshotModel"]
+
+
+class SnapshotModel(IteratedModel):
+    """Iterated write-snapshot (atomic collect)."""
+
+    name = "write-snapshot"
+
+    def __init__(self) -> None:
+        self._cache: Dict[FrozenSet[int], List[Dict[int, FrozenSet[int]]]] = {}
+
+    def view_maps(
+        self, ids: FrozenSet[int]
+    ) -> List[Dict[int, FrozenSet[int]]]:
+        key = frozenset(ids)
+        if key not in self._cache:
+            self._cache[key] = view_maps_of_schedules(snapshot_schedules(key))
+        return self._cache[key]

@@ -1,0 +1,34 @@
+"""Black-box objects and augmented models (Section 4).
+
+An *augmented model* interleaves a call to a black-box object ``B_r``
+between the write and the collect of every round (Algorithm 2).  A box is
+*consistent*: for the same inputs and the same interleaving, it returns the
+same outputs — so a box is modeled as a function from (schedule, inputs) to
+the set of admissible per-process output assignments.
+
+Boxes provided:
+
+* :class:`~repro.objects.test_and_set.TestAndSetBox` — the first invoker
+  gets 1, everyone else 0 (consensus number 2).
+* :class:`~repro.objects.binary_consensus.BinaryConsensusBox` — all invokers
+  get one common valid value (consensus number ∞).
+
+The β-restricted model of Theorem 4 is the binary-consensus box together
+with an input function ``α(i, V, r) = β(i)`` depending only on the process
+identifier; see :func:`~repro.objects.beta.beta_input_function`.
+"""
+
+from repro.objects.base import BlackBox
+from repro.objects.test_and_set import TestAndSetBox
+from repro.objects.binary_consensus import BinaryConsensusBox
+from repro.objects.beta import beta_input_function, majority_side
+from repro.objects.augmented import AugmentedModel
+
+__all__ = [
+    "BlackBox",
+    "TestAndSetBox",
+    "BinaryConsensusBox",
+    "AugmentedModel",
+    "beta_input_function",
+    "majority_side",
+]

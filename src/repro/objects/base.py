@@ -1,0 +1,73 @@
+"""The black-box object interface.
+
+A consistent black box (Section 4.1, Remark) is characterized, for lower
+bound purposes, by the set of output assignments it may produce on a given
+one-round schedule with given per-process inputs.  The adversary picks one
+admissible assignment per execution; the protocol complex of the augmented
+model therefore contains one copy of each schedule's view simplex per
+admissible assignment.
+
+Timing model: in Algorithm 2, a process invokes the box after its write and
+before its collect.  In the immediate-snapshot model, the processes of the
+first block write before any other process performs any operation, so the
+box's earliest decisions are driven by the first block:
+
+* for test&set, the winner is a process of the first block;
+* for binary consensus, the decided value is a first-block input.
+
+Both facts are visible in the paper's Figures 5 and 7 (solo executions win
+test&set; a process calling consensus with input 0 cannot output 1 solo).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable, Iterator, Mapping
+
+from repro.models.schedules import OneRoundSchedule
+
+__all__ = ["BlackBox"]
+
+
+class BlackBox(ABC):
+    """A consistent shared object invoked once per process per round."""
+
+    #: Human-readable box name.
+    name: str = "abstract-box"
+
+    @abstractmethod
+    def assignments(
+        self,
+        schedule: OneRoundSchedule,
+        inputs: Mapping[int, Hashable],
+    ) -> Iterator[Dict[int, Hashable]]:
+        """Yield every admissible per-process output assignment.
+
+        Parameters
+        ----------
+        schedule:
+            The round's communication pattern; participants of the schedule
+            and keys of ``inputs`` coincide.
+        inputs:
+            The value each participant feeds the box (``a_i = α(i, V_i, r)``
+            in Algorithm 2).
+        """
+
+    @abstractmethod
+    def solo_output(self, process: int, input_value: Hashable) -> Hashable:
+        """The output when ``process`` invokes the box before anyone else.
+
+        Consistency forces a unique answer in a solo execution; this is the
+        value used by the extended speedup construction (Theorem 2):
+        ``f'(i, V_i) = f(i, (b_i, {(i, V_i)}))`` with ``b_i`` the solo
+        output.
+        """
+
+    def requires_inputs(self) -> bool:
+        """Whether the box's behavior depends on the inputs it is fed.
+
+        test&set ignores inputs; binary consensus does not.  The closure
+        engine uses this to decide whether it must quantify over input
+        functions ``α``.
+        """
+        return True

@@ -1,0 +1,55 @@
+"""The binary consensus box.
+
+All invokers of the box receive the *same* output value (agreement), and
+the value is the input of some invoker (validity).  The box is wait-free:
+the first caller must receive an answer while running alone, so the decided
+value is driven by the earliest invokers — in an immediate-snapshot round,
+the first temporal block.  Matching Fig. 7:
+
+* if all participants input the same value ``a``, the output is ``a``;
+* a process invoking solo gets its own input back (the vertex pairing a solo
+  view with the opposite value is removed from the complex);
+* in mixed executions, the adversary may steer the output to any input of
+  the first block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Mapping
+
+from repro.errors import ModelError
+from repro.models.schedules import OneRoundSchedule
+from repro.objects.base import BlackBox
+from repro.topology.vertex import value_sort_key
+
+__all__ = ["BinaryConsensusBox"]
+
+
+class BinaryConsensusBox(BlackBox):
+    """A consistent one-shot (binary) consensus object.
+
+    The implementation is value-agnostic — it works for any input domain —
+    but the paper invokes it with bits, hence the name.
+    """
+
+    name = "binary-consensus"
+
+    def assignments(
+        self,
+        schedule: OneRoundSchedule,
+        inputs: Mapping[int, Hashable],
+    ) -> Iterator[Dict[int, Hashable]]:
+        participants = schedule.participants
+        missing = participants - set(inputs)
+        if missing:
+            raise ModelError(
+                f"binary consensus box needs an input for every participant; "
+                f"missing {sorted(missing)}"
+            )
+        first_block = schedule.blocks()[0]
+        candidates = {inputs[process] for process in first_block}
+        for value in sorted(candidates, key=value_sort_key):
+            yield {process: value for process in sorted(participants)}
+
+    def solo_output(self, process: int, input_value: Hashable) -> Hashable:
+        return input_value

@@ -1,0 +1,51 @@
+"""The test&set box.
+
+test&set takes no input; the first process to invoke it receives 1, every
+other process receives 0.  Its consensus number is 2 (Herlihy): two
+processes can solve consensus with it in one round (Fig. 4), but three
+cannot (Corollary 2).
+
+In an immediate-snapshot round, a process's box call sits between its write
+and its snapshot, so the first call is made by a member of the first block;
+any member of the first block may be that first caller.  Consequences
+(matching Fig. 5):
+
+* every admissible assignment has exactly one winner, drawn from the first
+  temporal block;
+* a process running solo (first block is the singleton ``{i}``) always wins;
+* a vertex pairing a solo view with output 0 does not exist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Mapping
+
+from repro.models.schedules import OneRoundSchedule
+from repro.objects.base import BlackBox
+
+__all__ = ["TestAndSetBox"]
+
+
+class TestAndSetBox(BlackBox):
+    """A consistent test&set object (no inputs, single winner)."""
+
+    name = "test&set"
+
+    def assignments(
+        self,
+        schedule: OneRoundSchedule,
+        inputs: Mapping[int, Hashable],
+    ) -> Iterator[Dict[int, Hashable]]:
+        participants = schedule.participants
+        first_block = schedule.blocks()[0]
+        for winner in sorted(first_block):
+            yield {
+                process: (1 if process == winner else 0)
+                for process in sorted(participants)
+            }
+
+    def solo_output(self, process: int, input_value: Hashable) -> Hashable:
+        return 1
+
+    def requires_inputs(self) -> bool:
+        return False

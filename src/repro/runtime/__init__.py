@@ -1,0 +1,68 @@
+"""Operational runtime: an executable asynchronous shared-memory simulator.
+
+The combinatorial models of :mod:`repro.models` *define* which executions
+exist; this subpackage *runs* them:
+
+* :mod:`repro.runtime.registers` — SWMR register arrays ``M_r``;
+* :mod:`repro.runtime.lowlevel` — an operation-level executor that
+  interleaves individual atomic reads/writes/snapshots (used to validate
+  that real interleavings produce exactly the view maps of the matrix
+  representation, Appendix A.3.4);
+* :mod:`repro.runtime.algorithm` — the generic round-based full-information
+  algorithm shape of Algorithms 1–2, plus extraction of the combinatorial
+  decision map ``f`` from an algorithm;
+* :mod:`repro.runtime.iterated` — a round-level executor driving algorithms
+  under adversarial schedules, black boxes, and crashes;
+* :mod:`repro.runtime.adversary` — schedulers: random, solo-first,
+  synchronous, fixed, exhaustive;
+* :mod:`repro.runtime.objects` — linearizable test&set / consensus objects
+  for the operation-level world.
+"""
+
+from repro.runtime.registers import SWMRRegister, RegisterArray
+from repro.runtime.algorithm import (
+    RoundAlgorithm,
+    extract_decision_map,
+)
+from repro.runtime.adversary import (
+    Adversary,
+    RandomAdversary,
+    FullSyncAdversary,
+    SoloFirstAdversary,
+    FixedScheduleAdversary,
+    RandomMatrixAdversary,
+    FixedMatrixAdversary,
+    all_schedule_sequences,
+)
+from repro.runtime.iterated import IteratedExecutor, ExecutionResult
+from repro.runtime.noniterated import NonIteratedExecutor, NonIteratedResult
+from repro.runtime.lowlevel import (
+    random_collect_round,
+    random_snapshot_round,
+    random_immediate_snapshot_round,
+)
+from repro.runtime.objects import LinearizableTestAndSet, LinearizableConsensus
+
+__all__ = [
+    "SWMRRegister",
+    "RegisterArray",
+    "RoundAlgorithm",
+    "extract_decision_map",
+    "Adversary",
+    "RandomAdversary",
+    "FullSyncAdversary",
+    "SoloFirstAdversary",
+    "FixedScheduleAdversary",
+    "RandomMatrixAdversary",
+    "FixedMatrixAdversary",
+    "all_schedule_sequences",
+    "IteratedExecutor",
+    "ExecutionResult",
+    "NonIteratedExecutor",
+    "NonIteratedResult",
+    "random_collect_round",
+    "random_snapshot_round",
+    "random_immediate_snapshot_round",
+    "LinearizableTestAndSet",
+    "LinearizableConsensus",
+]

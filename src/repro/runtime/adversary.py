@@ -1,0 +1,280 @@
+"""Adversarial schedulers for the iterated executor.
+
+An adversary controls everything the model leaves open: which processes
+crash before each round, how the surviving processes are split into
+immediate-snapshot blocks, and — in augmented models — which admissible
+black-box assignment the round's object realizes.
+
+Wait-freedom means algorithms must cope with *every* adversary here, from
+the fully synchronous one to crash-heavy randomized ones.  For exhaustive
+verification on small instances, :func:`all_schedule_sequences` enumerates
+every ``t``-round block schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from itertools import product
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import RuntimeModelError
+from repro.models.schedules import (
+    OneRoundSchedule,
+    ordered_partitions,
+    schedule_from_blocks,
+)
+
+__all__ = [
+    "Adversary",
+    "RandomAdversary",
+    "FullSyncAdversary",
+    "SoloFirstAdversary",
+    "FixedScheduleAdversary",
+    "RandomMatrixAdversary",
+    "FixedMatrixAdversary",
+    "all_schedule_sequences",
+]
+
+Blocks = Tuple[FrozenSet[int], ...]
+
+
+class Adversary(ABC):
+    """The scheduler's interface, one decision per round."""
+
+    def crashes(
+        self, round_index: int, active: FrozenSet[int]
+    ) -> FrozenSet[int]:
+        """Processes that crash before this round (default: none).
+
+        At least one process must survive the whole execution.
+        """
+        return frozenset()
+
+    @abstractmethod
+    def schedule(
+        self, round_index: int, active: FrozenSet[int]
+    ) -> OneRoundSchedule:
+        """The immediate-snapshot schedule of the round."""
+
+    def choose_assignment(
+        self,
+        round_index: int,
+        schedule: OneRoundSchedule,
+        options: Sequence[Mapping[int, object]],
+    ) -> Mapping[int, object]:
+        """Pick the black box's output assignment (default: first option)."""
+        return options[0]
+
+
+class FullSyncAdversary(Adversary):
+    """Every round is a single block: the synchronous, failure-free run."""
+
+    def schedule(
+        self, round_index: int, active: FrozenSet[int]
+    ) -> OneRoundSchedule:
+        return schedule_from_blocks([active])
+
+
+class SoloFirstAdversary(Adversary):
+    """A chosen process always runs first, alone, in every round.
+
+    This is the adversary behind the speedup theorem's solo-execution
+    hypothesis.
+    """
+
+    def __init__(self, process: int) -> None:
+        self._process = process
+
+    def schedule(
+        self, round_index: int, active: FrozenSet[int]
+    ) -> OneRoundSchedule:
+        if self._process not in active:
+            return schedule_from_blocks([active])
+        rest = active - {self._process}
+        blocks: List[Iterable[int]] = [[self._process]]
+        if rest:
+            blocks.append(rest)
+        return schedule_from_blocks(blocks)
+
+
+class FixedScheduleAdversary(Adversary):
+    """Replay an explicit list of block sequences, one per round."""
+
+    def __init__(self, per_round_blocks: Sequence[Sequence[Iterable[int]]]):
+        self._blocks = [
+            tuple(frozenset(block) for block in round_blocks)
+            for round_blocks in per_round_blocks
+        ]
+
+    def schedule(
+        self, round_index: int, active: FrozenSet[int]
+    ) -> OneRoundSchedule:
+        try:
+            blocks = self._blocks[round_index - 1]
+        except IndexError:
+            raise RuntimeModelError(
+                f"fixed adversary has no schedule for round {round_index}"
+            ) from None
+        trimmed = [block & active for block in blocks]
+        trimmed = [block for block in trimmed if block]
+        if frozenset().union(*trimmed) != active:
+            raise RuntimeModelError(
+                f"fixed schedule for round {round_index} does not cover the "
+                f"active set {sorted(active)}"
+            )
+        return schedule_from_blocks(trimmed)
+
+
+class RandomAdversary(Adversary):
+    """Random blocks, random box choices, optional random crashes.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed for reproducibility.
+    crash_probability:
+        Per-process, per-round crash probability.  The adversary never
+        crashes the last surviving process.
+    """
+
+    def __init__(self, seed: int = 0, crash_probability: float = 0.0) -> None:
+        self._rng = random.Random(seed)
+        self._crash_probability = crash_probability
+
+    def crashes(
+        self, round_index: int, active: FrozenSet[int]
+    ) -> FrozenSet[int]:
+        if self._crash_probability <= 0:
+            return frozenset()
+        doomed = set()
+        for process in sorted(active):
+            if len(active) - len(doomed) <= 1:
+                break
+            if self._rng.random() < self._crash_probability:
+                doomed.add(process)
+        return frozenset(doomed)
+
+    def schedule(
+        self, round_index: int, active: FrozenSet[int]
+    ) -> OneRoundSchedule:
+        pool = sorted(active)
+        self._rng.shuffle(pool)
+        blocks: List[Tuple[int, ...]] = []
+        index = 0
+        while index < len(pool):
+            size = self._rng.randint(1, len(pool) - index)
+            blocks.append(tuple(pool[index : index + size]))
+            index += size
+        return schedule_from_blocks(blocks)
+
+    def choose_assignment(
+        self,
+        round_index: int,
+        schedule: OneRoundSchedule,
+        options: Sequence[Mapping[int, object]],
+    ) -> Mapping[int, object]:
+        return options[self._rng.randrange(len(options))]
+
+
+class RandomMatrixAdversary(Adversary):
+    """Random schedules drawn from a *weaker* model's matrices.
+
+    Samples uniformly among the distinct snapshot (or collect) view maps of
+    the active set each round, so algorithms can be stress-tested outside
+    the immediate-snapshot guarantees (e.g. to check whether the halving
+    map of Eq. 3 survives incomparable collect views).
+
+    Parameters
+    ----------
+    kind:
+        ``"snapshot"`` or ``"collect"``.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, kind: str = "snapshot", seed: int = 0) -> None:
+        if kind not in ("snapshot", "collect"):
+            raise RuntimeModelError(
+                f"unknown schedule kind {kind!r}: use 'snapshot' or 'collect'"
+            )
+        self._kind = kind
+        self._rng = random.Random(seed)
+        self._pool: Dict[FrozenSet[int], List[OneRoundSchedule]] = {}
+
+    def _schedules_for(
+        self, active: FrozenSet[int]
+    ) -> List[OneRoundSchedule]:
+        if active not in self._pool:
+            from repro.models.schedules import (
+                collect_schedules,
+                snapshot_schedules,
+            )
+
+            source = (
+                snapshot_schedules
+                if self._kind == "snapshot"
+                else collect_schedules
+            )
+            # Deduplicate by view map so sampling is over behaviors, not
+            # over syntactically distinct matrices.
+            seen = {}
+            for schedule in source(active):
+                key = tuple(
+                    (p, tuple(sorted(view)))
+                    for p, view in sorted(schedule.view_map().items())
+                )
+                seen.setdefault(key, schedule)
+            self._pool[active] = [seen[key] for key in sorted(seen)]
+        return self._pool[active]
+
+    def schedule(
+        self, round_index: int, active: FrozenSet[int]
+    ) -> OneRoundSchedule:
+        pool = self._schedules_for(active)
+        return pool[self._rng.randrange(len(pool))]
+
+
+class FixedMatrixAdversary(Adversary):
+    """Replay explicit :class:`OneRoundSchedule` matrices, one per round."""
+
+    def __init__(self, schedules: Sequence[OneRoundSchedule]) -> None:
+        self._schedules = list(schedules)
+
+    def schedule(
+        self, round_index: int, active: FrozenSet[int]
+    ) -> OneRoundSchedule:
+        try:
+            schedule = self._schedules[round_index - 1]
+        except IndexError:
+            raise RuntimeModelError(
+                f"no schedule supplied for round {round_index}"
+            ) from None
+        if schedule.participants != active:
+            raise RuntimeModelError(
+                f"round {round_index} schedule covers "
+                f"{sorted(schedule.participants)}, active set is "
+                f"{sorted(active)}"
+            )
+        return schedule
+
+
+def all_schedule_sequences(
+    ids: Iterable[int], rounds: int
+) -> Iterator[Tuple[Blocks, ...]]:
+    """Every ``rounds``-tuple of block schedules over a fixed process set.
+
+    There are ``Fubini(n)^rounds`` of them (13² = 169 for three processes
+    and two rounds); use only on small instances.
+    """
+    per_round = list(ordered_partitions(ids))
+    yield from product(per_round, repeat=rounds)

@@ -1,0 +1,152 @@
+"""Round-based full-information algorithms (Algorithms 1–2).
+
+A :class:`RoundAlgorithm` is the executable counterpart of the paper's
+generic protocol: ``t`` write/(box)/collect rounds followed by a decision.
+The executor (:mod:`repro.runtime.iterated`) drives it under adversarial
+schedules; :func:`extract_decision_map` instead evaluates it *symbolically*
+on a protocol complex, producing the combinatorial decision map ``f`` that
+the solvability and speedup machinery consume.
+
+The state threaded between rounds is algorithm-defined; by the
+full-information convention, at every round a process writes its entire
+state, and ``step`` receives the states of every process it saw.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.core.solvability import DecisionMap
+from repro.errors import RuntimeModelError
+from repro.models.base import ComputationModel
+from repro.models.protocol import ProtocolOperator
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+from repro.topology.views import View
+
+__all__ = ["RoundAlgorithm", "extract_decision_map"]
+
+State = Any
+
+
+class RoundAlgorithm(ABC):
+    """A ``t``-round full-information algorithm.
+
+    Subclasses define the number of rounds and the three hooks below; the
+    box hook is only consulted in augmented models.
+    """
+
+    #: Number of communication rounds before deciding.
+    rounds: int = 0
+
+    #: Label used in reports.
+    name: str = "round-algorithm"
+
+    @abstractmethod
+    def initial_state(self, process: int, input_value: Hashable) -> State:
+        """The state a process carries into round 1."""
+
+    def box_input(self, process: int, state: State, round_index: int) -> Hashable:
+        """The value fed to the round's black box (``α`` of Algorithm 2)."""
+        return None
+
+    @abstractmethod
+    def step(
+        self,
+        process: int,
+        state: State,
+        seen_states: Mapping[int, State],
+        box_output: Optional[Hashable],
+        round_index: int,
+    ) -> State:
+        """Compute the state after one round.
+
+        Parameters
+        ----------
+        seen_states:
+            The pre-round states of every process whose write was collected
+            (always includes ``process`` itself).
+        box_output:
+            The black box's answer, or ``None`` in register-only models.
+        """
+
+    @abstractmethod
+    def decide(self, process: int, state: State) -> Hashable:
+        """The output value after the final round."""
+
+
+def _split_vertex_value(value: Hashable) -> Tuple[Optional[Hashable], View]:
+    """Separate a protocol vertex value into (box output, view)."""
+    if isinstance(value, View):
+        return None, value
+    if (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and isinstance(value[1], View)
+    ):
+        return value[0], value[1]
+    raise RuntimeModelError(
+        f"cannot interpret protocol vertex value {value!r}: expected a View "
+        "or a (box_output, View) pair"
+    )
+
+
+def extract_decision_map(
+    algorithm: RoundAlgorithm,
+    model: ComputationModel,
+    input_complex: SimplicialComplex,
+    operator: Optional[ProtocolOperator] = None,
+) -> DecisionMap:
+    """Evaluate an algorithm on the protocol complex, yielding its map ``f``.
+
+    For every vertex ``(i, V_i)`` of the ``t``-round protocol complex, the
+    algorithm's state is reconstructed recursively from the nested view and
+    the decision value is recorded.  Works for register-only models and for
+    augmented models whose box inputs the algorithm derives from its state
+    (the recorded box outputs inside the views are replayed, so consistency
+    is preserved).
+
+    Returns
+    -------
+    DecisionMap
+        Defined on every vertex of ``P^(t)(σ)`` for every ``σ`` in the
+        input complex; ``rounds`` is the algorithm's round count.
+    """
+    op = operator or ProtocolOperator(model)
+    rounds = algorithm.rounds
+    state_cache: Dict[Tuple[Vertex, int], State] = {}
+
+    def state_of(vertex: Vertex, round_index: int) -> State:
+        key = (vertex, round_index)
+        if key in state_cache:
+            return state_cache[key]
+        if round_index == 0:
+            state = algorithm.initial_state(vertex.color, vertex.value)
+        else:
+            box_output, view = _split_vertex_value(vertex.value)
+            seen_states = {
+                j: state_of(Vertex(j, value), round_index - 1)
+                for j, value in view
+            }
+            state = algorithm.step(
+                vertex.color,
+                seen_states[vertex.color],
+                seen_states,
+                box_output,
+                round_index,
+            )
+        state_cache[key] = state
+        return state
+
+    assignment: Dict[Vertex, Vertex] = {}
+    for sigma in input_complex:
+        protocol = op.of_simplex(sigma, rounds)
+        for vertex in protocol.vertices:
+            if vertex not in assignment:
+                decision = algorithm.decide(
+                    vertex.color, state_of(vertex, rounds)
+                )
+                assignment[vertex] = Vertex(vertex.color, decision)
+    return DecisionMap(assignment, rounds)

@@ -1,0 +1,216 @@
+"""The iterated executor: run a round algorithm against an adversary.
+
+Implements Algorithms 1–2 operationally.  Each round uses a fresh register
+array ``M_r`` and (in augmented models) a fresh copy ``B_r`` of the black
+box.  The adversary picks crashes, the immediate-snapshot blocks, and the
+box's admissible output assignment; the executor materializes views through
+real register writes/snapshots and threads the algorithm's state.
+
+Crashed processes simply stop taking steps — the wait-free survivors still
+finish their ``t`` rounds and decide, which is the whole point of the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.errors import RuntimeModelError
+from repro.models.schedules import OneRoundSchedule
+from repro.objects.base import BlackBox
+from repro.runtime.adversary import Adversary, FullSyncAdversary
+from repro.runtime.algorithm import RoundAlgorithm
+from repro.runtime.registers import RegisterArray
+
+__all__ = ["IteratedExecutor", "ExecutionResult", "RoundRecord"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened in one round: schedule, box outputs, per-process views."""
+
+    round_index: int
+    active: Tuple[int, ...]
+    blocks: Tuple[Tuple[int, ...], ...]
+    views: Mapping[int, Tuple[int, ...]]
+    box_outputs: Mapping[int, Hashable]
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of one adversarial execution.
+
+    Attributes
+    ----------
+    decisions:
+        Output value per surviving process.
+    crashed:
+        Processes the adversary killed, with the round before which they
+        died.
+    trace:
+        One :class:`RoundRecord` per round, for audit and debugging.
+    """
+
+    decisions: Dict[int, Hashable]
+    crashed: Dict[int, int] = field(default_factory=dict)
+    trace: List[RoundRecord] = field(default_factory=list)
+
+    def surviving(self) -> Tuple[int, ...]:
+        """The processes that decided."""
+        return tuple(sorted(self.decisions))
+
+
+class IteratedExecutor:
+    """Drives a :class:`RoundAlgorithm` for its ``t`` rounds.
+
+    Parameters
+    ----------
+    box:
+        Optional black box (fresh copy per round, per Algorithm 2).  When
+        provided, the adversary chooses among the box's admissible output
+        assignments for the realized schedule.
+    """
+
+    def __init__(self, box: Optional[BlackBox] = None) -> None:
+        self._box = box
+
+    def run(
+        self,
+        algorithm: RoundAlgorithm,
+        inputs: Mapping[int, Hashable],
+        adversary: Optional[Adversary] = None,
+    ) -> ExecutionResult:
+        """Execute the algorithm once under the given adversary."""
+        scheduler = adversary or FullSyncAdversary()
+        active = frozenset(inputs)
+        if not active:
+            raise RuntimeModelError("at least one process must participate")
+        states: Dict[int, object] = {
+            process: algorithm.initial_state(process, value)
+            for process, value in inputs.items()
+        }
+        crashed: Dict[int, int] = {}
+        trace: List[RoundRecord] = []
+
+        for round_index in range(1, algorithm.rounds + 1):
+            doomed = scheduler.crashes(round_index, active)
+            if doomed >= active:
+                raise RuntimeModelError(
+                    "the adversary may not crash every process"
+                )
+            for process in doomed:
+                crashed[process] = round_index
+            active = active - doomed
+
+            schedule = scheduler.schedule(round_index, active)
+            if schedule.participants != active:
+                raise RuntimeModelError(
+                    f"adversary schedule covers {sorted(schedule.participants)}"
+                    f", expected the active set {sorted(active)}"
+                )
+            box_outputs = self._run_box(
+                round_index, schedule, states, algorithm, scheduler
+            )
+            views = self._run_round(schedule, states)
+            new_states = {}
+            for process in active:
+                seen_states = {j: states[j] for j in views[process]}
+                new_states[process] = algorithm.step(
+                    process,
+                    states[process],
+                    seen_states,
+                    box_outputs.get(process),
+                    round_index,
+                )
+            states.update(new_states)
+            if schedule.is_immediate_snapshot():
+                blocks = tuple(
+                    tuple(sorted(block)) for block in schedule.blocks()
+                )
+            else:
+                # Snapshot/collect schedules have no temporal block
+                # decomposition; record the matrix groups instead.
+                blocks = tuple(
+                    tuple(sorted(group)) for group in schedule.groups
+                )
+            trace.append(
+                RoundRecord(
+                    round_index=round_index,
+                    active=tuple(sorted(active)),
+                    blocks=blocks,
+                    views={
+                        p: tuple(sorted(view)) for p, view in views.items()
+                    },
+                    box_outputs=dict(box_outputs),
+                )
+            )
+
+        decisions = {
+            process: algorithm.decide(process, states[process])
+            for process in active
+        }
+        return ExecutionResult(decisions=decisions, crashed=crashed, trace=trace)
+
+    # ------------------------------------------------------------------
+    # Round internals
+    # ------------------------------------------------------------------
+    def _run_round(
+        self,
+        schedule: OneRoundSchedule,
+        states: Mapping[int, object],
+    ) -> Dict[int, frozenset]:
+        """Materialize the schedule through a real register array.
+
+        Immediate-snapshot schedules run block by block (write together,
+        snapshot together); general snapshot/collect schedules read the
+        declared view sets directly — their realizability is guaranteed by
+        the matrix conditions of Appendix A.3.4.
+        """
+        active = tuple(sorted(schedule.participants))
+        array = RegisterArray(active)
+        views: Dict[int, frozenset] = {}
+        if schedule.is_immediate_snapshot():
+            for block in schedule.blocks():
+                for process in sorted(block):
+                    array.write(process, states[process])
+                content = frozenset(array.snapshot())
+                for process in block:
+                    views[process] = content
+        else:
+            for process in active:
+                array.write(process, states[process])
+            views = dict(schedule.view_map())
+        # Cross-check against the schedule's declared views.
+        declared = schedule.view_map()
+        for process, view in views.items():
+            if view != declared[process]:
+                raise RuntimeModelError(
+                    f"register execution produced view {sorted(view)} for "
+                    f"process {process}, schedule declared "
+                    f"{sorted(declared[process])}"
+                )
+        return views
+
+    def _run_box(
+        self,
+        round_index: int,
+        schedule: OneRoundSchedule,
+        states: Mapping[int, object],
+        algorithm: RoundAlgorithm,
+        scheduler: Adversary,
+    ) -> Dict[int, Hashable]:
+        if self._box is None:
+            return {}
+        box_inputs = {
+            process: algorithm.box_input(
+                process, states[process], round_index
+            )
+            for process in schedule.participants
+        }
+        options = list(self._box.assignments(schedule, box_inputs))
+        if not options:
+            raise RuntimeModelError(
+                f"box {self._box.name} produced no admissible assignment"
+            )
+        chosen = scheduler.choose_assignment(round_index, schedule, options)
+        return dict(chosen)

@@ -1,0 +1,178 @@
+"""A non-iterated shared-memory executor (the conclusion's open question).
+
+The paper proves its speedup theorem for *iterated* models, where round
+``r`` runs on a fresh register array ``M_r``, and notes that extending it
+to non-iterated models — one register per process, reused forever — is
+open: the two settings are equivalent for task *solvability* but not known
+to be equivalent for round *complexity*.
+
+This executor makes the non-iterated setting concrete so it can be explored
+empirically:
+
+* each process owns a single register and alternates ``write(state)`` with
+  a sequential collect of all registers, ``t`` times;
+* the adversary interleaves individual atomic operations arbitrarily, so a
+  fast process can be three phases ahead of a slow one — a process may read
+  a peer's *stale* (older-phase) or *fresh* (newer-phase) state, something
+  iterated executions forbid;
+* register contents are tagged with the writer's phase, and ``step``
+  receives the freshest state observed per peer, matching the
+  full-information convention.
+
+Even with phase barriers (``synchronized=True``) the setting differs from
+the iterated model in one essential way: an iterated round-``r`` collect of
+a register nobody wrote yet returns nothing, while the non-iterated
+register still holds the *previous-phase* value — stale information the
+iterated model structurally hides.  The tests and experiment E21 show this
+difference has teeth: the round-indexed halving algorithm of Eq. (3),
+correct in every iterated model down to collect, violates ε here, and a
+phase-filtering variant
+(:class:`~repro.algorithms.approximate_agreement.NonIteratedHalvingAA`)
+restores it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.errors import RuntimeModelError
+from repro.runtime.algorithm import RoundAlgorithm
+from repro.runtime.registers import RegisterArray
+
+__all__ = ["NonIteratedExecutor", "NonIteratedResult", "PhaseObservation"]
+
+
+@dataclass(frozen=True)
+class PhaseObservation:
+    """What one collect saw: per peer, the phase and state read."""
+
+    process: int
+    phase: int
+    seen: Mapping[int, Tuple[int, Hashable]]
+
+
+@dataclass
+class NonIteratedResult:
+    """Outcome of one non-iterated execution."""
+
+    decisions: Dict[int, Hashable]
+    observations: List[PhaseObservation] = field(default_factory=list)
+
+    def max_phase_skew(self) -> int:
+        """The largest phase difference observed within a single collect.
+
+        Zero for synchronized executions; positive skew is exactly what the
+        iterated model rules out.
+        """
+        skew = 0
+        for observation in self.observations:
+            phases = [phase for phase, _ in observation.seen.values()]
+            if phases:
+                skew = max(skew, max(phases) - min(phases))
+        return skew
+
+
+class NonIteratedExecutor:
+    """Run a round algorithm on reused registers under op-level asynchrony.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed for the operation interleaving.
+    synchronized:
+        When true, enforce phase barriers (everyone completes phase ``r``
+        before anyone starts ``r+1``).  Phases align, but collects may
+        still return *previous-phase* values of processes that have not
+        written the current phase yet — the residual non-iterated effect.
+    """
+
+    def __init__(self, seed: int = 0, synchronized: bool = False) -> None:
+        self._rng = random.Random(seed)
+        self._synchronized = synchronized
+
+    def run(
+        self,
+        algorithm: RoundAlgorithm,
+        inputs: Mapping[int, Hashable],
+    ) -> NonIteratedResult:
+        """Execute the algorithm's ``t`` phases for every participant."""
+        if not inputs:
+            raise RuntimeModelError("at least one process must participate")
+        ids = tuple(sorted(inputs))
+        array = RegisterArray(ids)
+        states: Dict[int, Hashable] = {
+            p: algorithm.initial_state(p, inputs[p]) for p in ids
+        }
+        phase: Dict[int, int] = {p: 0 for p in ids}
+        # Per-process program position within the current phase:
+        # 0 = must write; 1..n = has performed that many reads.
+        pending_reads: Dict[int, List[int]] = {p: [] for p in ids}
+        observed: Dict[int, Dict[int, Tuple[int, Hashable]]] = {
+            p: {} for p in ids
+        }
+        observations: List[PhaseObservation] = []
+
+        def runnable() -> List[int]:
+            if not self._synchronized:
+                return [p for p in ids if phase[p] < algorithm.rounds]
+            lowest = min(phase.values())
+            return [
+                p
+                for p in ids
+                if phase[p] < algorithm.rounds and phase[p] == lowest
+            ]
+
+        while True:
+            candidates = runnable()
+            if not candidates:
+                break
+            process = self._rng.choice(candidates)
+            if not pending_reads[process] and not observed[process]:
+                # Start of a phase: write (phase, state), queue the reads.
+                array.write(process, (phase[process] + 1, states[process]))
+                reads = list(ids)
+                self._rng.shuffle(reads)
+                pending_reads[process] = reads
+                observed[process] = {}
+                continue
+            target = pending_reads[process].pop(0)
+            content = array.read(target)
+            if content is not None:
+                peer_phase, peer_state = content
+                observed[process][target] = (peer_phase, peer_state)
+            if not pending_reads[process]:
+                # Collect finished: step the algorithm.
+                seen = dict(observed[process])
+                phase[process] += 1
+                observations.append(
+                    PhaseObservation(
+                        process=process,
+                        phase=phase[process],
+                        seen=seen,
+                    )
+                )
+                if getattr(algorithm, "phase_aware", False):
+                    # Phase-aware algorithms receive the (phase, state)
+                    # tags and can filter stale values themselves.
+                    seen_states: Mapping[int, Hashable] = seen
+                else:
+                    seen_states = {
+                        peer: state for peer, (_, state) in seen.items()
+                    }
+                states[process] = algorithm.step(
+                    process,
+                    states[process],
+                    seen_states,
+                    None,
+                    phase[process],
+                )
+                observed[process] = {}
+
+        decisions = {
+            p: algorithm.decide(p, states[p]) for p in ids
+        }
+        return NonIteratedResult(
+            decisions=decisions, observations=observations
+        )

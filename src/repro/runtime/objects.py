@@ -1,0 +1,79 @@
+"""Linearizable shared objects for operation-level executions.
+
+The combinatorial boxes of :mod:`repro.objects` describe *all* behaviors a
+consistent object may exhibit; these classes are concrete, deterministic,
+linearizable implementations — the kind a real system would run.  Every
+behavior they produce is admissible for the corresponding combinatorial box
+(tested in ``tests/runtime/``), which is exactly the soundness direction
+lower bounds need.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.errors import RuntimeModelError
+
+__all__ = ["LinearizableTestAndSet", "LinearizableConsensus"]
+
+
+class LinearizableTestAndSet:
+    """A one-shot test&set: the first invoker wins.
+
+    ``invoke`` is the linearization point; the simulator calls it in the
+    chosen real-time order.
+    """
+
+    def __init__(self) -> None:
+        self._winner: Optional[int] = None
+
+    @property
+    def winner(self) -> Optional[int]:
+        """The process that won, or ``None`` before the first invocation."""
+        return self._winner
+
+    def invoke(self, process: int) -> int:
+        """Return 1 to the first caller, 0 to everyone after."""
+        if self._winner is None:
+            self._winner = process
+            return 1
+        return 0
+
+    def reset(self) -> None:
+        """Forget the winner (fresh copy per round, per Algorithm 2)."""
+        self._winner = None
+
+
+class LinearizableConsensus:
+    """A one-shot consensus object: the first proposal is decided.
+
+    Agreement and validity are immediate from the implementation; the
+    decided value is the input of the first invoker, which is one of the
+    behaviors the adversarial box of
+    :mod:`repro.objects.binary_consensus` admits.
+    """
+
+    def __init__(self) -> None:
+        self._decided: bool = False
+        self._value: Optional[Hashable] = None
+
+    @property
+    def decided_value(self) -> Optional[Hashable]:
+        """The agreed value, or ``None`` before the first proposal."""
+        return self._value
+
+    def propose(self, process: int, value: Hashable) -> Hashable:
+        """Propose a value; return the object's (now fixed) decision."""
+        if value is None:
+            raise RuntimeModelError(
+                f"process {process} proposed None to a consensus object"
+            )
+        if not self._decided:
+            self._decided = True
+            self._value = value
+        return self._value
+
+    def reset(self) -> None:
+        """Forget the decision (fresh copy per round)."""
+        self._decided = False
+        self._value = None

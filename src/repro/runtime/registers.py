@@ -1,0 +1,100 @@
+"""Single-writer multiple-reader registers.
+
+The iterated model organizes shared memory as arrays ``M_r`` of ``n`` SWMR
+registers, one per process and per round (Section 2.1).  Registers enforce
+the single-writer discipline and record every access for trace analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import RuntimeModelError
+
+__all__ = ["SWMRRegister", "RegisterArray"]
+
+
+@dataclass
+class SWMRRegister:
+    """A single-writer multiple-reader atomic register.
+
+    Attributes
+    ----------
+    owner:
+        The only process allowed to write.
+    value:
+        Current content; ``None`` means "not yet written" (registers start
+        empty each round).
+    """
+
+    owner: int
+    value: Optional[Hashable] = None
+    write_count: int = 0
+    read_count: int = 0
+
+    def write(self, process: int, value: Hashable) -> None:
+        """Atomic write; only the owner may call this."""
+        if process != self.owner:
+            raise RuntimeModelError(
+                f"process {process} attempted to write register of "
+                f"process {self.owner}"
+            )
+        self.value = value
+        self.write_count += 1
+
+    def read(self) -> Optional[Hashable]:
+        """Atomic read; ``None`` when the owner has not written yet."""
+        self.read_count += 1
+        return self.value
+
+
+class RegisterArray:
+    """One round's array ``M_r`` of SWMR registers, one per process."""
+
+    def __init__(self, ids: Tuple[int, ...]) -> None:
+        self._registers: Dict[int, SWMRRegister] = {
+            process: SWMRRegister(owner=process) for process in ids
+        }
+
+    @property
+    def ids(self) -> Tuple[int, ...]:
+        """The processes owning a register in this array."""
+        return tuple(sorted(self._registers))
+
+    def write(self, process: int, value: Hashable) -> None:
+        """``M_r[process] ← value`` (owner-checked)."""
+        try:
+            register = self._registers[process]
+        except KeyError:
+            raise RuntimeModelError(
+                f"no register for process {process} in this array"
+            ) from None
+        register.write(process, value)
+
+    def read(self, process: int) -> Optional[Hashable]:
+        """Read one register (any process may call)."""
+        try:
+            return self._registers[process].read()
+        except KeyError:
+            raise RuntimeModelError(
+                f"no register for process {process} in this array"
+            ) from None
+
+    def snapshot(self) -> Dict[int, Hashable]:
+        """An atomic snapshot: every written register, in one step."""
+        return {
+            process: register.value
+            for process, register in self._registers.items()
+            if register.value is not None
+        }
+
+    def written(self) -> Tuple[int, ...]:
+        """The processes that have written so far."""
+        return tuple(
+            sorted(
+                process
+                for process, register in self._registers.items()
+                if register.value is not None
+            )
+        )

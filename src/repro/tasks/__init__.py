@@ -1,0 +1,50 @@
+"""Distributed tasks.
+
+A task is a triple ``Π = (I, O, Δ)`` (Section 2.2): an input complex, an
+output complex, and an input-output specification mapping every input
+simplex ``σ`` to the subcomplex of legal outputs on the same colors.
+
+The tasks of the paper:
+
+* binary / multi-valued consensus (:mod:`repro.tasks.consensus`),
+* the relaxed consensus of Corollary 2 — agreement required only when at
+  least three processes participate,
+* ε-approximate agreement on the exact grid ``{0, 1/m, …, 1}`` and its
+  *liberal* version, Definition 4 (:mod:`repro.tasks.approximate`),
+* k-set agreement, the extension suggested in the conclusion
+  (:mod:`repro.tasks.set_agreement`).
+"""
+
+from repro.tasks.task import Task
+from repro.tasks.inputs import (
+    full_input_complex,
+    input_simplex,
+    binary_input_complex,
+)
+from repro.tasks.consensus import (
+    binary_consensus_task,
+    multivalued_consensus_task,
+    relaxed_consensus_task,
+)
+from repro.tasks.approximate import (
+    grid,
+    approximate_agreement_task,
+    liberal_approximate_agreement_task,
+)
+from repro.tasks.set_agreement import set_agreement_task
+from repro.tasks.renaming import renaming_task
+
+__all__ = [
+    "Task",
+    "full_input_complex",
+    "input_simplex",
+    "binary_input_complex",
+    "binary_consensus_task",
+    "multivalued_consensus_task",
+    "relaxed_consensus_task",
+    "grid",
+    "approximate_agreement_task",
+    "liberal_approximate_agreement_task",
+    "set_agreement_task",
+    "renaming_task",
+]

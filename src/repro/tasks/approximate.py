@@ -1,0 +1,156 @@
+"""ε-approximate agreement on an exact rational grid (Definition 3).
+
+To keep every complex finite and every value exact, the paper fixes an
+integer ``m`` with ``ε`` an integral multiple of ``1/m`` and restricts all
+inputs and outputs to the grid ``{0, 1/m, 2/m, …, 1}``.  We follow suit,
+using :class:`fractions.Fraction` throughout — no floats, no averaging.
+
+Two variants:
+
+* the standard task: outputs lie in the input range and are pairwise at most
+  ``ε`` apart (:func:`approximate_agreement_task`);
+* the *liberal* version (Definition 4): identical, except that **any** two
+  outputs in range are legal when exactly two processes participate.  The
+  liberal task is what the closure machinery iterates for ``n ≥ 3`` — it
+  absorbs the special power two-process executions gain from objects like
+  test&set, and every lower bound for it carries over to the standard task.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, List, Tuple, Union
+
+from repro.errors import TaskSpecificationError
+from repro.tasks.inputs import full_input_complex
+from repro.tasks.task import Task
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+
+__all__ = [
+    "grid",
+    "approximate_agreement_task",
+    "liberal_approximate_agreement_task",
+]
+
+Rational = Union[Fraction, int, str]
+
+
+def grid(m: int) -> List[Fraction]:
+    """The value grid ``{0, 1/m, 2/m, …, 1}``."""
+    if m < 1:
+        raise TaskSpecificationError("grid resolution m must be at least 1")
+    return [Fraction(k, m) for k in range(m + 1)]
+
+
+def _normalize_epsilon(epsilon: Rational, m: int) -> Fraction:
+    eps = Fraction(epsilon)
+    if not 0 < eps:
+        raise TaskSpecificationError(f"ε must be positive, got {eps}")
+    if (eps * m).denominator != 1:
+        raise TaskSpecificationError(
+            f"ε = {eps} must be an integral multiple of 1/m = 1/{m}"
+        )
+    return eps
+
+
+def _range_of(sigma: Simplex) -> Tuple[Fraction, Fraction]:
+    values = [Fraction(v.value) for v in sigma.vertices]
+    return min(values), max(values)
+
+
+class _AgreementDelta:
+    """Memoized ``Δ`` for (liberal) ε-approximate agreement.
+
+    ``Δ(σ)`` depends only on ``(ID(σ), min σ, max σ)``; the cache keys on
+    that triple so sweeps over many input simplices stay cheap.
+    """
+
+    def __init__(self, epsilon: Fraction, m: int, liberal: bool) -> None:
+        self._epsilon = epsilon
+        self._values = grid(m)
+        self._liberal = liberal
+        self._cache: Dict[
+            Tuple[FrozenSet[int], Fraction, Fraction], SimplicialComplex
+        ] = {}
+
+    def __call__(self, sigma: Simplex) -> SimplicialComplex:
+        low, high = _range_of(sigma)
+        key = (sigma.ids, low, high)
+        if key not in self._cache:
+            self._cache[key] = self._build(sorted(sigma.ids), low, high)
+        return self._cache[key]
+
+    def _build(
+        self, ids: List[int], low: Fraction, high: Fraction
+    ) -> SimplicialComplex:
+        window = [v for v in self._values if low <= v <= high]
+        distance_free = self._liberal and len(ids) == 2
+        facets = []
+        for combo in product(window, repeat=len(ids)):
+            if distance_free or max(combo) - min(combo) <= self._epsilon:
+                facets.append(Simplex(zip(ids, combo)))
+        return SimplicialComplex(facets)
+
+
+def _output_complex(
+    ids: List[int], epsilon: Fraction, m: int, liberal: bool
+) -> SimplicialComplex:
+    values = grid(m)
+    facets = []
+    for combo in product(values, repeat=len(ids)):
+        if max(combo) - min(combo) <= epsilon:
+            facets.append(Simplex(zip(ids, combo)))
+    if liberal:
+        # Definition 4: all 1-dimensional chromatic simplices are legal
+        # output states, whatever the distance between their values.
+        for index, i in enumerate(ids):
+            for j in ids[index + 1 :]:
+                for vi, vj in product(values, repeat=2):
+                    facets.append(Simplex([(i, vi), (j, vj)]))
+    return SimplicialComplex(facets)
+
+
+def approximate_agreement_task(
+    ids: Iterable[int], epsilon: Rational, m: int
+) -> Task:
+    """The ε-approximate agreement task of Definition 3.
+
+    Parameters
+    ----------
+    ids:
+        The participating process identifiers.
+    epsilon:
+        The agreement parameter; must be a multiple of ``1/m`` in ``(0, 1]``.
+    m:
+        The grid resolution.
+    """
+    id_list = sorted(set(ids))
+    eps = _normalize_epsilon(epsilon, m)
+    task = Task(
+        f"{eps}-AA(n={len(id_list)}, m={m})",
+        full_input_complex(id_list, grid(m)),
+        _output_complex(id_list, eps, m, liberal=False),
+        _AgreementDelta(eps, m, liberal=False),
+    )
+    task.epsilon = eps  # type: ignore[attr-defined]
+    task.grid_resolution = m  # type: ignore[attr-defined]
+    return task
+
+
+def liberal_approximate_agreement_task(
+    ids: Iterable[int], epsilon: Rational, m: int
+) -> Task:
+    """The liberal ε-approximate agreement task of Definition 4."""
+    id_list = sorted(set(ids))
+    eps = _normalize_epsilon(epsilon, m)
+    task = Task(
+        f"liberal-{eps}-AA(n={len(id_list)}, m={m})",
+        full_input_complex(id_list, grid(m)),
+        _output_complex(id_list, eps, m, liberal=True),
+        _AgreementDelta(eps, m, liberal=True),
+    )
+    task.epsilon = eps  # type: ignore[attr-defined]
+    task.grid_resolution = m  # type: ignore[attr-defined]
+    return task

@@ -1,0 +1,116 @@
+"""Consensus tasks.
+
+* :func:`binary_consensus_task` — the task of Section 3.3: all participants
+  output the same value, which must be an input of a participant; with
+  uniform inputs the common output is forced.
+* :func:`multivalued_consensus_task` — same over an arbitrary finite domain.
+* :func:`relaxed_consensus_task` — the task ``Π`` of Corollary 2: validity
+  always holds (every output is some participant's input), but agreement is
+  required **only when at least three processes participate**.  Any
+  consensus algorithm solves it, and it is a fixed point of IIS+test&set,
+  which is how the paper proves consensus impossibility for ``n > 2`` with
+  test&set.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Hashable, Iterable, Sequence
+
+from repro.tasks.inputs import full_input_complex
+from repro.tasks.task import Task
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+
+__all__ = [
+    "binary_consensus_task",
+    "multivalued_consensus_task",
+    "relaxed_consensus_task",
+]
+
+
+def _monochromatic_facets(
+    ids: Sequence[int], values: Iterable[Hashable]
+) -> list:
+    return [
+        Simplex((i, value) for i in ids) for value in values
+    ]
+
+
+def multivalued_consensus_task(
+    ids: Iterable[int], values: Sequence[Hashable]
+) -> Task:
+    """Consensus over an arbitrary finite value domain.
+
+    ``Δ(σ)``: every participant outputs the same value ``v``, and ``v`` is
+    the input of some participant.
+    """
+    id_list = sorted(set(ids))
+    value_list = list(values)
+    input_complex = full_input_complex(id_list, value_list)
+    output_complex = SimplicialComplex(
+        _monochromatic_facets(id_list, value_list)
+    )
+
+    def delta(sigma: Simplex) -> SimplicialComplex:
+        inputs = {vertex.value for vertex in sigma.vertices}
+        return SimplicialComplex(
+            Simplex((i, value) for i in sorted(sigma.ids))
+            for value in sorted(inputs, key=value_list.index)
+        )
+
+    label = f"consensus(n={len(id_list)}, |V|={len(value_list)})"
+    return Task(label, input_complex, output_complex, delta)
+
+
+def binary_consensus_task(ids: Iterable[int]) -> Task:
+    """Binary consensus: the instance used in Corollary 1."""
+    task = multivalued_consensus_task(ids, [0, 1])
+    return task.with_name(f"binary-consensus(n={len(set(ids))})")
+
+
+def relaxed_consensus_task(
+    ids: Iterable[int], values: Sequence[Hashable] = (0, 1)
+) -> Task:
+    """The relaxed consensus task ``Π`` of Corollary 2.
+
+    Outputs must be inputs of participants (validity).  If three or more
+    processes participate they must all output the same value; one or two
+    participants may disagree.
+
+    The output complex consequently contains *all* chromatic simplices of
+    dimension ≤ 1 over the value domain, but only monochromatic simplices
+    in dimension ≥ 2.
+    """
+    id_list = sorted(set(ids))
+    value_list = list(values)
+    input_complex = full_input_complex(id_list, value_list)
+
+    output_facets = list(_monochromatic_facets(id_list, value_list))
+    # All (possibly disagreeing) edges are legal output states.
+    for left_index, i in enumerate(id_list):
+        for j in id_list[left_index + 1 :]:
+            for vi, vj in product(value_list, repeat=2):
+                output_facets.append(Simplex([(i, vi), (j, vj)]))
+    output_complex = SimplicialComplex(output_facets)
+
+    def delta(sigma: Simplex) -> SimplicialComplex:
+        inputs = sorted(
+            {vertex.value for vertex in sigma.vertices},
+            key=value_list.index,
+        )
+        participants = sorted(sigma.ids)
+        if len(participants) >= 3:
+            simplices = [
+                Simplex((i, value) for i in participants)
+                for value in inputs
+            ]
+        else:
+            simplices = [
+                Simplex(zip(participants, combo))
+                for combo in product(inputs, repeat=len(participants))
+            ]
+        return SimplicialComplex(simplices)
+
+    label = f"relaxed-consensus(n={len(id_list)}, |V|={len(value_list)})"
+    return Task(label, input_complex, output_complex, delta)

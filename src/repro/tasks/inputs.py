@@ -1,0 +1,49 @@
+"""Input complex builders.
+
+All the paper's tasks share the same shape of input complex: every non-empty
+subset of processes, each holding any value from a finite domain.  The
+facets are the full-participation assignments; faces (partial participation)
+come for free from downward closure.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import TaskSpecificationError
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+
+__all__ = ["full_input_complex", "input_simplex", "binary_input_complex"]
+
+
+def full_input_complex(
+    ids: Iterable[int], values: Sequence[Hashable]
+) -> SimplicialComplex:
+    """The input complex where each of ``ids`` holds any of ``values``.
+
+    Facets are all ``|values|^|ids|`` full assignments; every partial
+    assignment is a face of one of them.
+    """
+    id_list = sorted(set(ids))
+    if not id_list:
+        raise TaskSpecificationError("input complex needs at least one process")
+    value_list = list(values)
+    if not value_list:
+        raise TaskSpecificationError("input complex needs at least one value")
+    facets = [
+        Simplex(zip(id_list, combo))
+        for combo in product(value_list, repeat=len(id_list))
+    ]
+    return SimplicialComplex(facets)
+
+
+def input_simplex(assignment: dict) -> Simplex:
+    """Shorthand to build an input simplex from ``{process: value}``."""
+    return Simplex.from_mapping(assignment)
+
+
+def binary_input_complex(ids: Iterable[int]) -> SimplicialComplex:
+    """The consensus input complex: every process holds 0 or 1."""
+    return full_input_complex(ids, [0, 1])

@@ -1,0 +1,73 @@
+"""The renaming task.
+
+Renaming (Attiya et al.; studied topologically by Attiya–Castañeda–
+Herlihy–Paz, cited as [2]) asks participants to acquire pairwise-distinct
+names from a namespace ``{1, …, M}``.  Wait-free, ``M = 2n − 1`` names are
+necessary and sufficient for ``n`` processes in general (for some values
+of ``n``, ``2n − 2`` suffice); the conclusion of the speedup paper asks
+about tasks beyond consensus and approximate agreement, and renaming is a
+natural stress test for the closure machinery: unlike agreement tasks its
+outputs must *differ*, so local tasks behave very differently.
+
+The task here is the standard non-adaptive one, with inputs irrelevant
+(every process starts with a token); ``Δ(σ)`` is every assignment of
+pairwise-distinct names to the participants.  Note this version is allowed
+to depend on IDs (it is not required to be index-independent), so for
+``M ≥ n`` it is trivially 0-round solvable by ``i ↦ i``-th name; the
+interesting instances restrict the namespace below ``n`` or are explored
+through the closure.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterable
+
+from repro.errors import TaskSpecificationError
+from repro.tasks.inputs import full_input_complex
+from repro.tasks.task import Task
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+
+__all__ = ["renaming_task"]
+
+
+def renaming_task(ids: Iterable[int], namespace: int) -> Task:
+    """Renaming into ``{1, …, namespace}`` for the given processes.
+
+    ``Δ(σ)``: every injective assignment of names to ``ID(σ)``.  When
+    fewer names than participants exist, ``Δ(σ)`` is empty for the large
+    simplices and the task is trivially unsolvable — the engines handle
+    that gracefully (no decision map can exist).
+    """
+    id_list = sorted(set(ids))
+    if namespace < 1:
+        raise TaskSpecificationError("namespace must contain at least one name")
+    names = list(range(1, namespace + 1))
+
+    input_complex = full_input_complex(id_list, ["token"])
+    output_facets = [
+        Simplex(zip(id_list, assignment))
+        for assignment in permutations(names, len(id_list))
+    ]
+    output_complex = (
+        SimplicialComplex(output_facets)
+        if output_facets
+        else SimplicialComplex(
+            [
+                Simplex([(i, name)])
+                for i in id_list
+                for name in names
+            ]
+        )
+    )
+
+    def delta(sigma: Simplex) -> SimplicialComplex:
+        participants = sorted(sigma.ids)
+        return SimplicialComplex(
+            Simplex(zip(participants, assignment))
+            for assignment in permutations(names, len(participants))
+        )
+
+    label = f"renaming(n={len(id_list)}, M={namespace})"
+    return Task(label, input_complex, output_complex, delta)

@@ -1,0 +1,60 @@
+"""k-set agreement.
+
+The conclusion of the paper asks whether the speedup theorem can be used for
+problems beyond consensus and approximate agreement; k-set agreement is the
+canonical next candidate (Borowsky–Gafni, Saks–Zaharoglou).  Each process
+outputs the input of some participant, and at most ``k`` distinct values may
+be output overall.  ``k = 1`` is consensus; ``k = n`` is trivial.
+
+The library's closure engine applies unchanged; ``benchmarks/`` exercises it
+on the 3-process, 2-set-agreement instance.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import TaskSpecificationError
+from repro.tasks.inputs import full_input_complex
+from repro.tasks.task import Task
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+
+__all__ = ["set_agreement_task"]
+
+
+def set_agreement_task(
+    ids: Iterable[int], values: Sequence[Hashable], k: int
+) -> Task:
+    """The k-set agreement task over a finite value domain.
+
+    ``Δ(σ)``: every output is the input of some participant of ``σ``, and
+    the participants output at most ``k`` distinct values in total.
+    """
+    id_list = sorted(set(ids))
+    value_list = list(values)
+    if k < 1:
+        raise TaskSpecificationError("k must be at least 1")
+
+    input_complex = full_input_complex(id_list, value_list)
+    output_facets = [
+        Simplex(zip(id_list, combo))
+        for combo in product(value_list, repeat=len(id_list))
+        if len(set(combo)) <= k
+    ]
+    output_complex = SimplicialComplex(output_facets)
+
+    def delta(sigma: Simplex) -> SimplicialComplex:
+        inputs = {vertex.value for vertex in sigma.vertices}
+        participants = sorted(sigma.ids)
+        facets = [
+            Simplex(zip(participants, combo))
+            for combo in product(sorted(inputs, key=value_list.index),
+                                 repeat=len(participants))
+            if len(set(combo)) <= k
+        ]
+        return SimplicialComplex(facets)
+
+    label = f"{k}-set-agreement(n={len(id_list)}, |V|={len(value_list)})"
+    return Task(label, input_complex, output_complex, delta)

@@ -1,0 +1,246 @@
+"""Chromatic simplicial complexes.
+
+A complex is a non-empty-set family closed under taking non-empty subsets
+(Appendix A.1).  :class:`SimplicialComplex` stores the family by its *facets*
+(inclusion-maximal simplices) and materializes the full face set lazily; two
+complexes compare equal iff they contain exactly the same simplices.
+
+The class is immutable: every operation (projection, union, skeleton, …)
+returns a new complex.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ChromaticityError
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+__all__ = ["SimplicialComplex"]
+
+
+class SimplicialComplex:
+    """An immutable chromatic simplicial complex, given by its facets.
+
+    Parameters
+    ----------
+    simplices:
+        Any iterable of :class:`Simplex`.  Non-maximal entries are allowed
+        and pruned; the stored facets are the inclusion-maximal ones.
+
+    Notes
+    -----
+    The empty complex (no simplices) is allowed and useful as an identity
+    for unions; most topological accessors treat it naturally.
+    """
+
+    __slots__ = ("_facets", "_faces_cache", "_vertices_cache", "_hash")
+
+    def __init__(self, simplices: Iterable[Simplex] = ()):
+        candidates = set(simplices)
+        facets = set(candidates)
+        # Prune entries that are faces of another entry.  Quadratic, but the
+        # candidate sets in this library are small by construction.
+        for simplex in candidates:
+            if simplex not in facets:
+                continue
+            for other in candidates:
+                if other is simplex or other not in facets:
+                    continue
+                if simplex != other and simplex.is_face_of(other):
+                    facets.discard(simplex)
+                    break
+        self._facets: FrozenSet[Simplex] = frozenset(facets)
+        self._faces_cache: Optional[FrozenSet[Simplex]] = None
+        self._vertices_cache: Optional[FrozenSet[Vertex]] = None
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_simplex(cls, simplex: Simplex) -> "SimplicialComplex":
+        """The complex ``σ̄`` of all faces of a single simplex."""
+        return cls([simplex])
+
+    @classmethod
+    def empty(cls) -> "SimplicialComplex":
+        """The empty complex."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    # Core accessors
+    # ------------------------------------------------------------------
+    @property
+    def facets(self) -> FrozenSet[Simplex]:
+        """The inclusion-maximal simplices."""
+        return self._facets
+
+    def sorted_facets(self) -> List[Simplex]:
+        """The facets in a deterministic order."""
+        return sorted(self._facets, key=lambda s: s._sort_key())
+
+    @property
+    def simplices(self) -> FrozenSet[Simplex]:
+        """Every simplex of the complex (all faces of all facets)."""
+        if self._faces_cache is None:
+            faces = set()
+            for facet in self._facets:
+                faces.update(facet.faces())
+            self._faces_cache = frozenset(faces)
+        return self._faces_cache
+
+    @property
+    def vertices(self) -> FrozenSet[Vertex]:
+        """The vertex set ``V(K)``."""
+        if self._vertices_cache is None:
+            found = set()
+            for facet in self._facets:
+                found.update(facet.vertices)
+            self._vertices_cache = frozenset(found)
+        return self._vertices_cache
+
+    def sorted_vertices(self) -> List[Vertex]:
+        """The vertices in a deterministic order."""
+        return sorted(self.vertices, key=lambda v: v._sort_key())
+
+    @property
+    def ids(self) -> frozenset:
+        """The set of colors appearing anywhere in the complex."""
+        return frozenset(v.color for v in self.vertices)
+
+    @property
+    def dim(self) -> int:
+        """The maximal facet dimension; ``-1`` for the empty complex."""
+        if not self._facets:
+            return -1
+        return max(facet.dim for facet in self._facets)
+
+    def is_empty(self) -> bool:
+        """``True`` iff the complex has no simplices."""
+        return not self._facets
+
+    def is_pure(self) -> bool:
+        """``True`` iff all facets have the same dimension."""
+        if not self._facets:
+            return True
+        dims = {facet.dim for facet in self._facets}
+        return len(dims) == 1
+
+    def __contains__(self, simplex: object) -> bool:
+        if not isinstance(simplex, Simplex):
+            return False
+        return simplex in self.simplices
+
+    def contains_chromatic_set(self, vertices: Iterable[Vertex]) -> bool:
+        """``True`` iff the given vertices form a simplex of the complex."""
+        try:
+            candidate = Simplex(vertices)
+        except ChromaticityError:
+            return False
+        return candidate in self
+
+    def __iter__(self) -> Iterator[Simplex]:
+        return iter(self.simplices)
+
+    def __len__(self) -> int:
+        return len(self.simplices)
+
+    # ------------------------------------------------------------------
+    # Derived complexes
+    # ------------------------------------------------------------------
+    def proj(self, colors: Iterable[int]) -> "SimplicialComplex":
+        """The induced subcomplex on vertices with colors in the given set.
+
+        This is the paper's ``proj_I(K)``: keep every simplex whose colors
+        all lie in ``colors``.
+        """
+        keep = frozenset(colors)
+        projected = []
+        for facet in self._facets:
+            shared = facet.ids & keep
+            if shared:
+                projected.append(facet.proj(shared))
+        return SimplicialComplex(projected)
+
+    def skeleton(self, k: int) -> "SimplicialComplex":
+        """The ``k``-skeleton: all simplices of dimension at most ``k``."""
+        if k < 0:
+            return SimplicialComplex.empty()
+        pieces: List[Simplex] = []
+        for facet in self._facets:
+            if facet.dim <= k:
+                pieces.append(facet)
+            else:
+                pieces.extend(
+                    Simplex(subset)
+                    for subset in combinations(facet.vertices, k + 1)
+                )
+        return SimplicialComplex(pieces)
+
+    def union(self, other: "SimplicialComplex") -> "SimplicialComplex":
+        """The complex whose simplices are the union of both families."""
+        return SimplicialComplex(list(self._facets) + list(other._facets))
+
+    def intersection(self, other: "SimplicialComplex") -> "SimplicialComplex":
+        """The complex whose simplices belong to both complexes."""
+        shared = self.simplices & other.simplices
+        return SimplicialComplex(shared)
+
+    def simplices_of_dim(self, k: int) -> List[Simplex]:
+        """All simplices of dimension exactly ``k``, sorted."""
+        found = [s for s in self.simplices if s.dim == k]
+        return sorted(found, key=lambda s: s._sort_key())
+
+    def facets_containing(self, vertex: Vertex) -> List[Simplex]:
+        """All facets containing the given vertex, sorted."""
+        found = [f for f in self._facets if vertex in f]
+        return sorted(found, key=lambda s: s._sort_key())
+
+    def star(self, vertex: Vertex) -> "SimplicialComplex":
+        """The star of a vertex: all facets containing it."""
+        return SimplicialComplex(self.facets_containing(vertex))
+
+    def vertices_of_color(self, color: int) -> List[Vertex]:
+        """All vertices of the given color, sorted."""
+        found = [v for v in self.vertices if v.color == color]
+        return sorted(found, key=lambda v: v._sort_key())
+
+    def f_vector(self) -> Tuple[int, ...]:
+        """The f-vector ``(f_0, f_1, …)``: simplex counts per dimension."""
+        if self.is_empty():
+            return ()
+        counts: Dict[int, int] = {}
+        for simplex in self.simplices:
+            counts[simplex.dim] = counts.get(simplex.dim, 0) + 1
+        top = max(counts)
+        return tuple(counts.get(d, 0) for d in range(top + 1))
+
+    def euler_characteristic(self) -> int:
+        """The Euler characteristic ``Σ (-1)^d f_d``."""
+        return sum(
+            (-1) ** dim * count for dim, count in enumerate(self.f_vector())
+        )
+
+    # ------------------------------------------------------------------
+    # Value-object plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimplicialComplex):
+            return NotImplemented
+        return self._facets == other._facets
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._facets)
+        return self._hash
+
+    def __repr__(self) -> str:
+        if self.is_empty():
+            return "SimplicialComplex(empty)"
+        return (
+            f"SimplicialComplex(dim={self.dim}, "
+            f"facets={len(self._facets)}, vertices={len(self.vertices)})"
+        )

@@ -1,0 +1,128 @@
+"""Connectivity of chromatic complexes.
+
+The consensus impossibility proof (Corollary 1) walks a *path* of edges in
+the one-round protocol complex ``P^(1)(τ)`` and uses the fact that a
+simplicial map sends connected complexes to connected complexes.  This module
+provides the 1-skeleton graph of a complex, connected components, and
+shortest paths, implemented with plain BFS (no third-party dependency) plus
+an optional networkx export for analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.vertex import Vertex
+
+__all__ = [
+    "one_skeleton_adjacency",
+    "connected_components",
+    "is_connected",
+    "shortest_path",
+    "to_networkx",
+]
+
+
+def one_skeleton_adjacency(
+    complex_: SimplicialComplex,
+) -> Dict[Vertex, Set[Vertex]]:
+    """The adjacency structure of the complex's 1-skeleton.
+
+    Two vertices are adjacent iff they belong to a common simplex (of any
+    dimension ≥ 1).
+    """
+    adjacency: Dict[Vertex, Set[Vertex]] = {
+        vertex: set() for vertex in complex_.vertices
+    }
+    for facet in complex_.facets:
+        vertices = facet.vertices
+        for index, left in enumerate(vertices):
+            for right in vertices[index + 1 :]:
+                adjacency[left].add(right)
+                adjacency[right].add(left)
+    return adjacency
+
+
+def connected_components(
+    complex_: SimplicialComplex,
+) -> List[FrozenSet[Vertex]]:
+    """The connected components of the 1-skeleton, as vertex sets.
+
+    Components are returned in deterministic order (by their smallest
+    vertex).
+    """
+    adjacency = one_skeleton_adjacency(complex_)
+    remaining = set(adjacency)
+    components: List[FrozenSet[Vertex]] = []
+    while remaining:
+        seed = min(remaining, key=lambda v: v._sort_key())
+        seen = {seed}
+        frontier = deque([seed])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        components.append(frozenset(seen))
+        remaining -= seen
+    components.sort(
+        key=lambda comp: min(v._sort_key() for v in comp)
+    )
+    return components
+
+
+def is_connected(complex_: SimplicialComplex) -> bool:
+    """``True`` iff the complex is non-empty and path-connected."""
+    if complex_.is_empty():
+        return False
+    return len(connected_components(complex_)) == 1
+
+
+def shortest_path(
+    complex_: SimplicialComplex, start: Vertex, goal: Vertex
+) -> Optional[List[Vertex]]:
+    """A shortest vertex path between two vertices, or ``None``.
+
+    The path includes both endpoints; a vertex connected to itself yields the
+    singleton path.
+    """
+    if start not in complex_.vertices or goal not in complex_.vertices:
+        return None
+    if start == goal:
+        return [start]
+    adjacency = one_skeleton_adjacency(complex_)
+    parents: Dict[Vertex, Vertex] = {}
+    frontier = deque([start])
+    seen = {start}
+    while frontier:
+        current = frontier.popleft()
+        for neighbor in sorted(
+            adjacency[current], key=lambda v: v._sort_key()
+        ):
+            if neighbor in seen:
+                continue
+            parents[neighbor] = current
+            if neighbor == goal:
+                path = [goal]
+                while path[-1] != start:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            seen.add(neighbor)
+            frontier.append(neighbor)
+    return None
+
+
+def to_networkx(complex_: SimplicialComplex):
+    """Export the 1-skeleton as a :class:`networkx.Graph` (optional dep)."""
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_nodes_from(complex_.vertices)
+    for vertex, neighbors in one_skeleton_adjacency(complex_).items():
+        for neighbor in neighbors:
+            graph.add_edge(vertex, neighbor)
+    return graph

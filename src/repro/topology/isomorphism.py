@@ -1,0 +1,199 @@
+"""Isomorphisms between chromatic complexes.
+
+Two kinds of isomorphism matter in the paper:
+
+* the *canonical isomorphism* ``χ`` of Eq. (1): for two input simplices
+  ``σ = {(i, x_i)}`` and ``σ' = {(i, x'_i)}`` on the same colors, the
+  one-round complexes ``P^(1)(σ)`` and ``P^(1)(σ')`` are isomorphic via the
+  vertex relabeling ``(i, {(j, x_j) : j ∈ J_i}) ↦ (i, {(j, x'_j) : j ∈ J_i})``
+  — and the same holds round after round.  :func:`canonical_isomorphism`
+  implements the relabeling generically by substituting base values inside
+  nested views.
+
+* generic color-preserving complex isomorphism, used by tests to compare
+  complexes up to value renaming (:func:`find_color_preserving_isomorphism`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.errors import ChromaticityError
+from repro.topology.complex import SimplicialComplex
+from repro.topology.maps import SimplicialMap
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+from repro.topology.views import View
+
+__all__ = [
+    "relabel_value",
+    "relabel_vertex",
+    "relabel_complex",
+    "canonical_isomorphism",
+    "find_color_preserving_isomorphism",
+]
+
+
+def relabel_value(
+    value: Hashable, base_values: Mapping[int, Hashable]
+) -> Hashable:
+    """Substitute base input values inside a (possibly nested) view value.
+
+    ``base_values`` maps each color to its new base value.  Plain values at
+    the bottom of the nesting are replaced by the new value of their carrying
+    color, which is threaded through the recursion by the enclosing
+    :class:`View`.  Tuples (used for augmented models' ``(b, view)`` values)
+    are relabeled component-wise, leaving non-view components untouched.
+    """
+    if isinstance(value, View):
+        return View(
+            (color, _relabel_entry(color, entry, base_values))
+            for color, entry in value
+        )
+    if isinstance(value, tuple):
+        return tuple(relabel_value(part, base_values) for part in value)
+    return value
+
+
+def _relabel_entry(
+    color: int, entry: Hashable, base_values: Mapping[int, Hashable]
+) -> Hashable:
+    """Relabel a single ``(color, entry)`` pair inside a view."""
+    if isinstance(entry, (View, tuple)):
+        return relabel_value(entry, base_values)
+    # Base of the recursion: `entry` is the raw input of `color`.
+    if color not in base_values:
+        raise ChromaticityError(
+            f"no replacement value provided for color {color}"
+        )
+    return base_values[color]
+
+
+def relabel_vertex(
+    vertex: Vertex, base_values: Mapping[int, Hashable]
+) -> Vertex:
+    """Apply :func:`relabel_value` to a protocol-complex vertex."""
+    return Vertex(vertex.color, relabel_value(vertex.value, base_values))
+
+
+def relabel_complex(
+    complex_: SimplicialComplex, base_values: Mapping[int, Hashable]
+) -> SimplicialComplex:
+    """Relabel every vertex of a protocol complex with new base inputs."""
+    return SimplicialComplex(
+        Simplex(
+            relabel_vertex(vertex, base_values) for vertex in facet.vertices
+        )
+        for facet in complex_.facets
+    )
+
+
+def canonical_isomorphism(
+    source: SimplicialComplex,
+    sigma: Simplex,
+    sigma_prime: Simplex,
+) -> SimplicialMap:
+    """The canonical isomorphism ``χ : P^(1)(σ) → P^(1)(σ')`` of Eq. (1).
+
+    Parameters
+    ----------
+    source:
+        The protocol complex obtained from input simplex ``sigma``.
+    sigma, sigma_prime:
+        Input simplices on the same color set.  Vertex values of ``source``
+        are rewritten by substituting ``σ'``'s inputs for ``σ``'s.
+
+    Returns
+    -------
+    SimplicialMap
+        The relabeling map, whose target is the relabeled complex.
+    """
+    if sigma.ids != sigma_prime.ids:
+        raise ChromaticityError(
+            "canonical isomorphism requires input simplices on the same "
+            f"colors, got {sorted(sigma.ids)} and {sorted(sigma_prime.ids)}"
+        )
+    replacements = sigma_prime.as_mapping()
+    target = relabel_complex(source, replacements)
+    vertex_map = {
+        vertex: relabel_vertex(vertex, replacements)
+        for vertex in source.vertices
+    }
+    return SimplicialMap(source, target, vertex_map, check=False)
+
+
+def find_color_preserving_isomorphism(
+    left: SimplicialComplex, right: SimplicialComplex
+) -> Optional[Dict[Vertex, Vertex]]:
+    """Search for a color-preserving isomorphism between two complexes.
+
+    Returns a vertex bijection realizing the isomorphism, or ``None`` when
+    the complexes are not isomorphic.  Exhaustive backtracking — intended for
+    the small complexes this library manipulates (tests and figures).
+    """
+    if left.f_vector() != right.f_vector():
+        return None
+    left_vertices = left.sorted_vertices()
+    right_by_color: Dict[int, Tuple[Vertex, ...]] = {}
+    for vertex in right.vertices:
+        right_by_color.setdefault(vertex.color, ())
+        right_by_color[vertex.color] += (vertex,)
+    if sorted(v.color for v in left_vertices) != sorted(
+        v.color for v in right.vertices
+    ):
+        return None
+
+    left_faces = left.simplices
+    right_faces = right.simplices
+    assignment: Dict[Vertex, Vertex] = {}
+    used: set = set()
+
+    # Degree-based compatibility pruning: a vertex can only map to a vertex
+    # contained in the same number of simplices.
+    def degree(vertex: Vertex, faces) -> int:
+        return sum(1 for s in faces if vertex in s)
+
+    left_degree = {v: degree(v, left_faces) for v in left.vertices}
+    right_degree = {v: degree(v, right_faces) for v in right.vertices}
+
+    def consistent(vertex: Vertex, image: Vertex) -> bool:
+        for simplex in left_faces:
+            if vertex not in simplex:
+                continue
+            mapped = [
+                assignment[v] for v in simplex.vertices if v in assignment
+            ]
+            if vertex not in assignment:
+                mapped.append(image)
+            if len(mapped) < 2:
+                continue
+            try:
+                candidate = Simplex(mapped)
+            except ChromaticityError:
+                return False
+            if candidate not in right_faces:
+                return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        if index == len(left_vertices):
+            return True
+        vertex = left_vertices[index]
+        for image in right_by_color.get(vertex.color, ()):
+            if image in used:
+                continue
+            if left_degree[vertex] != right_degree[image]:
+                continue
+            if not consistent(vertex, image):
+                continue
+            assignment[vertex] = image
+            used.add(image)
+            if backtrack(index + 1):
+                return True
+            del assignment[vertex]
+            used.discard(image)
+        return False
+
+    if backtrack(0):
+        return dict(assignment)
+    return None

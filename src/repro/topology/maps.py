@@ -1,0 +1,206 @@
+"""Chromatic simplicial maps.
+
+A simplicial map ``f : K → K'`` is determined by its action on vertices and
+must send every simplex of ``K`` onto a simplex of ``K'`` (Appendix A.1).
+All maps in the paper are *chromatic*: they preserve vertex colors, so a
+simplex is always sent to a simplex on the same color set.
+
+:class:`SimplicialMap` validates both properties at construction time and
+supports application to vertices, simplices and complexes, composition, and
+agreement checks against carrier maps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional
+
+from repro.errors import ChromaticityError, SimplicialityError
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+__all__ = ["SimplicialMap"]
+
+
+class SimplicialMap:
+    """A chromatic simplicial map between two complexes.
+
+    Parameters
+    ----------
+    source:
+        The domain complex.  The map must be defined on all its vertices.
+    target:
+        The codomain complex.  Every image simplex must belong to it.
+    vertex_map:
+        A mapping from every vertex of ``source`` to a vertex of ``target``.
+    check:
+        When true (the default), chromaticity and simpliciality are verified
+        eagerly; construction fails with a precise error otherwise.  Pass
+        ``False`` only for maps already known to be valid (e.g. produced by
+        the solvability engine).
+    """
+
+    __slots__ = ("_source", "_target", "_vertex_map")
+
+    def __init__(
+        self,
+        source: SimplicialComplex,
+        target: SimplicialComplex,
+        vertex_map: Mapping[Vertex, Vertex],
+        check: bool = True,
+    ):
+        self._source = source
+        self._target = target
+        self._vertex_map: Dict[Vertex, Vertex] = dict(vertex_map)
+        if check:
+            self._validate()
+
+    def _validate(self) -> None:
+        missing = self._source.vertices - set(self._vertex_map)
+        if missing:
+            sample = sorted(missing, key=lambda v: v._sort_key())[0]
+            raise SimplicialityError(
+                f"vertex map undefined on {len(missing)} source vertices, "
+                f"e.g. {sample!r}"
+            )
+        for vertex, image in self._vertex_map.items():
+            if vertex not in self._source.vertices:
+                continue  # extra entries are harmless
+            if image.color != vertex.color:
+                raise ChromaticityError(
+                    f"map is not chromatic: {vertex!r} ↦ {image!r}"
+                )
+            if image not in self._target.vertices:
+                raise SimplicialityError(
+                    f"image vertex {image!r} does not belong to the target "
+                    "complex"
+                )
+        for facet in self._source.facets:
+            image = self.apply_simplex(facet)
+            if image not in self._target:
+                raise SimplicialityError(
+                    f"map is not simplicial: facet {facet!r} maps to "
+                    f"{image!r}, which is not a simplex of the target"
+                )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> SimplicialComplex:
+        """The domain complex."""
+        return self._source
+
+    @property
+    def target(self) -> SimplicialComplex:
+        """The codomain complex."""
+        return self._target
+
+    @property
+    def vertex_map(self) -> Dict[Vertex, Vertex]:
+        """A copy of the underlying vertex assignment."""
+        return dict(self._vertex_map)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def __call__(self, vertex: Vertex) -> Vertex:
+        return self._vertex_map[vertex]
+
+    def apply_simplex(self, simplex: Simplex) -> Simplex:
+        """The image simplex ``f(σ) = {f(v) : v ∈ σ}``.
+
+        Because the map is chromatic, the image always has pairwise-distinct
+        colors and this never raises for valid maps.
+        """
+        return Simplex(self._vertex_map[v] for v in simplex.vertices)
+
+    def apply_complex(self, complex_: SimplicialComplex) -> SimplicialComplex:
+        """The image complex ``f(K)`` of a subcomplex of the source."""
+        return SimplicialComplex(
+            self.apply_simplex(facet) for facet in complex_.facets
+        )
+
+    def image(self) -> SimplicialComplex:
+        """The image of the whole source complex."""
+        return self.apply_complex(self._source)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def compose(self, earlier: "SimplicialMap") -> "SimplicialMap":
+        """Return ``self ∘ earlier`` (first ``earlier``, then ``self``)."""
+        if earlier._target.vertices - self._source.vertices:
+            raise SimplicialityError(
+                "composition mismatch: the earlier map's target is not "
+                "contained in this map's source"
+            )
+        combined = {
+            vertex: self._vertex_map[image]
+            for vertex, image in earlier._vertex_map.items()
+        }
+        return SimplicialMap(
+            earlier._source, self._target, combined, check=False
+        )
+
+    def restrict(self, subcomplex: SimplicialComplex) -> "SimplicialMap":
+        """Restrict the map to a subcomplex of its source."""
+        sub_map = {
+            vertex: self._vertex_map[vertex]
+            for vertex in subcomplex.vertices
+        }
+        return SimplicialMap(subcomplex, self._target, sub_map, check=False)
+
+    # ------------------------------------------------------------------
+    # Agreement checks
+    # ------------------------------------------------------------------
+    def sends_into(
+        self,
+        sub_source: SimplicialComplex,
+        allowed: SimplicialComplex,
+    ) -> bool:
+        """``True`` iff ``f(sub_source) ⊆ allowed`` simplex-wise."""
+        return all(
+            self.apply_simplex(facet) in allowed
+            for facet in sub_source.facets
+        )
+
+    @classmethod
+    def from_function(
+        cls,
+        source: SimplicialComplex,
+        target: SimplicialComplex,
+        function: Callable[[Vertex], Vertex],
+        check: bool = True,
+    ) -> "SimplicialMap":
+        """Build a map by evaluating ``function`` on every source vertex."""
+        vertex_map = {v: function(v) for v in source.vertices}
+        return cls(source, target, vertex_map, check=check)
+
+    @classmethod
+    def identity(cls, complex_: SimplicialComplex) -> "SimplicialMap":
+        """The identity map on a complex."""
+        return cls(
+            complex_,
+            complex_,
+            {v: v for v in complex_.vertices},
+            check=False,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimplicialMap):
+            return NotImplemented
+        return (
+            self._source == other._source
+            and self._target == other._target
+            and all(
+                self._vertex_map[v] == other._vertex_map[v]
+                for v in self._source.vertices
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimplicialMap({len(self._source.vertices)} vertices → "
+            f"{self._target!r})"
+        )

@@ -1,0 +1,119 @@
+"""Chromatic vertices.
+
+A vertex of a chromatic complex is a pair ``(color, value)`` where ``color``
+is a process identifier in ``[n] = {1, …, n}`` and ``value`` is an arbitrary
+immutable payload — an input value, an output value, or a full-information
+view accumulated during an execution (Appendix A.1 of the paper).
+
+Vertices are immutable, hashable, and totally ordered so that simplices and
+complexes can be iterated deterministically.  Ordering compares colors first
+and then a structural key of the value (see :func:`value_sort_key`), which
+gives a stable order even across heterogeneous value types such as
+:class:`fractions.Fraction`, tuples, and :class:`repro.topology.views.View`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import total_ordering
+from typing import Any, Hashable, Tuple
+
+__all__ = ["Vertex", "value_sort_key"]
+
+
+def value_sort_key(value: Any) -> Tuple:
+    """Return a tuple usable to totally order heterogeneous vertex values.
+
+    The key is structural and recursive: numbers sort among themselves,
+    strings among themselves, and containers lexicographically by the keys of
+    their elements.  Two values of different kinds are ordered by a type tag,
+    so comparison never raises ``TypeError``.
+
+    This function only needs to induce *some* deterministic total order; it is
+    used for canonical iteration, never for semantics.
+    """
+    # Booleans are ints in Python; give them their own tag to keep the order
+    # stable if both appear.
+    if isinstance(value, bool):
+        return ("bool", int(value))
+    if isinstance(value, (int, Fraction, float)):
+        return ("num", Fraction(value))
+    if isinstance(value, str):
+        return ("str", value)
+    if isinstance(value, bytes):
+        return ("bytes", value)
+    if value is None:
+        return ("none",)
+    if isinstance(value, tuple):
+        return ("tuple", tuple(value_sort_key(item) for item in value))
+    if isinstance(value, frozenset):
+        return ("fset", tuple(sorted(value_sort_key(item) for item in value)))
+    # Objects can opt into ordering by exposing a `_sort_key` method
+    # (View and Simplex do).
+    sort_key = getattr(value, "_sort_key", None)
+    if callable(sort_key):
+        return (type(value).__name__, sort_key())
+    # Fall back to the repr, which is stable for immutable value objects.
+    return (type(value).__name__, repr(value))
+
+
+@total_ordering
+class Vertex:
+    """An immutable chromatic vertex ``(color, value)``.
+
+    Parameters
+    ----------
+    color:
+        The process identifier carrying this vertex.  The paper uses colors
+        in ``{1, …, n}``; the library only requires a hashable integer.
+    value:
+        Any hashable payload.  For input complexes this is an input value;
+        for protocol complexes it is a :class:`~repro.topology.views.View`
+        (possibly paired with a black-box output).
+    """
+
+    __slots__ = ("_color", "_value", "_hash")
+
+    def __init__(self, color: int, value: Hashable):
+        if not isinstance(color, int):
+            raise TypeError(f"vertex color must be an int, got {color!r}")
+        self._color = color
+        self._value = value
+        self._hash = hash((color, value))
+
+    @property
+    def color(self) -> int:
+        """The process identifier (the paper's *color* / *ID*)."""
+        return self._color
+
+    @property
+    def value(self) -> Hashable:
+        """The payload carried by the vertex."""
+        return self._value
+
+    def with_value(self, value: Hashable) -> "Vertex":
+        """Return a vertex with the same color and a new value."""
+        return Vertex(self._color, value)
+
+    def as_pair(self) -> Tuple[int, Hashable]:
+        """Return the vertex as the plain pair ``(color, value)``."""
+        return (self._color, self._value)
+
+    def _sort_key(self) -> Tuple:
+        return (self._color, value_sort_key(self._value))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vertex):
+            return NotImplemented
+        return self._color == other._color and self._value == other._value
+
+    def __lt__(self, other: "Vertex") -> bool:
+        if not isinstance(other, Vertex):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Vertex({self._color}, {self._value!r})"

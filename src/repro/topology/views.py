@@ -1,0 +1,156 @@
+"""Full-information views.
+
+After one round of Algorithm 1, the view of process ``i`` is the set of pairs
+``{(j, x_j) : j ∈ J_i}`` of inputs it managed to read.  After further rounds
+the values ``x_j`` are themselves views, so a view after ``t`` rounds is a
+nested chromatic structure.  :class:`View` is the immutable value object the
+library uses for these sets: it behaves as a read-only mapping from colors to
+values, is hashable (so it can itself be a vertex value), and iterates in
+deterministic color order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Iterator, Mapping, Tuple, Union
+
+from repro.errors import ChromaticityError
+from repro.topology.vertex import Vertex, value_sort_key
+
+__all__ = ["View"]
+
+PairsLike = Union[
+    Mapping[int, Hashable],
+    Iterable[Tuple[int, Hashable]],
+    Iterable[Vertex],
+]
+
+
+class View:
+    """An immutable chromatic set of ``(color, value)`` pairs.
+
+    A view represents everything a process has read during a round: one value
+    per process it "saw".  Views compare equal iff they contain the same
+    pairs, and support the mapping protocol (``view[j]``, ``j in view``,
+    ``len(view)``).
+
+    Parameters
+    ----------
+    pairs:
+        A mapping ``{color: value}``, an iterable of ``(color, value)``
+        tuples, or an iterable of :class:`Vertex`.  Colors must be pairwise
+        distinct.
+    """
+
+    __slots__ = ("_items", "_index", "_hash")
+
+    def __init__(self, pairs: PairsLike):
+        if isinstance(pairs, Mapping):
+            raw = list(pairs.items())
+        else:
+            raw = []
+            for entry in pairs:
+                if isinstance(entry, Vertex):
+                    raw.append((entry.color, entry.value))
+                else:
+                    color, value = entry
+                    raw.append((color, value))
+        index: Dict[int, Hashable] = {}
+        for color, value in raw:
+            if not isinstance(color, int):
+                raise ChromaticityError(
+                    f"view colors must be ints, got {color!r}"
+                )
+            if color in index:
+                raise ChromaticityError(
+                    f"duplicate color {color} in view: a view holds at most "
+                    "one value per process"
+                )
+            index[color] = value
+        items = tuple(sorted(index.items(), key=lambda kv: kv[0]))
+        self._items = items
+        self._index = dict(items)
+        self._hash = hash(items)
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, color: int) -> Hashable:
+        return self._index[color]
+
+    def get(self, color: int, default: Any = None) -> Any:
+        """Return the value seen for ``color``, or ``default``."""
+        return self._index.get(color, default)
+
+    def __contains__(self, color: object) -> bool:
+        return color in self._index
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Tuple[int, Hashable]]:
+        return iter(self._items)
+
+    # ------------------------------------------------------------------
+    # Chromatic accessors
+    # ------------------------------------------------------------------
+    @property
+    def ids(self) -> frozenset:
+        """The set ``J_i`` of colors appearing in the view."""
+        return frozenset(self._index)
+
+    @property
+    def items(self) -> Tuple[Tuple[int, Hashable], ...]:
+        """The pairs of the view, sorted by color."""
+        return self._items
+
+    def values(self) -> Tuple[Hashable, ...]:
+        """The values of the view, in color order."""
+        return tuple(value for _, value in self._items)
+
+    def restrict(self, colors: Iterable[int]) -> "View":
+        """Return the sub-view containing only the given colors."""
+        keep = set(colors)
+        return View(
+            (color, value) for color, value in self._items if color in keep
+        )
+
+    def with_pair(self, color: int, value: Hashable) -> "View":
+        """Return a view extended (or overwritten) with ``(color, value)``."""
+        updated = dict(self._items)
+        updated[color] = value
+        return View(updated)
+
+    def vertices(self) -> Tuple[Vertex, ...]:
+        """Return the view's pairs as :class:`Vertex` objects."""
+        return tuple(Vertex(color, value) for color, value in self._items)
+
+    def is_subview_of(self, other: "View") -> bool:
+        """``True`` iff every pair of this view also appears in ``other``.
+
+        This is the containment ``V_j ⊆ V_i`` used in the definition of the
+        standard chromatic subdivision.
+        """
+        return all(
+            color in other._index and other._index[color] == value
+            for color, value in self._items
+        )
+
+    # ------------------------------------------------------------------
+    # Value-object plumbing
+    # ------------------------------------------------------------------
+    def _sort_key(self) -> Tuple:
+        return tuple(
+            (color, value_sort_key(value)) for color, value in self._items
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, View):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{c}:{v!r}" for c, v in self._items)
+        return f"View({{{body}}})"

@@ -1,0 +1,133 @@
+"""Exhaustive and randomized tests for the AA algorithms (no objects)."""
+
+from fractions import Fraction
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import HalvingAA, TwoProcessThirdsAA
+from repro.errors import RuntimeModelError
+from repro.runtime import (
+    FixedScheduleAdversary,
+    IteratedExecutor,
+    RandomAdversary,
+    all_schedule_sequences,
+)
+
+
+def F(num, den=1):
+    return Fraction(num, den)
+
+
+def run_all_schedules(algorithm, inputs):
+    executor = IteratedExecutor()
+    for sequence in all_schedule_sequences(sorted(inputs), algorithm.rounds):
+        yield executor.run(algorithm, inputs, FixedScheduleAdversary(sequence))
+
+
+def check_aa(result, inputs, epsilon):
+    values = list(result.decisions.values())
+    lo, hi = min(inputs.values()), max(inputs.values())
+    assert max(values) - min(values) <= epsilon
+    assert all(lo <= v <= hi for v in values)
+
+
+class TestHalvingAA:
+    def test_round_count_matches_bound(self):
+        assert HalvingAA(F(1, 2)).rounds == 1
+        assert HalvingAA(F(1, 4)).rounds == 2
+        assert HalvingAA(F(1, 8)).rounds == 3
+        assert HalvingAA(F(1, 5)).rounds == 3
+
+    def test_round_epsilon_halves(self):
+        algorithm = HalvingAA(F(1, 8))
+        assert algorithm.round_epsilon(1) == F(1, 2)
+        assert algorithm.round_epsilon(2) == F(1, 4)
+        assert algorithm.round_epsilon(3) == F(1, 8)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(RuntimeModelError):
+            HalvingAA(0)
+        with pytest.raises(RuntimeModelError):
+            HalvingAA(2)
+
+    def test_exhaustive_three_processes_quarter(self):
+        eps = F(1, 4)
+        algorithm = HalvingAA(eps)
+        inputs = {1: F(0), 2: F(1, 2), 3: F(1)}
+        for result in run_all_schedules(algorithm, inputs):
+            check_aa(result, inputs, eps)
+
+    def test_exhaustive_all_grid_inputs_half(self):
+        eps = F(1, 2)
+        algorithm = HalvingAA(eps)
+        values = [F(0), F(1, 2), F(1)]
+        for combo in product(values, repeat=3):
+            inputs = dict(zip([1, 2, 3], combo))
+            for result in run_all_schedules(algorithm, inputs):
+                check_aa(result, inputs, eps)
+
+    def test_outputs_stay_on_grid(self):
+        eps = F(1, 4)
+        algorithm = HalvingAA(eps)
+        inputs = {1: F(0), 2: F(3, 4), 3: F(1)}
+        for result in run_all_schedules(algorithm, inputs):
+            for value in result.decisions.values():
+                assert (value * 4).denominator == 1
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_adversary_with_crashes(self, seed):
+        eps = F(1, 8)
+        algorithm = HalvingAA(eps)
+        inputs = {1: F(0), 2: F(3, 8), 3: F(5, 8), 4: F(1)}
+        adversary = RandomAdversary(seed=seed, crash_probability=0.2)
+        result = IteratedExecutor().run(algorithm, inputs, adversary)
+        check_aa(result, inputs, eps)
+
+    def test_extra_rounds_harmless(self):
+        eps = F(1, 2)
+        algorithm = HalvingAA(eps, rounds=3)
+        inputs = {1: F(0), 2: F(1), 3: F(1)}
+        result = IteratedExecutor().run(algorithm, inputs)
+        check_aa(result, inputs, eps)
+
+
+class TestTwoProcessThirdsAA:
+    def test_round_count_matches_bound(self):
+        assert TwoProcessThirdsAA(F(1, 3)).rounds == 1
+        assert TwoProcessThirdsAA(F(1, 9)).rounds == 2
+        assert TwoProcessThirdsAA(F(1, 4)).rounds == 2
+
+    def test_exhaustive_grid_ninths(self):
+        eps = F(1, 9)
+        algorithm = TwoProcessThirdsAA(eps)
+        values = [F(k, 9) for k in range(10)]
+        for x1, x2 in product(values, repeat=2):
+            inputs = {1: x1, 2: x2}
+            for result in run_all_schedules(algorithm, inputs):
+                check_aa(result, inputs, eps)
+
+    def test_faster_than_halving_for_two_processes(self):
+        # The crossover of Corollary 3: base 3 beats base 2.
+        assert TwoProcessThirdsAA(F(1, 9)).rounds == 2
+        assert HalvingAA(F(1, 9)).rounds == 4
+
+    def test_three_processes_rejected(self):
+        algorithm = TwoProcessThirdsAA(F(1, 3))
+        inputs = {1: F(0), 2: F(1, 3), 3: F(1)}
+        with pytest.raises(RuntimeModelError):
+            IteratedExecutor().run(algorithm, inputs)
+
+    def test_solo_process_keeps_value(self):
+        algorithm = TwoProcessThirdsAA(F(1, 3))
+        result = IteratedExecutor().run(algorithm, {2: F(1, 3)})
+        assert result.decisions == {2: F(1, 3)}
+
+    def test_tie_values_agree_immediately(self):
+        algorithm = TwoProcessThirdsAA(F(1, 3))
+        inputs = {1: F(2, 3), 2: F(2, 3)}
+        for result in run_all_schedules(algorithm, inputs):
+            assert set(result.decisions.values()) == {F(2, 3)}

@@ -1,0 +1,66 @@
+"""Unit tests for census utilities."""
+
+import pytest
+
+from repro.analysis import compare_models, model_census, per_color_census
+from repro.analysis.counting import ComplexCensus
+from repro.models import CollectModel, ImmediateSnapshotModel, SnapshotModel
+from repro.topology import Simplex, SimplicialComplex
+
+
+class TestComplexCensus:
+    def test_of_subdivision(self, iis, triangle):
+        census = model_census(iis, triangle)
+        assert census.facets == 13
+        assert census.vertices == 12
+        assert census.f_vector == (12, 24, 13)
+        assert census.dim == 2
+        assert census.pure
+        assert census.euler_characteristic == 1  # subdivided disk
+
+    def test_of_simplex(self, triangle):
+        census = ComplexCensus.of(SimplicialComplex.from_simplex(triangle))
+        assert census.facets == 1
+        assert census.vertices == 3
+
+    def test_multi_round(self, iis, edge):
+        census = model_census(iis, edge, rounds=2)
+        assert census.facets == 9
+        assert census.dim == 1
+
+
+class TestPerColor:
+    def test_subdivision_four_views_per_color(self, iis, triangle):
+        census = per_color_census(
+            iis.protocol_complex(SimplicialComplex.from_simplex(triangle), 1)
+        )
+        assert census == {1: 4, 2: 4, 3: 4}
+
+    def test_tas_seven_views_per_color(self, iis_tas, triangle):
+        census = per_color_census(
+            iis_tas.protocol_complex(
+                SimplicialComplex.from_simplex(triangle), 1
+            )
+        )
+        assert census == {1: 7, 2: 7, 3: 7}
+
+
+class TestCompareModels:
+    def test_iis_within_snapshot(self, iis, snapshot_model, triangle):
+        report = compare_models(iis, snapshot_model, triangle)
+        assert report["contained"]
+        assert report["strict"]
+        assert report["smaller_facets"] == 13
+        assert report["larger_facets"] == 19
+        assert report["extra_facets"] == 6
+
+    def test_snapshot_within_collect(
+        self, snapshot_model, collect_model, triangle
+    ):
+        report = compare_models(snapshot_model, collect_model, triangle)
+        assert report["strict"]
+        assert report["larger_facets"] == 25
+
+    def test_reverse_not_contained(self, iis, collect_model, triangle):
+        report = compare_models(collect_model, iis, triangle)
+        assert not report["contained"]

@@ -1,0 +1,75 @@
+"""Unit tests for complex exports (DOT, facet listings, legends)."""
+
+import pytest
+
+from repro.analysis import facet_listing, to_dot, vertex_legend
+from repro.models import ImmediateSnapshotModel
+from repro.objects import AugmentedModel, TestAndSetBox
+from repro.topology import Simplex, SimplicialComplex
+
+
+@pytest.fixture
+def edge_complex(iis, edge):
+    return iis.one_round_complex(edge)
+
+
+class TestVertexLegend:
+    def test_labels_are_unique_and_stable(self, edge_complex):
+        first = vertex_legend(edge_complex)
+        second = vertex_legend(edge_complex)
+        assert first == second
+        assert len(set(first)) == len(edge_complex.vertices)
+
+    def test_labels_encode_color(self, edge_complex):
+        legend = vertex_legend(edge_complex)
+        for label, vertex in legend.items():
+            assert label.startswith(f"p{vertex.color}_")
+
+
+class TestToDot:
+    def test_basic_structure(self, edge_complex):
+        dot = to_dot(edge_complex, title="one-round")
+        assert dot.startswith('graph "one-round" {')
+        assert dot.rstrip().endswith("}")
+        # 4 vertices, 5 edges (3 facets of dim 1 share vertices).
+        assert dot.count(" -- ") == 3
+
+    def test_deterministic(self, edge_complex):
+        assert to_dot(edge_complex) == to_dot(edge_complex)
+
+    def test_subdivision_edge_count(self, iis, triangle):
+        complex_ = iis.one_round_complex(triangle)
+        dot = to_dot(complex_)
+        # The chromatic subdivision has 24 edges (f-vector (12, 24, 13)).
+        assert dot.count(" -- ") == 24
+
+    def test_augmented_labels_mention_box_output(self, triangle):
+        model = AugmentedModel(TestAndSetBox())
+        dot = to_dot(model.one_round_complex(triangle))
+        assert "b=1" in dot and "b=0" in dot
+
+    def test_colors_cycle_for_many_processes(self):
+        big = SimplicialComplex.from_simplex(
+            Simplex((i, f"x{i}") for i in range(1, 11))
+        )
+        dot = to_dot(big)
+        assert dot.count("fillcolor") == 10
+
+
+class TestFacetListing:
+    def test_header_counts(self, edge_complex):
+        text = facet_listing(edge_complex)
+        assert text.splitlines()[0] == "# 3 facets, 4 vertices, dim 1"
+
+    def test_one_line_per_facet(self, iis, triangle):
+        complex_ = iis.one_round_complex(triangle)
+        text = facet_listing(complex_)
+        assert len(text.splitlines()) == 1 + 13
+
+    def test_deterministic(self, edge_complex):
+        assert facet_listing(edge_complex) == facet_listing(edge_complex)
+
+    def test_views_rendered_compactly(self, edge_complex):
+        text = facet_listing(edge_complex)
+        assert "1:{1,2}" in text
+        assert "2:{2}" in text

@@ -1,0 +1,99 @@
+"""The paper's figures, asserted structurally."""
+
+import pytest
+
+from repro.analysis import (
+    figure4_complex_and_map,
+    figure5_complex,
+    figure6_simplices,
+    figure7_complex,
+    figure8_census,
+)
+from repro.objects import AugmentedModel, TestAndSetBox
+from repro.topology import Simplex
+
+
+class TestFigure4:
+    def test_two_process_consensus_with_tas_solvable(self):
+        protocol, decision = figure4_complex_and_map()
+        assert decision is not None
+        assert decision.rounds == 1
+
+    def test_protocol_vertex_count(self):
+        protocol, _ = figure4_complex_and_map()
+        # Per input edge: solo views only with win=1; both-views with 0/1.
+        assert len(protocol.vertices) == 20
+
+
+class TestFigure5:
+    def test_counts(self):
+        data = figure5_complex()
+        assert data["per_color"] == {1: 7, 2: 7, 3: 7}
+        assert data["full_participation_facets"] == 18
+        assert len(data["complex"].vertices) == 21
+
+    def test_solo_always_wins(self):
+        data = figure5_complex()
+        assert set(data["solo_outcomes"].values()) == {1}
+
+    def test_non_solo_views_duplicated(self):
+        data = figure5_complex()
+        assert all(data["non_solo_views_duplicated"].values())
+
+
+class TestFigure6:
+    def test_rho_simplices_exist_in_complex(self):
+        tau_values = {1: 0, 2: 1, 3: 0}
+        rho_ijk, rho_jik = figure6_simplices(tau_values, 1, 2, 3)
+        model = AugmentedModel(TestAndSetBox())
+        complex_ = model.one_round_complex(
+            Simplex(tau_values.items())
+        )
+        assert rho_ijk in complex_
+        assert rho_jik in complex_
+
+    def test_rho_structure(self):
+        rho_ijk, rho_jik = figure6_simplices({1: 0, 2: 1, 3: 0}, 1, 2, 3)
+        # In ρ_{i,j,k}, process i wins; in ρ_{j,i,k}, process j wins.
+        assert rho_ijk.value_of(1)[0] == 1
+        assert rho_ijk.value_of(2)[0] == 0
+        assert rho_jik.value_of(2)[0] == 1
+        assert rho_jik.value_of(1)[0] == 0
+        # Both share process k's vertex (sees everything, loses).
+        assert rho_ijk.vertex_of(3) == rho_jik.vertex_of(3)
+
+
+class TestFigure7:
+    def test_opposite_solo_vertices_removed(self):
+        data = figure7_complex()
+        assert all(data["opposite_solo_removed"].values())
+
+    def test_facets_split_by_agreed_bit(self):
+        data = figure7_complex()
+        per_bit = data["facets_per_agreed_bit"]
+        # Bit 0 only when the black process (calling 0) is in the first
+        # block: 6 of the 13 schedules; bit 1 for the remaining 10 (with
+        # mixed first blocks contributing both).
+        assert per_bit == {0: 6, 1: 10}
+
+    def test_uniform_calls_give_single_copy(self):
+        data = figure7_complex(call_bits={1: 1, 2: 1, 3: 1})
+        assert data["facets_per_agreed_bit"] == {0: 0, 1: 13}
+
+
+class TestFigure8:
+    def test_census(self):
+        data = figure8_census()
+        assert data["immediate_snapshot"].facets == 13
+        assert data["snapshot"].facets == 19
+        assert data["collect"].facets == 25
+        assert data["iis_strictly_inside_snapshot"]
+        assert data["snapshot_strictly_inside_collect"]
+        assert data["snapshot_only_facets"] == 6
+        assert data["collect_only_facets"] == 6
+
+    def test_same_12_vertices_everywhere(self):
+        data = figure8_census()
+        assert data["immediate_snapshot"].vertices == 12
+        assert data["snapshot"].vertices == 12
+        assert data["collect"].vertices == 12

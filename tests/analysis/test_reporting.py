@@ -1,0 +1,48 @@
+"""Unit tests for experiment table rendering."""
+
+from repro.analysis import ExperimentRow, render_table
+
+
+class TestExperimentRow:
+    def test_cells_ok(self):
+        row = ExperimentRow("n=3, ε=1/4", "2 rounds", "2 rounds", True)
+        assert row.cells()[-1] == "ok"
+
+    def test_cells_mismatch(self):
+        row = ExperimentRow("n=3", "2", "3", False)
+        assert row.cells()[-1] == "MISMATCH"
+
+
+class TestRenderTable:
+    def test_contains_title_and_rows(self):
+        rows = [
+            ExperimentRow("a", "1", "1", True),
+            ExperimentRow("b", "2", "3", False),
+        ]
+        text = render_table("My table", rows)
+        assert "My table" in text
+        assert "MISMATCH" in text
+        assert text.count("\n") >= 5
+
+    def test_column_alignment(self):
+        rows = [
+            ExperimentRow("long-instance-name", "1", "1", True),
+            ExperimentRow("x", "2", "2", True),
+        ]
+        lines = render_table("t", rows).splitlines()
+        data_lines = lines[4:]
+        # The 'paper' column starts at the same offset on every row.
+        offsets = {line.index("1") for line in data_lines[:1]}
+        assert len(offsets) == 1
+
+    def test_custom_headers(self):
+        text = render_table(
+            "t",
+            [ExperimentRow("i", "p", "m", True)],
+            headers=("инстанс", "бумага", "изм.", "вердикт"),
+        )
+        assert "инстанс" in text
+
+    def test_empty_rows(self):
+        text = render_table("empty", [])
+        assert "empty" in text

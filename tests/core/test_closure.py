@@ -1,0 +1,142 @@
+"""Unit tests for the closure operator CL_M(Π) (Definition 2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import ClosureComputer, closure_task
+from repro.errors import SolvabilityError
+from repro.tasks import (
+    approximate_agreement_task,
+    binary_consensus_task,
+    liberal_approximate_agreement_task,
+)
+from repro.tasks.inputs import input_simplex
+
+
+def F(num, den=1):
+    return Fraction(num, den)
+
+
+class TestMembership:
+    def test_delta_subset_of_closure(self, iis):
+        # Remark after Definition 2: Δ(σ) ⊆ Δ'(σ).
+        task = binary_consensus_task([1, 2])
+        computer = ClosureComputer(task, iis)
+        sigma = input_simplex({1: 0, 2: 1})
+        for facet in task.delta(sigma).facets:
+            assert computer.contains(sigma, facet)
+
+    def test_consensus_closure_rejects_disagreement(self, iis):
+        task = binary_consensus_task([1, 2])
+        computer = ClosureComputer(task, iis)
+        sigma = input_simplex({1: 0, 2: 1})
+        assert not computer.contains(sigma, input_simplex({1: 0, 2: 1}))
+        assert not computer.contains(sigma, input_simplex({1: 1, 2: 0}))
+
+    def test_membership_cached_across_translated_sigmas(self, iis):
+        task = approximate_agreement_task([1, 2], F(1, 4), 4)
+        computer = ClosureComputer(task, iis)
+        sigma_a = input_simplex({1: F(0), 2: F(1, 2)})
+        sigma_b = input_simplex({1: F(1, 2), 2: F(0)})  # same window
+        tau = input_simplex({1: F(0), 2: F(1, 2)})
+        computer.contains(sigma_a, tau)
+        before = len(computer._membership_cache)
+        computer.contains(sigma_b, tau)
+        assert len(computer._membership_cache) == before
+
+    def test_quantify_beta_requires_augmented(self, iis):
+        with pytest.raises(SolvabilityError):
+            ClosureComputer(binary_consensus_task([1, 2]), iis, quantify_beta=True)
+
+
+class TestClosureOfAA:
+    def test_closure_of_quarter_is_half_two_procs(self, iis):
+        # Claim 2 on one window: ε = 1/4 closes to 3ε = 3/4.
+        task = approximate_agreement_task([1, 2], F(1, 4), 4)
+        bigger = approximate_agreement_task([1, 2], F(3, 4), 4)
+        computer = ClosureComputer(task, iis)
+        sigma = input_simplex({1: F(0), 2: F(1)})
+        assert (
+            computer.delta_prime(sigma).simplices
+            == bigger.delta(sigma).simplices
+        )
+
+    def test_closure_of_liberal_quarter_is_half_three_procs(self, iis):
+        # Claim 3 on one window.
+        task = liberal_approximate_agreement_task([1, 2, 3], F(1, 4), 4)
+        bigger = liberal_approximate_agreement_task([1, 2, 3], F(1, 2), 4)
+        computer = ClosureComputer(task, iis)
+        sigma = input_simplex({1: F(0), 2: F(1, 2), 3: F(1)})
+        assert (
+            computer.delta_prime(sigma).simplices
+            == bigger.delta(sigma).simplices
+        )
+
+    def test_legal_outputs_sorted_and_full_id(self, iis):
+        task = approximate_agreement_task([1, 2], F(1, 2), 2)
+        computer = ClosureComputer(task, iis)
+        sigma = input_simplex({1: F(0), 2: F(1)})
+        outputs = computer.legal_outputs(sigma)
+        assert outputs == sorted(outputs, key=lambda s: s._sort_key())
+        assert all(tau.ids == sigma.ids for tau in outputs)
+
+
+class TestClosureTask:
+    def test_as_task_keeps_inputs(self, iis):
+        task = binary_consensus_task([1, 2])
+        closed = closure_task(task, iis)
+        assert closed.input_complex == task.input_complex
+
+    def test_closure_of_consensus_is_consensus(self, iis):
+        # Corollary 1's engine: CL(consensus) has the same specification.
+        task = binary_consensus_task([1, 2])
+        closed = closure_task(task, iis)
+        assert closed.same_specification_as(task)
+
+    def test_closure_name(self, iis):
+        closed = closure_task(binary_consensus_task([1, 2]), iis)
+        assert "CL_" in closed.name
+        named = closure_task(
+            binary_consensus_task([1, 2]), iis, name="custom"
+        )
+        assert named.name == "custom"
+
+    def test_closure_output_complex_covers_images(self, iis):
+        task = approximate_agreement_task([1, 2], F(1, 2), 2)
+        closed = closure_task(task, iis)
+        for sigma in task.input_complex:
+            assert (
+                closed.delta(sigma).simplices
+                <= closed.output_complex.simplices
+            )
+
+    def test_restricted_materialization(self, iis):
+        task = approximate_agreement_task([1, 2], F(1, 2), 2)
+        computer = ClosureComputer(task, iis)
+        sigma = input_simplex({1: F(0), 2: F(1)})
+        closed = computer.as_task(input_simplices=[sigma])
+        assert closed.delta(sigma) == computer.delta_prime(sigma)
+
+
+class TestClosureWithBoxes:
+    def test_tas_closure_of_2proc_consensus_is_everything(self, iis_tas):
+        # Section 4.3: with test&set, 2-process consensus is 1-round
+        # solvable, so its closure allows every chromatic output pair.
+        task = binary_consensus_task([1, 2])
+        computer = ClosureComputer(task, iis_tas)
+        sigma = input_simplex({1: 0, 2: 1})
+        outputs = set(computer.legal_outputs(sigma))
+        assert len(outputs) == 4  # all bit pairs
+
+    def test_quantify_beta_expands_closure(self, iis_bc_beta011):
+        # With β quantification the solver may pick a β that separates the
+        # two processes, making 2-process consensus-like coordination
+        # possible (consensus box has consensus number ∞).
+        task = binary_consensus_task([1, 2])
+        fixed = ClosureComputer(task, iis_bc_beta011)
+        quantified = ClosureComputer(task, iis_bc_beta011, quantify_beta=True)
+        sigma = input_simplex({1: 0, 2: 1})
+        assert set(fixed.legal_outputs(sigma)) <= set(
+            quantified.legal_outputs(sigma)
+        )

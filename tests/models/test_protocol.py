@@ -1,0 +1,67 @@
+"""Unit tests for the memoized protocol operator Ξ."""
+
+import pytest
+
+from repro.models import ImmediateSnapshotModel, ProtocolOperator
+from repro.topology import Simplex, SimplicialComplex
+
+
+@pytest.fixture
+def operator(iis):
+    return ProtocolOperator(iis)
+
+
+class TestOfSimplex:
+    def test_zero_rounds(self, operator, triangle):
+        assert operator.of_simplex(triangle, 0) == SimplicialComplex.from_simplex(
+            triangle
+        )
+
+    def test_one_round_matches_model(self, operator, iis, triangle):
+        # Ξ over σ̄ = the full subdivided simplex (faces included).
+        expected = iis.protocol_complex(
+            SimplicialComplex.from_simplex(triangle), 1
+        )
+        assert operator.of_simplex(triangle, 1) == expected
+
+    def test_memoization(self, operator, triangle):
+        assert operator.of_simplex(triangle, 2) is operator.of_simplex(
+            triangle, 2
+        )
+
+    def test_face_protocol_contained_in_facet_protocol(
+        self, operator, triangle
+    ):
+        face = triangle.proj([1, 2])
+        face_protocol = operator.of_simplex(face, 1)
+        full_protocol = operator.of_simplex(triangle, 1)
+        assert face_protocol.simplices <= full_protocol.simplices
+
+
+class TestOfComplex:
+    def test_union_over_simplices(self, operator, triangle):
+        base = SimplicialComplex.from_simplex(triangle)
+        merged = operator.of_complex(base, 1)
+        assert merged == operator.of_simplex(triangle, 1)
+
+    def test_disjoint_inputs(self, operator):
+        base = SimplicialComplex(
+            [Simplex([(1, "a")]), Simplex([(2, "b")])]
+        )
+        protocol = operator.of_complex(base, 1)
+        assert len(protocol.facets) == 2
+        assert protocol.dim == 0
+
+
+class TestCarriers:
+    def test_carrier_table_covers_all_simplices(self, operator, triangle):
+        base = SimplicialComplex.from_simplex(triangle)
+        table = operator.carriers(base, 1)
+        assert set(table) == set(base.simplices)
+
+    def test_carrier_facets_have_input_colors(self, operator, triangle):
+        base = SimplicialComplex.from_simplex(triangle)
+        table = operator.carriers(base, 1)
+        for sigma, facets in table.items():
+            for facet in facets:
+                assert facet.ids == sigma.ids

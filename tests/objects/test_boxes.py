@@ -1,0 +1,118 @@
+"""Unit tests for the test&set and binary consensus boxes."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.schedules import schedule_from_blocks
+from repro.objects import BinaryConsensusBox, TestAndSetBox
+from repro.objects.beta import beta_input_function, majority_side
+from repro.topology import Vertex
+
+
+class TestTestAndSetBox:
+    def test_one_winner_per_assignment(self):
+        box = TestAndSetBox()
+        schedule = schedule_from_blocks([[1, 2], [3]])
+        for assignment in box.assignments(schedule, {}):
+            assert sorted(assignment) == [1, 2, 3]
+            assert sum(assignment.values()) == 1
+
+    def test_winner_in_first_block(self):
+        box = TestAndSetBox()
+        schedule = schedule_from_blocks([[2], [1, 3]])
+        winners = {
+            next(p for p, bit in assignment.items() if bit == 1)
+            for assignment in box.assignments(schedule, {})
+        }
+        assert winners == {2}
+
+    def test_first_block_pair_gives_two_assignments(self):
+        box = TestAndSetBox()
+        schedule = schedule_from_blocks([[1, 3], [2]])
+        assignments = list(box.assignments(schedule, {}))
+        assert len(assignments) == 2
+        winners = {
+            next(p for p, bit in a.items() if bit == 1) for a in assignments
+        }
+        assert winners == {1, 3}
+
+    def test_solo_output_is_one(self):
+        assert TestAndSetBox().solo_output(7, None) == 1
+
+    def test_requires_no_inputs(self):
+        assert not TestAndSetBox().requires_inputs()
+
+
+class TestBinaryConsensusBox:
+    def test_agreement_in_every_assignment(self):
+        box = BinaryConsensusBox()
+        schedule = schedule_from_blocks([[1, 2], [3]])
+        for assignment in box.assignments(schedule, {1: 0, 2: 1, 3: 1}):
+            assert len(set(assignment.values())) == 1
+
+    def test_validity_wrt_first_block(self):
+        box = BinaryConsensusBox()
+        schedule = schedule_from_blocks([[1], [2, 3]])
+        decided = {
+            next(iter(set(a.values())))
+            for a in box.assignments(schedule, {1: 0, 2: 1, 3: 1})
+        }
+        assert decided == {0}  # only process 1's input counts
+
+    def test_mixed_first_block_gives_both(self):
+        box = BinaryConsensusBox()
+        schedule = schedule_from_blocks([[1, 2], [3]])
+        decided = {
+            next(iter(set(a.values())))
+            for a in box.assignments(schedule, {1: 0, 2: 1, 3: 0})
+        }
+        assert decided == {0, 1}
+
+    def test_uniform_inputs_forced(self):
+        box = BinaryConsensusBox()
+        schedule = schedule_from_blocks([[1, 2, 3]])
+        assignments = list(box.assignments(schedule, {1: 1, 2: 1, 3: 1}))
+        assert len(assignments) == 1
+        assert set(assignments[0].values()) == {1}
+
+    def test_missing_input_rejected(self):
+        box = BinaryConsensusBox()
+        schedule = schedule_from_blocks([[1, 2]])
+        with pytest.raises(ModelError):
+            list(box.assignments(schedule, {1: 0}))
+
+    def test_solo_output_echoes_input(self):
+        assert BinaryConsensusBox().solo_output(4, 1) == 1
+        assert BinaryConsensusBox().solo_output(4, 0) == 0
+
+    def test_works_for_non_binary_values(self):
+        box = BinaryConsensusBox()
+        schedule = schedule_from_blocks([[1], [2]])
+        decided = [
+            set(a.values()) for a in box.assignments(schedule, {1: "x", 2: "y"})
+        ]
+        assert decided == [{"x"}]
+
+
+class TestBetaHelpers:
+    def test_beta_input_function_ignores_view(self):
+        alpha = beta_input_function({1: 0, 2: 1})
+        assert alpha(Vertex(1, "whatever")) == 0
+        assert alpha(Vertex(2, ("complex", "state"))) == 1
+
+    def test_majority_side_prefers_zeros_on_tie(self):
+        beta = {1: 0, 2: 1}
+        assert majority_side(beta, [1, 2]) == frozenset({1})
+
+    def test_majority_side_picks_larger(self):
+        beta = {1: 0, 2: 1, 3: 1, 4: 1, 5: 0}
+        assert majority_side(beta, [1, 2, 3, 4, 5]) == frozenset({2, 3, 4})
+
+    def test_majority_side_restricted_to_ids(self):
+        beta = {1: 0, 2: 1, 3: 1, 4: 1, 5: 0}
+        assert majority_side(beta, [1, 2, 5]) == frozenset({1, 5})
+
+    def test_majority_side_at_least_half(self):
+        beta = {i: i % 2 for i in range(1, 8)}
+        side = majority_side(beta, range(1, 8))
+        assert len(side) >= 7 / 2

@@ -1,0 +1,120 @@
+"""Unit tests for adversarial schedulers."""
+
+import pytest
+
+from repro.errors import RuntimeModelError
+from repro.runtime import (
+    FixedScheduleAdversary,
+    FullSyncAdversary,
+    RandomAdversary,
+    SoloFirstAdversary,
+    all_schedule_sequences,
+)
+
+
+ACTIVE = frozenset({1, 2, 3})
+
+
+class TestFullSync:
+    def test_single_block(self):
+        schedule = FullSyncAdversary().schedule(1, ACTIVE)
+        assert schedule.blocks() == (ACTIVE,)
+
+    def test_no_crashes(self):
+        assert FullSyncAdversary().crashes(1, ACTIVE) == frozenset()
+
+
+class TestSoloFirst:
+    def test_chosen_process_runs_alone_first(self):
+        schedule = SoloFirstAdversary(2).schedule(1, ACTIVE)
+        assert schedule.blocks()[0] == frozenset({2})
+        assert schedule.view_of(2) == frozenset({2})
+
+    def test_absent_process_falls_back_to_sync(self):
+        schedule = SoloFirstAdversary(9).schedule(1, ACTIVE)
+        assert schedule.blocks() == (ACTIVE,)
+
+    def test_sole_survivor(self):
+        schedule = SoloFirstAdversary(1).schedule(1, frozenset({1}))
+        assert schedule.blocks() == (frozenset({1}),)
+
+
+class TestFixedSchedule:
+    def test_replays_blocks(self):
+        adversary = FixedScheduleAdversary([[[1], [2, 3]], [[3], [1], [2]]])
+        first = adversary.schedule(1, ACTIVE)
+        assert first.blocks() == (frozenset({1}), frozenset({2, 3}))
+        second = adversary.schedule(2, ACTIVE)
+        assert second.blocks()[0] == frozenset({3})
+
+    def test_trims_crashed_processes(self):
+        adversary = FixedScheduleAdversary([[[1], [2, 3]]])
+        schedule = adversary.schedule(1, frozenset({2, 3}))
+        assert schedule.blocks() == (frozenset({2, 3}),)
+
+    def test_missing_round_rejected(self):
+        adversary = FixedScheduleAdversary([[[1]]])
+        with pytest.raises(RuntimeModelError):
+            adversary.schedule(2, frozenset({1}))
+
+    def test_uncovered_active_rejected(self):
+        adversary = FixedScheduleAdversary([[[1]]])
+        with pytest.raises(RuntimeModelError):
+            adversary.schedule(1, ACTIVE)
+
+
+class TestRandomAdversary:
+    def test_deterministic_per_seed(self):
+        left = RandomAdversary(seed=5)
+        right = RandomAdversary(seed=5)
+        for round_index in range(1, 5):
+            assert left.schedule(round_index, ACTIVE) == right.schedule(
+                round_index, ACTIVE
+            )
+
+    def test_schedule_covers_active(self):
+        adversary = RandomAdversary(seed=1)
+        for round_index in range(1, 20):
+            schedule = adversary.schedule(round_index, ACTIVE)
+            assert schedule.participants == ACTIVE
+
+    def test_never_crashes_everyone(self):
+        adversary = RandomAdversary(seed=3, crash_probability=0.9)
+        active = ACTIVE
+        for round_index in range(1, 50):
+            doomed = adversary.crashes(round_index, active)
+            active = active - doomed
+            assert active
+            if len(active) == 1:
+                break
+
+    def test_zero_probability_never_crashes(self):
+        adversary = RandomAdversary(seed=3, crash_probability=0.0)
+        assert adversary.crashes(1, ACTIVE) == frozenset()
+
+    def test_chooses_among_options(self):
+        adversary = RandomAdversary(seed=4)
+        options = [{"o": 1}, {"o": 2}, {"o": 3}]
+        chosen = {
+            tuple(
+                adversary.choose_assignment(
+                    1, FullSyncAdversary().schedule(1, ACTIVE), options
+                ).items()
+            )
+            for _ in range(50)
+        }
+        assert len(chosen) > 1  # actually randomizes
+
+
+class TestExhaustiveSequences:
+    def test_counts(self):
+        assert len(list(all_schedule_sequences([1, 2], 1))) == 3
+        assert len(list(all_schedule_sequences([1, 2], 2))) == 9
+        assert len(list(all_schedule_sequences([1, 2, 3], 1))) == 13
+
+    def test_sequences_are_block_tuples(self):
+        for sequence in all_schedule_sequences([1, 2], 2):
+            assert len(sequence) == 2
+            for blocks in sequence:
+                flattened = sorted(p for block in blocks for p in block)
+                assert flattened == [1, 2]

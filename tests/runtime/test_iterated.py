@@ -1,0 +1,119 @@
+"""Unit tests for the iterated executor."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import HalvingAA, TwoProcessConsensusTAS
+from repro.errors import RuntimeModelError
+from repro.objects import TestAndSetBox
+from repro.runtime import (
+    FixedScheduleAdversary,
+    FullSyncAdversary,
+    IteratedExecutor,
+    RandomAdversary,
+    SoloFirstAdversary,
+    IteratedExecutor,
+)
+
+
+def F(num, den=1):
+    return Fraction(num, den)
+
+
+INPUTS = {1: F(0), 2: F(1, 2), 3: F(1)}
+
+
+class TestBasicExecution:
+    def test_synchronous_run_decides_for_everyone(self):
+        result = IteratedExecutor().run(HalvingAA(F(1, 4)), INPUTS)
+        assert sorted(result.decisions) == [1, 2, 3]
+        assert result.crashed == {}
+
+    def test_trace_records_rounds(self):
+        algorithm = HalvingAA(F(1, 4))
+        result = IteratedExecutor().run(algorithm, INPUTS)
+        assert len(result.trace) == algorithm.rounds
+        assert result.trace[0].round_index == 1
+        assert result.trace[0].blocks == ((1, 2, 3),)
+
+    def test_views_in_trace_match_blocks(self):
+        adversary = FixedScheduleAdversary([[[2], [1, 3]], [[1, 2, 3]]])
+        result = IteratedExecutor().run(HalvingAA(F(1, 4)), INPUTS, adversary)
+        first = result.trace[0]
+        assert first.views[2] == (2,)
+        assert first.views[1] == (1, 2, 3)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(RuntimeModelError):
+            IteratedExecutor().run(HalvingAA(F(1, 2)), {})
+
+    def test_surviving(self):
+        result = IteratedExecutor().run(HalvingAA(F(1, 2)), INPUTS)
+        assert result.surviving() == (1, 2, 3)
+
+
+class TestCrashes:
+    def test_crashed_processes_do_not_decide(self):
+        class CrashTwo(FullSyncAdversary):
+            def crashes(self, round_index, active):
+                return frozenset({2}) if round_index == 1 else frozenset()
+
+        result = IteratedExecutor().run(
+            HalvingAA(F(1, 4)), INPUTS, CrashTwo()
+        )
+        assert 2 not in result.decisions
+        assert result.crashed == {2: 1}
+        assert sorted(result.decisions) == [1, 3]
+
+    def test_survivors_still_satisfy_agreement(self):
+        for seed in range(30):
+            adversary = RandomAdversary(seed=seed, crash_probability=0.25)
+            result = IteratedExecutor().run(
+                HalvingAA(F(1, 4)), INPUTS, adversary
+            )
+            values = list(result.decisions.values())
+            assert values, "wait-freedom: someone must decide"
+            assert max(values) - min(values) <= F(1, 4)
+
+    def test_adversary_cannot_kill_everyone(self):
+        class KillAll(FullSyncAdversary):
+            def crashes(self, round_index, active):
+                return active
+
+        with pytest.raises(RuntimeModelError):
+            IteratedExecutor().run(HalvingAA(F(1, 2)), INPUTS, KillAll())
+
+
+class TestScheduleValidation:
+    def test_partial_schedule_rejected(self):
+        class BadAdversary(FullSyncAdversary):
+            def schedule(self, round_index, active):
+                from repro.models.schedules import schedule_from_blocks
+
+                return schedule_from_blocks([sorted(active)[:1]])
+
+        with pytest.raises(RuntimeModelError):
+            IteratedExecutor().run(HalvingAA(F(1, 2)), INPUTS, BadAdversary())
+
+
+class TestBoxIntegration:
+    def test_box_outputs_recorded_in_trace(self):
+        executor = IteratedExecutor(box=TestAndSetBox())
+        result = executor.run(
+            TwoProcessConsensusTAS(), {1: "a", 2: "b"}, FullSyncAdversary()
+        )
+        outputs = result.trace[0].box_outputs
+        assert sorted(outputs) == [1, 2]
+        assert sum(outputs.values()) == 1
+
+    def test_solo_first_process_wins_box(self):
+        executor = IteratedExecutor(box=TestAndSetBox())
+        result = executor.run(
+            TwoProcessConsensusTAS(),
+            {1: "a", 2: "b"},
+            SoloFirstAdversary(2),
+        )
+        assert result.trace[0].box_outputs[2] == 1
+        # Winner imposes its value.
+        assert set(result.decisions.values()) == {"b"}

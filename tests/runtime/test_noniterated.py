@@ -1,0 +1,123 @@
+"""Tests for the non-iterated executor and phase-filtered halving AA."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import HalvingAA, NonIteratedHalvingAA
+from repro.errors import RuntimeModelError
+from repro.runtime import NonIteratedExecutor
+
+
+def F(num, den=1):
+    return Fraction(num, den)
+
+
+INPUTS = {1: F(0), 2: F(1, 2), 3: F(1)}
+
+
+class TestExecutorBasics:
+    def test_everyone_decides(self):
+        result = NonIteratedExecutor(seed=0).run(HalvingAA(F(1, 4)), INPUTS)
+        assert sorted(result.decisions) == [1, 2, 3]
+
+    def test_deterministic_per_seed(self):
+        left = NonIteratedExecutor(seed=9).run(HalvingAA(F(1, 4)), INPUTS)
+        right = NonIteratedExecutor(seed=9).run(HalvingAA(F(1, 4)), INPUTS)
+        assert left.decisions == right.decisions
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(RuntimeModelError):
+            NonIteratedExecutor().run(HalvingAA(F(1, 2)), {})
+
+    def test_observations_cover_all_phases(self):
+        algorithm = HalvingAA(F(1, 4))
+        result = NonIteratedExecutor(seed=1).run(algorithm, INPUTS)
+        per_process = {}
+        for obs in result.observations:
+            per_process.setdefault(obs.process, []).append(obs.phase)
+        for phases in per_process.values():
+            assert phases == list(range(1, algorithm.rounds + 1))
+
+    def test_outputs_stay_in_range(self):
+        for seed in range(100):
+            result = NonIteratedExecutor(seed=seed).run(
+                HalvingAA(F(1, 4)), INPUTS
+            )
+            for value in result.decisions.values():
+                assert F(0) <= value <= F(1)
+
+
+class TestSynchronizedMode:
+    def test_skew_at_most_one(self):
+        # Phase barriers align progress, but a collect may still return the
+        # previous-phase value of a process that has not written the
+        # current phase yet — the residual non-iterated effect.
+        for seed in range(30):
+            result = NonIteratedExecutor(seed=seed, synchronized=True).run(
+                HalvingAA(F(1, 4)), INPUTS
+            )
+            assert result.max_phase_skew() <= 1
+
+    def test_even_synchronized_runs_can_violate_epsilon(self):
+        # The crucial difference from the iterated model: an iterated
+        # round-r collect of an unwritten register returns nothing, but the
+        # non-iterated register exposes the stale round-(r-1) value.  That
+        # alone breaks the round-indexed halving map on some schedules —
+        # structurally hiding stale values is what the iterated model buys.
+        eps = F(1, 4)
+        violations = 0
+        for seed in range(200):
+            result = NonIteratedExecutor(seed=seed, synchronized=True).run(
+                HalvingAA(eps), INPUTS
+            )
+            values = list(result.decisions.values())
+            if max(values) - min(values) > eps:
+                violations += 1
+        assert violations > 0
+
+    def test_phase_filter_repairs_synchronized_mode_too(self):
+        eps = F(1, 4)
+        for seed in range(200):
+            result = NonIteratedExecutor(seed=seed, synchronized=True).run(
+                NonIteratedHalvingAA(eps), INPUTS
+            )
+            values = list(result.decisions.values())
+            assert max(values) - min(values) <= eps
+
+
+class TestAsynchronousSkew:
+    def test_skew_actually_occurs(self):
+        skews = set()
+        for seed in range(100):
+            result = NonIteratedExecutor(seed=seed).run(
+                HalvingAA(F(1, 8)), INPUTS
+            )
+            skews.add(result.max_phase_skew())
+        assert max(skews) >= 1  # genuinely non-iterated behavior
+
+    def test_plain_halving_breaks_under_asynchrony(self):
+        # The E21 finding: stale reads defeat the round-indexed ε_r.
+        eps = F(1, 4)
+        violations = 0
+        for seed in range(500):
+            result = NonIteratedExecutor(seed=seed).run(
+                HalvingAA(eps), INPUTS
+            )
+            values = list(result.decisions.values())
+            if max(values) - min(values) > eps:
+                violations += 1
+        assert violations > 0
+
+    def test_phase_filtered_halving_is_robust(self):
+        eps = F(1, 4)
+        algorithm = NonIteratedHalvingAA(eps)
+        for seed in range(500):
+            result = NonIteratedExecutor(seed=seed).run(algorithm, INPUTS)
+            values = list(result.decisions.values())
+            assert max(values) - min(values) <= eps
+            assert all(F(0) <= v <= F(1) for v in values)
+
+    def test_filtered_variant_declares_phase_awareness(self):
+        assert NonIteratedHalvingAA(F(1, 2)).phase_aware
+        assert not getattr(HalvingAA(F(1, 2)), "phase_aware", False)

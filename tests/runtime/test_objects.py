@@ -1,0 +1,68 @@
+"""Unit tests for the linearizable runtime objects."""
+
+import pytest
+
+from repro.errors import RuntimeModelError
+from repro.models.schedules import schedule_from_blocks
+from repro.objects import BinaryConsensusBox, TestAndSetBox
+from repro.runtime import LinearizableConsensus, LinearizableTestAndSet
+
+
+class TestLinearizableTestAndSet:
+    def test_first_invoker_wins(self):
+        obj = LinearizableTestAndSet()
+        assert obj.invoke(3) == 1
+        assert obj.invoke(1) == 0
+        assert obj.invoke(2) == 0
+        assert obj.winner == 3
+
+    def test_reset(self):
+        obj = LinearizableTestAndSet()
+        obj.invoke(1)
+        obj.reset()
+        assert obj.winner is None
+        assert obj.invoke(2) == 1
+
+    def test_behavior_admissible_for_combinatorial_box(self):
+        # Any invocation order is a linearization in which the winner is
+        # the first invoker; the combinatorial box must admit the resulting
+        # assignment whenever the winner sits in the first block.
+        box = TestAndSetBox()
+        schedule = schedule_from_blocks([[2, 3], [1]])
+        for order in ([2, 3, 1], [3, 2, 1]):
+            obj = LinearizableTestAndSet()
+            assignment = {p: obj.invoke(p) for p in order}
+            admissible = list(box.assignments(schedule, {}))
+            assert assignment in admissible
+
+
+class TestLinearizableConsensus:
+    def test_first_proposal_decided(self):
+        obj = LinearizableConsensus()
+        assert obj.propose(1, "x") == "x"
+        assert obj.propose(2, "y") == "x"
+        assert obj.decided_value == "x"
+
+    def test_none_proposal_rejected(self):
+        with pytest.raises(RuntimeModelError):
+            LinearizableConsensus().propose(1, None)
+
+    def test_reset(self):
+        obj = LinearizableConsensus()
+        obj.propose(1, "x")
+        obj.reset()
+        assert obj.decided_value is None
+        assert obj.propose(2, "y") == "y"
+
+    def test_behavior_admissible_for_combinatorial_box(self):
+        box = BinaryConsensusBox()
+        schedule = schedule_from_blocks([[1, 2], [3]])
+        inputs = {1: 0, 2: 1, 3: 1}
+        # First invoker in the first block decides; both orders are
+        # admissible behaviors of the adversarial box.
+        for first in (1, 2):
+            obj = LinearizableConsensus()
+            order = [first] + [p for p in (1, 2, 3) if p != first]
+            assignment = {p: obj.propose(p, inputs[p]) for p in order}
+            admissible = list(box.assignments(schedule, inputs))
+            assert assignment in admissible

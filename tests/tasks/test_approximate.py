@@ -1,0 +1,131 @@
+"""Unit tests for (liberal) ε-approximate agreement on the rational grid."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import TaskSpecificationError
+from repro.tasks import (
+    approximate_agreement_task,
+    grid,
+    liberal_approximate_agreement_task,
+)
+from repro.tasks.inputs import input_simplex
+
+
+def F(num, den=1):
+    return Fraction(num, den)
+
+
+class TestGrid:
+    def test_grid_values(self):
+        assert grid(4) == [F(0), F(1, 4), F(1, 2), F(3, 4), F(1)]
+
+    def test_grid_resolution_one(self):
+        assert grid(1) == [F(0), F(1)]
+
+    def test_invalid_resolution(self):
+        with pytest.raises(TaskSpecificationError):
+            grid(0)
+
+
+class TestEpsilonValidation:
+    def test_epsilon_must_divide_grid(self):
+        with pytest.raises(TaskSpecificationError):
+            approximate_agreement_task([1, 2], F(1, 3), 4)
+
+    def test_epsilon_must_be_positive(self):
+        with pytest.raises(TaskSpecificationError):
+            approximate_agreement_task([1, 2], 0, 4)
+
+    def test_epsilon_accepts_strings_and_ints(self):
+        task = approximate_agreement_task([1, 2], "1/4", 4)
+        assert task.epsilon == F(1, 4)
+        assert approximate_agreement_task([1, 2], 1, 4).epsilon == F(1)
+
+
+class TestStandardTask:
+    def test_outputs_within_epsilon(self):
+        task = approximate_agreement_task([1, 2, 3], F(1, 4), 4)
+        sigma = input_simplex({1: F(0), 2: F(1, 2), 3: F(1)})
+        for facet in task.delta(sigma).facets:
+            values = [v.value for v in facet.vertices]
+            assert max(values) - min(values) <= F(1, 4)
+
+    def test_outputs_within_range(self):
+        task = approximate_agreement_task([1, 2], F(1, 4), 4)
+        sigma = input_simplex({1: F(1, 4), 2: F(3, 4)})
+        for facet in task.delta(sigma).facets:
+            for vertex in facet.vertices:
+                assert F(1, 4) <= vertex.value <= F(3, 4)
+
+    def test_solo_keeps_input(self):
+        task = approximate_agreement_task([1, 2], F(1, 2), 2)
+        sigma = input_simplex({1: F(1, 2)})
+        assert task.delta(sigma).facets == frozenset({sigma})
+
+    def test_uniform_inputs_force_that_value(self):
+        task = approximate_agreement_task([1, 2], F(1, 2), 2)
+        sigma = input_simplex({1: F(1, 2), 2: F(1, 2)})
+        assert task.delta(sigma).facets == frozenset({sigma})
+
+    def test_delta_cached_by_window(self):
+        task = approximate_agreement_task([1, 2], F(1, 4), 4)
+        left = task.delta(input_simplex({1: F(0), 2: F(1, 2)}))
+        right = task.delta(input_simplex({1: F(1, 2), 2: F(0)}))
+        assert left is right  # same (ids, min, max) key
+
+    def test_validates(self):
+        approximate_agreement_task([1, 2], F(1, 2), 2).validate()
+
+    def test_epsilon_one_makes_everything_legal(self):
+        task = approximate_agreement_task([1, 2], 1, 2)
+        sigma = input_simplex({1: F(0), 2: F(1)})
+        # Any grid pair within range is fine when ε = 1.
+        assert len(task.delta(sigma).facets) == 9
+
+
+class TestLiberalTask:
+    def test_two_participants_unconstrained_distance(self):
+        task = liberal_approximate_agreement_task([1, 2, 3], F(1, 4), 4)
+        sigma = input_simplex({1: F(0), 2: F(1)})
+        legal = task.delta(sigma)
+        assert input_simplex({1: F(0), 2: F(1)}) in legal
+
+    def test_two_participants_range_still_enforced(self):
+        task = liberal_approximate_agreement_task([1, 2, 3], F(1, 4), 4)
+        sigma = input_simplex({1: F(1, 4), 2: F(1, 2)})
+        legal = task.delta(sigma)
+        assert input_simplex({1: F(0), 2: F(1, 2)}) not in legal
+
+    def test_three_participants_constrained(self):
+        task = liberal_approximate_agreement_task([1, 2, 3], F(1, 4), 4)
+        sigma = input_simplex({1: F(0), 2: F(1, 2), 3: F(1)})
+        for facet in task.delta(sigma).facets:
+            values = [v.value for v in facet.vertices]
+            assert max(values) - min(values) <= F(1, 4)
+
+    def test_output_complex_contains_wide_edges(self):
+        task = liberal_approximate_agreement_task([1, 2, 3], F(1, 4), 4)
+        assert input_simplex({1: F(0), 3: F(1)}) in task.output_complex
+
+    def test_standard_more_constrained_than_liberal(self):
+        strict = approximate_agreement_task([1, 2, 3], F(1, 4), 4)
+        liberal = liberal_approximate_agreement_task([1, 2, 3], F(1, 4), 4)
+        for sigma in [
+            input_simplex({1: F(0), 2: F(1)}),
+            input_simplex({1: F(0), 2: F(1, 2), 3: F(1)}),
+        ]:
+            assert (
+                strict.delta(sigma).simplices
+                <= liberal.delta(sigma).simplices
+            )
+
+    def test_validates(self):
+        liberal_approximate_agreement_task([1, 2, 3], F(1, 2), 2).validate()
+
+    def test_values_are_exact_fractions(self):
+        task = liberal_approximate_agreement_task([1, 2], F(1, 4), 4)
+        sigma = input_simplex({1: F(0), 2: F(1)})
+        for vertex in task.delta(sigma).vertices:
+            assert isinstance(vertex.value, Fraction)

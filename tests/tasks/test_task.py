@@ -1,0 +1,131 @@
+"""Unit tests for the Task triple and its well-formedness checks."""
+
+import pytest
+
+from repro.errors import TaskSpecificationError
+from repro.tasks import Task, binary_consensus_task
+from repro.tasks.inputs import binary_input_complex, full_input_complex, input_simplex
+from repro.topology import Simplex, SimplicialComplex
+
+
+class TestInputBuilders:
+    def test_full_input_complex_facet_count(self):
+        complex_ = full_input_complex([1, 2], ["a", "b", "c"])
+        assert len(complex_.facets) == 9
+        assert complex_.dim == 1
+
+    def test_binary_input_complex(self):
+        complex_ = binary_input_complex([1, 2, 3])
+        assert len(complex_.facets) == 8
+        assert Simplex([(1, 0), (2, 1)]) in complex_
+
+    def test_input_simplex(self):
+        sigma = input_simplex({1: 0, 2: 1})
+        assert sigma.value_of(2) == 1
+
+    def test_empty_ids_rejected(self):
+        with pytest.raises(TaskSpecificationError):
+            full_input_complex([], [0])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(TaskSpecificationError):
+            full_input_complex([1], [])
+
+
+class TestTaskBasics:
+    def test_delta_memoized(self):
+        calls = []
+
+        def delta(sigma):
+            calls.append(sigma)
+            return SimplicialComplex.from_simplex(sigma)
+
+        task = Task(
+            "identity",
+            binary_input_complex([1, 2]),
+            binary_input_complex([1, 2]),
+            delta,
+        )
+        sigma = input_simplex({1: 0, 2: 1})
+        task.delta(sigma)
+        task.delta(sigma)
+        assert len(calls) == 1
+
+    def test_is_legal_output(self):
+        task = binary_consensus_task([1, 2])
+        sigma = input_simplex({1: 0, 2: 1})
+        assert task.is_legal_output(sigma, input_simplex({1: 0, 2: 0}))
+        assert not task.is_legal_output(sigma, input_simplex({1: 0, 2: 1}))
+        # Color mismatch is never legal.
+        assert not task.is_legal_output(sigma, input_simplex({1: 0}))
+
+    def test_validate_passes_for_consensus(self):
+        binary_consensus_task([1, 2, 3]).validate()
+
+    def test_validate_rejects_color_leak(self):
+        def delta(sigma):
+            return SimplicialComplex.from_simplex(Simplex([(99, 0)]))
+
+        task = Task(
+            "bad",
+            binary_input_complex([1]),
+            SimplicialComplex.from_simplex(Simplex([(99, 0)])),
+            delta,
+        )
+        with pytest.raises(TaskSpecificationError):
+            task.validate()
+
+    def test_validate_rejects_output_outside_complex(self):
+        def delta(sigma):
+            return SimplicialComplex.from_simplex(
+                Simplex((i, "stray") for i in sorted(sigma.ids))
+            )
+
+        task = Task(
+            "bad",
+            binary_input_complex([1]),
+            binary_input_complex([1]),
+            delta,
+        )
+        with pytest.raises(TaskSpecificationError):
+            task.validate()
+
+
+class TestDerivedTasks:
+    def test_restricted_to_subcomplex(self):
+        task = binary_consensus_task([1, 2, 3])
+        sub = SimplicialComplex.from_simplex(input_simplex({1: 0, 2: 1}))
+        restricted = task.restricted_to(sub)
+        assert restricted.input_complex == sub
+        # Same Δ on surviving simplices.
+        sigma = input_simplex({1: 0, 2: 1})
+        assert restricted.delta(sigma) == task.delta(sigma)
+
+    def test_restricted_to_non_subcomplex_rejected(self):
+        task = binary_consensus_task([1, 2])
+        foreign = SimplicialComplex.from_simplex(input_simplex({1: "z"}))
+        with pytest.raises(TaskSpecificationError):
+            task.restricted_to(foreign)
+
+    def test_with_name(self):
+        task = binary_consensus_task([1, 2]).with_name("renamed")
+        assert task.name == "renamed"
+
+    def test_same_specification_as_self(self):
+        left = binary_consensus_task([1, 2])
+        right = binary_consensus_task([1, 2])
+        assert left.same_specification_as(right)
+
+    def test_specification_differs_across_sizes(self):
+        left = binary_consensus_task([1, 2])
+        right = binary_consensus_task([1, 2, 3])
+        assert not left.same_specification_as(right)
+
+    def test_specification_table(self):
+        task = binary_consensus_task([1, 2])
+        table = task.specification_table()
+        assert set(table) == set(task.input_complex.simplices)
+
+    def test_monotonicity_of_consensus(self):
+        # Consensus Δ is a carrier map: faces' outputs are contained.
+        assert binary_consensus_task([1, 2]).is_monotone()

@@ -1,0 +1,176 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["models"],
+            ["impossibility", "consensus", "--n", "2"],
+            ["closure", "--eps", "1/4"],
+            ["bounds", "--n", "4"],
+            ["run", "halving", "--inputs", "0,1"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+
+class TestModelsCommand:
+    def test_prints_fig8_census(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "13 facets" in out
+        assert "25 facets" in out
+
+
+class TestImpossibilityCommand:
+    def test_consensus_iis(self, capsys):
+        assert main(["impossibility", "consensus", "--n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "unsolvable" in out
+
+    def test_relaxed_consensus_tas(self, capsys):
+        assert (
+            main(
+                [
+                    "impossibility",
+                    "relaxed-consensus",
+                    "--n",
+                    "3",
+                    "--model",
+                    "tas",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fixed point" in out
+
+    def test_unknown_model_exits(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["impossibility", "consensus", "--model", "nonsense"]
+            )
+
+
+class TestClosureCommand:
+    def test_two_process_quarter(self, capsys):
+        assert main(["closure", "--n", "2", "--eps", "1/4", "--m", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "max spread: 3/4" in out  # Claim 2: 3ε
+
+    def test_liberal_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "closure",
+                    "--n",
+                    "3",
+                    "--eps",
+                    "1/4",
+                    "--m",
+                    "4",
+                    "--liberal",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "liberal" in out
+        assert "max spread: 1/2" in out  # Claim 3: 2ε
+
+
+class TestBoundsCommand:
+    def test_table_lists_models(self, capsys):
+        assert main(["bounds", "--n", "8", "--eps", "1/8"]) == 0
+        out = capsys.readouterr().out
+        assert "wait-free IIS" in out
+        assert "binary consensus" in out
+        assert "2 rounds" in out  # min(3, ⌈log₂ 8⌉ − 1) = 2
+
+    def test_two_processes_hide_bc_row(self, capsys):
+        assert main(["bounds", "--n", "2", "--eps", "1/9"]) == 0
+        out = capsys.readouterr().out
+        assert "binary consensus" not in out
+
+
+class TestRunCommand:
+    def test_halving(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "halving",
+                    "--eps",
+                    "1/4",
+                    "--inputs",
+                    "0,1/2,1",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "decisions" in out
+        assert "round 1" in out
+
+    def test_tas_consensus(self, capsys):
+        assert (
+            main(["run", "tas-consensus", "--inputs", "0,1", "--seed", "1"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "box=" in out
+
+    def test_bc_consensus_with_crashes(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "bc-consensus",
+                    "--inputs",
+                    "0,1/4,1/2,1",
+                    "--seed",
+                    "5",
+                    "--crash",
+                    "0.2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "decisions" in out
+
+
+class TestExperimentCommand:
+    def test_list_shows_all_ids(self, capsys):
+        assert main(["experiment"]) == 0
+        out = capsys.readouterr().out
+        for identifier in ("E1", "E9", "E21"):
+            assert identifier in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["experiment", "E14"]) == 0
+        out = capsys.readouterr().out
+        assert "Claim 1" in out
+        assert "liberal_2" in out
+
+    def test_case_insensitive(self, capsys):
+        assert main(["experiment", "e1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["experiment", "E99"])

@@ -1,0 +1,117 @@
+"""Tests for the experiments registry (E1–E21)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+
+
+class TestRegistryStructure:
+    def test_twenty_one_experiments(self):
+        assert len(EXPERIMENTS) == 21
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 22)}
+
+    def test_entries_are_complete(self):
+        for identifier, entry in EXPERIMENTS.items():
+            assert entry.identifier == identifier
+            assert entry.artifact
+            assert entry.summary
+            assert callable(entry.runner)
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e9").identifier == "E9"
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ReproError):
+            get_experiment("E99")
+
+    def test_ids_match_design_doc(self):
+        # DESIGN.md §4 must list exactly the registered experiments.
+        import pathlib
+
+        design = pathlib.Path(__file__).parents[1] / "DESIGN.md"
+        text = design.read_text(encoding="utf-8")
+        for identifier in EXPERIMENTS:
+            assert f"| {identifier} |" in text, (
+                f"{identifier} missing from DESIGN.md's experiment index"
+            )
+
+
+class TestRunners:
+    """Run the fast experiments end to end through the registry."""
+
+    def test_e1_models(self):
+        data = run_experiment("E1")
+        assert data["immediate_snapshot"].facets == 13
+
+    def test_e3_corollary1(self):
+        data = run_experiment("E3")
+        assert data[2]["unsolvable"] and data[3]["unsolvable"]
+
+    def test_e5_fig5(self):
+        data = run_experiment("E5")
+        assert data["per_color"] == {1: 7, 2: 7, 3: 7}
+
+    def test_e11_fig7(self):
+        data = run_experiment("E11")
+        assert data["mixed"]["facets_per_agreed_bit"] == {0: 6, 1: 10}
+        assert data["uniform"]["facets_per_agreed_bit"] == {0: 0, 1: 13}
+
+    def test_e14_claim1(self):
+        data = run_experiment("E14")
+        assert not data["strict_2"]
+        assert data["liberal_2"]
+
+    def test_e19_scaling(self):
+        data = run_experiment("E19")
+        assert data["subdivision"] == {1: 1, 2: 3, 3: 13, 4: 75}
+        assert data["rounds"] == {0: 1, 1: 13, 2: 169}
+
+    def test_e2_closure_machinery(self):
+        data = run_experiment("E2")
+        assert data["tau_in_closure"] and not data["tau_out_closure"]
+
+    def test_e17_kset(self):
+        data = run_experiment("E17")
+        assert data["closure_grows"]
+
+
+class TestParameterizedRunners:
+    """The heavier experiment functions, exercised on reduced instances."""
+
+    def test_claim2_small_grid(self):
+        from fractions import Fraction
+
+        from repro.experiments import reproduce_claim2
+
+        data = reproduce_claim2(m=3, eps=Fraction(1, 3))
+        assert data["mismatches"] == 0
+        assert data["checked"] > 0
+
+    def test_runtime_vs_matrices_small_sample(self):
+        from repro.experiments import reproduce_runtime_vs_matrices
+
+        report = reproduce_runtime_vs_matrices(samples=50)
+        assert all(entry["sound"] for entry in report.values())
+
+    def test_upper_bounds_few_seeds(self):
+        from repro.experiments import reproduce_upper_bounds
+
+        cases = reproduce_upper_bounds(seeds=range(3))
+        assert len(cases) == 5
+        assert all(ok for _, _, _, ok in cases)
+
+    def test_noniterated_small_sample(self):
+        from repro.experiments import reproduce_noniterated
+
+        data = reproduce_noniterated(samples=120)
+        assert data["filtered_async"]["violations"] == 0
+        assert data["plain_async"]["violations"] > 0
+
+    def test_solver_ablation_shape(self):
+        from repro.experiments import reproduce_solver_ablation
+
+        data = reproduce_solver_ablation()
+        assert data["full"]["refuted"]
+        assert data["full"]["nodes"] == 0
+        assert data["none"]["exceeded"] or data["none"]["nodes"] > 0

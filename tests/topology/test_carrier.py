@@ -1,0 +1,83 @@
+"""Unit tests for carrier maps."""
+
+import pytest
+
+from repro.errors import TaskSpecificationError
+from repro.topology import CarrierMap, Simplex, SimplicialComplex
+
+
+@pytest.fixture
+def domain(triangle):
+    return SimplicialComplex.from_simplex(triangle)
+
+
+def constant_delta(sigma):
+    """A monotone, chromatic toy specification: relabel values to 0."""
+    return SimplicialComplex.from_simplex(
+        Simplex((i, 0) for i in sorted(sigma.ids))
+    )
+
+
+class TestEvaluation:
+    def test_callable_and_memoized(self, domain, triangle):
+        calls = []
+
+        def delta(sigma):
+            calls.append(sigma)
+            return constant_delta(sigma)
+
+        carrier = CarrierMap(domain, delta)
+        first = carrier(triangle)
+        second = carrier(triangle)
+        assert first == second
+        assert len(calls) == 1
+
+    def test_from_mapping(self, domain, triangle):
+        table = {
+            simplex: constant_delta(simplex) for simplex in domain
+        }
+        carrier = CarrierMap.from_mapping(domain, table)
+        assert carrier(triangle) == constant_delta(triangle)
+
+    def test_from_mapping_missing_entry(self, domain, triangle):
+        carrier = CarrierMap.from_mapping(domain, {})
+        with pytest.raises(TaskSpecificationError):
+            carrier(triangle)
+
+
+class TestStructuralChecks:
+    def test_monotone(self, domain):
+        carrier = CarrierMap(domain, constant_delta)
+        assert carrier.is_monotone()
+
+    def test_non_monotone_detected(self, domain, triangle):
+        def delta(sigma):
+            if sigma.dim == 0:
+                # A vertex maps to something NOT inside the edge images.
+                return SimplicialComplex.from_simplex(
+                    Simplex([(next(iter(sigma.ids)), "stray")])
+                )
+            return constant_delta(sigma)
+
+        carrier = CarrierMap(domain, delta)
+        assert not carrier.is_monotone()
+
+    def test_chromatic(self, domain):
+        carrier = CarrierMap(domain, constant_delta)
+        assert carrier.is_chromatic()
+
+    def test_non_chromatic_detected(self, domain):
+        def delta(sigma):
+            return SimplicialComplex.from_simplex(Simplex([(99, 0)]))
+
+        assert not CarrierMap(domain, delta).is_chromatic()
+
+    def test_agrees_on(self, domain):
+        left = CarrierMap(domain, constant_delta)
+        right = CarrierMap(domain, constant_delta)
+        assert left.agrees_on(right)
+
+    def test_total_image(self, domain, triangle):
+        carrier = CarrierMap(domain, constant_delta)
+        image = carrier.total_image()
+        assert image == constant_delta(triangle)

@@ -1,0 +1,137 @@
+"""Unit tests for chromatic simplicial complexes."""
+
+import pytest
+
+from repro.topology import Simplex, SimplicialComplex, Vertex
+
+
+@pytest.fixture
+def two_triangles():
+    """Two triangles sharing the edge on colors {1, 2}."""
+    left = Simplex([(1, "a"), (2, "b"), (3, "c")])
+    right = Simplex([(1, "a"), (2, "b"), (3, "z")])
+    return SimplicialComplex([left, right])
+
+
+class TestConstruction:
+    def test_facets_pruned(self):
+        big = Simplex([(1, "a"), (2, "b")])
+        small = big.proj([1])
+        complex_ = SimplicialComplex([big, small])
+        assert complex_.facets == frozenset({big})
+
+    def test_empty(self):
+        empty = SimplicialComplex.empty()
+        assert empty.is_empty()
+        assert empty.dim == -1
+        assert empty.f_vector() == ()
+
+    def test_from_simplex_contains_faces(self, triangle):
+        complex_ = SimplicialComplex.from_simplex(triangle)
+        assert len(complex_.simplices) == 7
+        assert triangle.proj([2]) in complex_
+
+    def test_equal_complexes(self, triangle):
+        assert SimplicialComplex.from_simplex(triangle) == SimplicialComplex(
+            [triangle]
+        )
+        assert hash(SimplicialComplex([triangle])) == hash(
+            SimplicialComplex([triangle])
+        )
+
+
+class TestAccessors:
+    def test_vertices(self, two_triangles):
+        assert len(two_triangles.vertices) == 4
+
+    def test_ids(self, two_triangles):
+        assert two_triangles.ids == frozenset({1, 2, 3})
+
+    def test_dim_and_purity(self, two_triangles):
+        assert two_triangles.dim == 2
+        assert two_triangles.is_pure()
+
+    def test_impure(self):
+        complex_ = SimplicialComplex(
+            [Simplex([(1, "a"), (2, "b")]), Simplex([(3, "c")])]
+        )
+        assert not complex_.is_pure()
+
+    def test_contains(self, two_triangles):
+        assert Simplex([(1, "a"), (2, "b")]) in two_triangles
+        assert Simplex([(3, "c"), (3, "z")]) if False else True
+        assert Simplex([(1, "zzz")]) not in two_triangles
+
+    def test_contains_chromatic_set(self, two_triangles):
+        assert two_triangles.contains_chromatic_set(
+            [Vertex(1, "a"), Vertex(2, "b")]
+        )
+        # conflicting colors are not a simplex at all
+        assert not two_triangles.contains_chromatic_set(
+            [Vertex(1, "a"), Vertex(1, "a2")]
+        )
+        # cross-facet pairing {(3,"c"),(3,"z")} is not chromatic either
+        assert not two_triangles.contains_chromatic_set(
+            [Vertex(3, "c"), Vertex(3, "z")]
+        )
+
+    def test_len_counts_all_simplices(self, triangle):
+        assert len(SimplicialComplex.from_simplex(triangle)) == 7
+
+    def test_sorted_accessors_are_deterministic(self, two_triangles):
+        assert (
+            two_triangles.sorted_vertices()
+            == sorted(two_triangles.vertices, key=lambda v: v._sort_key())
+        )
+        assert len(two_triangles.sorted_facets()) == 2
+
+
+class TestDerivedComplexes:
+    def test_proj(self, two_triangles):
+        projected = two_triangles.proj([1, 2])
+        assert projected.facets == frozenset({Simplex([(1, "a"), (2, "b")])})
+
+    def test_proj_to_absent_color_is_empty(self, two_triangles):
+        assert two_triangles.proj([9]).is_empty()
+
+    def test_skeleton(self, triangle):
+        complex_ = SimplicialComplex.from_simplex(triangle)
+        skeleton = complex_.skeleton(1)
+        assert skeleton.dim == 1
+        assert len(skeleton.facets) == 3  # the three edges
+
+    def test_skeleton_negative(self, triangle):
+        assert SimplicialComplex.from_simplex(triangle).skeleton(-1).is_empty()
+
+    def test_union_and_intersection(self, triangle):
+        left = SimplicialComplex.from_simplex(triangle.proj([1, 2]))
+        right = SimplicialComplex.from_simplex(triangle.proj([2, 3]))
+        union = left.union(right)
+        assert len(union.facets) == 2
+        shared = left.intersection(right)
+        assert shared.facets == frozenset({triangle.proj([2])})
+
+    def test_star(self, two_triangles):
+        star = two_triangles.star(Vertex(3, "c"))
+        assert len(star.facets) == 1
+
+    def test_vertices_of_color(self, two_triangles):
+        assert len(two_triangles.vertices_of_color(3)) == 2
+        assert two_triangles.vertices_of_color(9) == []
+
+
+class TestInvariants:
+    def test_f_vector_triangle(self, triangle):
+        assert SimplicialComplex.from_simplex(triangle).f_vector() == (3, 3, 1)
+
+    def test_euler_characteristic_ball(self, triangle):
+        # A simplex is contractible: χ = 1.
+        assert SimplicialComplex.from_simplex(triangle).euler_characteristic() == 1
+
+    def test_euler_characteristic_two_triangles(self, two_triangles):
+        # Two triangles glued along one edge are still contractible.
+        assert two_triangles.euler_characteristic() == 1
+
+    def test_simplices_of_dim(self, two_triangles):
+        assert len(two_triangles.simplices_of_dim(2)) == 2
+        assert len(two_triangles.simplices_of_dim(0)) == 4

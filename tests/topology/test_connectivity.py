@@ -1,0 +1,105 @@
+"""Unit tests for 1-skeleton connectivity."""
+
+import pytest
+
+from repro.topology import Simplex, SimplicialComplex, Vertex
+from repro.topology.connectivity import (
+    connected_components,
+    is_connected,
+    one_skeleton_adjacency,
+    shortest_path,
+    to_networkx,
+)
+
+
+@pytest.fixture
+def path_complex():
+    """A path of three edges: the shape used in Corollary 1's proof."""
+    return SimplicialComplex(
+        [
+            Simplex([(1, "s"), (2, "m1")]),
+            Simplex([(1, "m2"), (2, "m1")]),
+            Simplex([(1, "m2"), (2, "t")]),
+        ]
+    )
+
+
+@pytest.fixture
+def disconnected():
+    return SimplicialComplex([Simplex([(1, "a")]), Simplex([(2, "b")])])
+
+
+class TestAdjacency:
+    def test_adjacency_of_edge(self):
+        complex_ = SimplicialComplex.from_simplex(Simplex([(1, "a"), (2, "b")]))
+        adjacency = one_skeleton_adjacency(complex_)
+        assert adjacency[Vertex(1, "a")] == {Vertex(2, "b")}
+
+    def test_triangle_is_fully_adjacent(self, triangle):
+        adjacency = one_skeleton_adjacency(
+            SimplicialComplex.from_simplex(triangle)
+        )
+        assert all(len(neighbors) == 2 for neighbors in adjacency.values())
+
+    def test_isolated_vertices_have_no_neighbors(self, disconnected):
+        adjacency = one_skeleton_adjacency(disconnected)
+        assert all(not neighbors for neighbors in adjacency.values())
+
+
+class TestComponents:
+    def test_connected_path(self, path_complex):
+        assert is_connected(path_complex)
+        assert len(connected_components(path_complex)) == 1
+
+    def test_disconnected(self, disconnected):
+        assert not is_connected(disconnected)
+        assert len(connected_components(disconnected)) == 2
+
+    def test_empty_complex_not_connected(self):
+        assert not is_connected(SimplicialComplex.empty())
+
+    def test_subdivision_is_connected(self, iis, triangle):
+        assert is_connected(iis.one_round_complex(triangle))
+
+
+class TestPaths:
+    def test_shortest_path_endpoints(self, path_complex):
+        path = shortest_path(
+            path_complex, Vertex(1, "s"), Vertex(2, "t")
+        )
+        assert path is not None
+        assert path[0] == Vertex(1, "s")
+        assert path[-1] == Vertex(2, "t")
+        assert len(path) == 4  # s - m1 - m2 - t
+
+    def test_no_path_across_components(self, disconnected):
+        assert (
+            shortest_path(disconnected, Vertex(1, "a"), Vertex(2, "b"))
+            is None
+        )
+
+    def test_trivial_path(self, path_complex):
+        assert shortest_path(
+            path_complex, Vertex(1, "s"), Vertex(1, "s")
+        ) == [Vertex(1, "s")]
+
+    def test_unknown_vertex(self, path_complex):
+        assert (
+            shortest_path(path_complex, Vertex(9, "?"), Vertex(1, "s"))
+            is None
+        )
+
+    def test_consecutive_path_vertices_are_adjacent(self, iis, triangle):
+        complex_ = iis.one_round_complex(triangle)
+        vertices = complex_.sorted_vertices()
+        path = shortest_path(complex_, vertices[0], vertices[-1])
+        adjacency = one_skeleton_adjacency(complex_)
+        for left, right in zip(path, path[1:]):
+            assert right in adjacency[left]
+
+
+class TestNetworkxExport:
+    def test_export_matches_adjacency(self, path_complex):
+        graph = to_networkx(path_complex)
+        assert graph.number_of_nodes() == len(path_complex.vertices)
+        assert graph.number_of_edges() == 3

@@ -1,0 +1,123 @@
+"""Unit tests for chromatic simplicial maps."""
+
+import pytest
+
+from repro.errors import ChromaticityError, SimplicialityError
+from repro.topology import Simplex, SimplicialComplex, SimplicialMap, Vertex
+
+
+@pytest.fixture
+def source():
+    return SimplicialComplex.from_simplex(
+        Simplex([(1, "a"), (2, "b"), (3, "c")])
+    )
+
+
+@pytest.fixture
+def target():
+    return SimplicialComplex.from_simplex(
+        Simplex([(1, "A"), (2, "B"), (3, "C")])
+    )
+
+
+def capitalizing_map(source, target):
+    return SimplicialMap.from_function(
+        source, target, lambda v: Vertex(v.color, v.value.upper())
+    )
+
+
+class TestConstruction:
+    def test_valid_map(self, source, target):
+        mapping = capitalizing_map(source, target)
+        assert mapping(Vertex(1, "a")) == Vertex(1, "A")
+
+    def test_missing_vertex_rejected(self, source, target):
+        with pytest.raises(SimplicialityError):
+            SimplicialMap(source, target, {Vertex(1, "a"): Vertex(1, "A")})
+
+    def test_non_chromatic_rejected(self, source, target):
+        vertex_map = {
+            Vertex(1, "a"): Vertex(2, "B"),
+            Vertex(2, "b"): Vertex(1, "A"),
+            Vertex(3, "c"): Vertex(3, "C"),
+        }
+        with pytest.raises(ChromaticityError):
+            SimplicialMap(source, target, vertex_map)
+
+    def test_image_outside_target_rejected(self, source, target):
+        vertex_map = {
+            Vertex(1, "a"): Vertex(1, "A"),
+            Vertex(2, "b"): Vertex(2, "nope"),
+            Vertex(3, "c"): Vertex(3, "C"),
+        }
+        with pytest.raises(SimplicialityError):
+            SimplicialMap(source, target, vertex_map)
+
+    def test_non_simplicial_rejected(self):
+        # Target where the full image triangle is missing: two disjoint
+        # edges only.
+        src = SimplicialComplex.from_simplex(Simplex([(1, "a"), (2, "b")]))
+        tgt = SimplicialComplex(
+            [Simplex([(1, "A")]), Simplex([(2, "B")])]
+        )
+        vertex_map = {
+            Vertex(1, "a"): Vertex(1, "A"),
+            Vertex(2, "b"): Vertex(2, "B"),
+        }
+        with pytest.raises(SimplicialityError):
+            SimplicialMap(src, tgt, vertex_map)
+
+
+class TestApplication:
+    def test_apply_simplex(self, source, target):
+        mapping = capitalizing_map(source, target)
+        image = mapping.apply_simplex(Simplex([(1, "a"), (3, "c")]))
+        assert image == Simplex([(1, "A"), (3, "C")])
+
+    def test_apply_complex_and_image(self, source, target):
+        mapping = capitalizing_map(source, target)
+        assert mapping.image() == target
+
+    def test_sends_into(self, source, target):
+        mapping = capitalizing_map(source, target)
+        sub = SimplicialComplex.from_simplex(Simplex([(1, "a"), (2, "b")]))
+        allowed = SimplicialComplex.from_simplex(
+            Simplex([(1, "A"), (2, "B")])
+        )
+        assert mapping.sends_into(sub, allowed)
+        assert not mapping.sends_into(source, allowed)
+
+    def test_restrict(self, source, target):
+        mapping = capitalizing_map(source, target)
+        sub = SimplicialComplex.from_simplex(Simplex([(1, "a")]))
+        restricted = mapping.restrict(sub)
+        assert restricted.source == sub
+        assert restricted(Vertex(1, "a")) == Vertex(1, "A")
+
+
+class TestAlgebra:
+    def test_identity(self, source):
+        identity = SimplicialMap.identity(source)
+        assert identity.image() == source
+
+    def test_composition(self, source, target):
+        first = capitalizing_map(source, target)
+        lower = SimplicialMap.from_function(
+            target, source, lambda v: Vertex(v.color, v.value.lower())
+        )
+        round_trip = lower.compose(first)
+        assert round_trip.source == source
+        assert round_trip(Vertex(2, "b")) == Vertex(2, "b")
+
+    def test_composition_mismatch_rejected(self, source, target):
+        first = capitalizing_map(source, target)
+        other = SimplicialMap.identity(
+            SimplicialComplex.from_simplex(Simplex([(9, "q")]))
+        )
+        with pytest.raises(SimplicialityError):
+            first.compose(other)
+
+    def test_equality(self, source, target):
+        assert capitalizing_map(source, target) == capitalizing_map(
+            source, target
+        )

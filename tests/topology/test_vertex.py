@@ -1,0 +1,89 @@
+"""Unit tests for chromatic vertices and the structural sort key."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.topology import Vertex
+from repro.topology.vertex import value_sort_key
+
+
+class TestVertexBasics:
+    def test_color_and_value_accessors(self):
+        vertex = Vertex(3, "payload")
+        assert vertex.color == 3
+        assert vertex.value == "payload"
+
+    def test_color_must_be_int(self):
+        with pytest.raises(TypeError):
+            Vertex("1", "x")
+
+    def test_as_pair_round_trip(self):
+        vertex = Vertex(2, 42)
+        assert vertex.as_pair() == (2, 42)
+
+    def test_with_value_keeps_color(self):
+        vertex = Vertex(1, "old")
+        updated = vertex.with_value("new")
+        assert updated.color == 1
+        assert updated.value == "new"
+        assert vertex.value == "old"  # immutability
+
+    def test_equality_and_hash(self):
+        assert Vertex(1, "x") == Vertex(1, "x")
+        assert Vertex(1, "x") != Vertex(2, "x")
+        assert Vertex(1, "x") != Vertex(1, "y")
+        assert hash(Vertex(1, "x")) == hash(Vertex(1, "x"))
+
+    def test_not_equal_to_plain_tuple(self):
+        assert Vertex(1, "x") != (1, "x")
+
+    def test_repr_mentions_color_and_value(self):
+        text = repr(Vertex(7, "v"))
+        assert "7" in text
+        assert "v" in text
+
+
+class TestVertexOrdering:
+    def test_orders_by_color_first(self):
+        assert Vertex(1, "zzz") < Vertex(2, "aaa")
+
+    def test_same_color_orders_by_value(self):
+        assert Vertex(1, Fraction(1, 4)) < Vertex(1, Fraction(1, 2))
+
+    def test_sorting_is_deterministic_across_types(self):
+        vertices = [
+            Vertex(1, "s"),
+            Vertex(1, 3),
+            Vertex(1, Fraction(1, 2)),
+            Vertex(1, (1, 2)),
+            Vertex(1, None),
+        ]
+        once = sorted(vertices)
+        twice = sorted(reversed(vertices))
+        assert once == twice
+
+
+class TestValueSortKey:
+    def test_numbers_order_numerically(self):
+        assert value_sort_key(Fraction(1, 3)) < value_sort_key(Fraction(1, 2))
+        assert value_sort_key(1) < value_sort_key(2)
+
+    def test_int_and_fraction_interleave(self):
+        assert value_sort_key(Fraction(3, 2)) < value_sort_key(2)
+
+    def test_bool_has_own_tag(self):
+        assert value_sort_key(True)[0] == "bool"
+        assert value_sort_key(1)[0] == "num"
+
+    def test_tuple_recursive(self):
+        assert value_sort_key((1, 2)) < value_sort_key((1, 3))
+
+    def test_frozenset_order_insensitive(self):
+        assert value_sort_key(frozenset({1, 2})) == value_sort_key(
+            frozenset({2, 1})
+        )
+
+    def test_mixed_types_never_raise(self):
+        keys = [value_sort_key(v) for v in [1, "a", (1,), frozenset(), None]]
+        assert sorted(keys) == sorted(keys)  # comparable without TypeError

@@ -1,0 +1,89 @@
+"""Unit tests for full-information views."""
+
+import pytest
+
+from repro.errors import ChromaticityError
+from repro.topology import Vertex, View
+
+
+class TestViewConstruction:
+    def test_from_mapping(self):
+        view = View({1: "a", 2: "b"})
+        assert view[1] == "a"
+        assert view[2] == "b"
+
+    def test_from_pairs(self):
+        view = View([(2, "b"), (1, "a")])
+        assert view.items == ((1, "a"), (2, "b"))  # sorted by color
+
+    def test_from_vertices(self):
+        view = View([Vertex(1, "a"), Vertex(2, "b")])
+        assert view[1] == "a"
+
+    def test_duplicate_color_rejected(self):
+        with pytest.raises(ChromaticityError):
+            View([(1, "a"), (1, "b")])
+
+    def test_non_int_color_rejected(self):
+        with pytest.raises(ChromaticityError):
+            View([("1", "a")])
+
+    def test_empty_view_allowed(self):
+        assert len(View([])) == 0
+
+
+class TestViewAccessors:
+    def test_mapping_protocol(self):
+        view = View({1: "a", 2: "b"})
+        assert 1 in view
+        assert 3 not in view
+        assert view.get(3) is None
+        assert view.get(3, "dflt") == "dflt"
+        assert len(view) == 2
+        assert list(view) == [(1, "a"), (2, "b")]
+
+    def test_ids(self):
+        assert View({5: "x", 2: "y"}).ids == frozenset({2, 5})
+
+    def test_values_in_color_order(self):
+        assert View({2: "b", 1: "a"}).values() == ("a", "b")
+
+    def test_restrict(self):
+        view = View({1: "a", 2: "b", 3: "c"})
+        assert view.restrict([1, 3]).ids == frozenset({1, 3})
+        assert view.restrict([]).ids == frozenset()
+
+    def test_with_pair_adds_and_overwrites(self):
+        view = View({1: "a"})
+        assert view.with_pair(2, "b").ids == frozenset({1, 2})
+        assert view.with_pair(1, "z")[1] == "z"
+        assert view[1] == "a"  # original untouched
+
+    def test_vertices(self):
+        vertices = View({1: "a", 2: "b"}).vertices()
+        assert vertices == (Vertex(1, "a"), Vertex(2, "b"))
+
+
+class TestViewSemantics:
+    def test_subview(self):
+        small = View({1: "a"})
+        big = View({1: "a", 2: "b"})
+        assert small.is_subview_of(big)
+        assert not big.is_subview_of(small)
+
+    def test_subview_requires_equal_values(self):
+        assert not View({1: "a"}).is_subview_of(View({1: "z", 2: "b"}))
+
+    def test_equality_and_hash(self):
+        assert View({1: "a", 2: "b"}) == View([(2, "b"), (1, "a")])
+        assert hash(View({1: "a"})) == hash(View({1: "a"}))
+        assert View({1: "a"}) != View({1: "b"})
+
+    def test_view_nestable_as_vertex_value(self):
+        inner = View({1: "x"})
+        outer = View({1: inner, 2: inner})
+        assert outer[1] == inner
+        assert hash(outer)  # nested views must stay hashable
+
+    def test_repr_is_stable(self):
+        assert repr(View({2: "b", 1: "a"})) == repr(View({1: "a", 2: "b"}))
