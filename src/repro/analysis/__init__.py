@@ -22,6 +22,11 @@ from repro.analysis.figures import (
     figure8_census,
 )
 from repro.analysis.reporting import render_table, ExperimentRow
+from repro.analysis.cache_report import (
+    CacheStatsRow,
+    cache_stats_rows,
+    render_cache_report,
+)
 from repro.analysis.export import to_dot, facet_listing, vertex_legend
 
 __all__ = [
@@ -35,6 +40,9 @@ __all__ = [
     "figure8_census",
     "render_table",
     "ExperimentRow",
+    "CacheStatsRow",
+    "cache_stats_rows",
+    "render_cache_report",
     "to_dot",
     "facet_listing",
     "vertex_legend",

@@ -1,0 +1,77 @@
+"""Cache-stats reporting for the memoized hot paths.
+
+The substrate memoizes at four layers (one-round complexes per model,
+view maps per participant set, ``P^(t)`` per protocol operator, closure
+membership per ``(Δ(σ), τ)`` window); every layer reports into the
+process-wide counters of :mod:`repro.instrumentation`.  This module turns
+those counters into rows and plain-text tables, in the same format as the
+experiment tables, so benchmarks can record cache effectiveness alongside
+the reproduced artifacts.
+
+Typical use::
+
+    from repro.instrumentation import counters_snapshot, counters_delta
+
+    before = counters_snapshot()
+    ...  # run the workload
+    print(render_cache_report(counters_delta(before, counters_snapshot())))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import render_table
+from repro.instrumentation import all_counters
+
+__all__ = ["CacheStatsRow", "cache_stats_rows", "render_cache_report"]
+
+_HEADERS = ("cache", "hits", "misses (constructions)", "hit rate")
+
+
+@dataclass(frozen=True)
+class CacheStatsRow:
+    """One cache's tallies, renderable by :func:`render_table`."""
+
+    cache: str
+    hits: int
+    misses: int
+
+    @property
+    def calls(self) -> int:
+        return self.hits + self.misses
+
+    def cells(self) -> Sequence[str]:
+        rate = f"{self.hits / self.calls:.1%}" if self.calls else "n/a"
+        return (self.cache, str(self.hits), str(self.misses), rate)
+
+
+def cache_stats_rows(
+    stats: Optional[Dict[str, Tuple[int, int]]] = None,
+) -> List[CacheStatsRow]:
+    """One row per cache, sorted by cache name.
+
+    Parameters
+    ----------
+    stats:
+        ``{name: (hits, misses)}``, e.g. from
+        :func:`repro.instrumentation.counters_delta`.  Defaults to the
+        lifetime totals of every registered counter.
+    """
+    if stats is None:
+        stats = {
+            entry.name: (entry.hits, entry.misses)
+            for entry in all_counters()
+        }
+    return [
+        CacheStatsRow(name, *stats[name]) for name in sorted(stats)
+    ]
+
+
+def render_cache_report(
+    stats: Optional[Dict[str, Tuple[int, int]]] = None,
+    title: str = "Cache effectiveness (hits / misses = constructions)",
+) -> str:
+    """Render the counters as a fixed-width table."""
+    return render_table(title, cache_stats_rows(stats), headers=_HEADERS)

@@ -280,7 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "experiment",
-        help="list or run the paper's experiments (E1–E20)",
+        help="list or run the paper's experiments (E1–E22)",
     )
     p.add_argument("id", nargs="?", default=None)
 

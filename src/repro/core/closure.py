@@ -28,6 +28,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 from repro.core.local_task import local_task
 from repro.core.solvability import build_solvability_problem
 from repro.errors import SolvabilityError
+from repro.instrumentation import counter
 from repro.models.base import ComputationModel
 from repro.models.protocol import ProtocolOperator
 from repro.objects.augmented import AugmentedModel
@@ -37,6 +38,8 @@ from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
 
 __all__ = ["ClosureComputer", "closure_task"]
+
+_MEMBERSHIP_STATS = counter("closure.membership")
 
 
 class ClosureComputer:
@@ -74,6 +77,15 @@ class ClosureComputer:
             Tuple[SimplicialComplex, Simplex], bool
         ] = {}
         self._delta_cache: Dict[Simplex, SimplicialComplex] = {}
+        # One memoized operator shared by every (σ, τ, β) decision — the
+        # model's own one-round cache makes a fresh operator cheap, but
+        # reusing a single instance also shares the iterated ``P^(t)``
+        # complexes across decisions.
+        self._operator = ProtocolOperator(model)
+        self._beta_cache: Dict[
+            Tuple[Tuple[int, ...], Tuple[int, ...]],
+            Tuple[ComputationModel, ProtocolOperator],
+        ] = {}
 
     @property
     def task(self) -> Task:
@@ -101,9 +113,15 @@ class ClosureComputer:
         if not set(tau.vertices) <= allowed.vertices:
             return False
         key = (allowed, tau)
-        if key not in self._membership_cache:
-            self._membership_cache[key] = self._decide(sigma, tau, allowed)
-        return self._membership_cache[key]
+        found = self._membership_cache.get(key)
+        if found is None:
+            _MEMBERSHIP_STATS.miss()
+            found = self._membership_cache[key] = self._decide(
+                sigma, tau, allowed
+            )
+        else:
+            _MEMBERSHIP_STATS.hit()
+        return found
 
     def _decide(
         self, sigma: Simplex, tau: Simplex, allowed: SimplicialComplex
@@ -114,8 +132,7 @@ class ClosureComputer:
         if tau in allowed:
             return True
         the_local_task = local_task(self._task, sigma, tau)
-        for model in self._candidate_models(tau):
-            operator = ProtocolOperator(model)
+        for _, operator in self._candidate_operators(tau):
             problem = build_solvability_problem(
                 list(the_local_task.input_complex),
                 the_local_task.delta,
@@ -126,21 +143,36 @@ class ClosureComputer:
                 return True
         return False
 
+    def _candidate_operators(
+        self, tau: Simplex
+    ) -> Iterable[Tuple[ComputationModel, ProtocolOperator]]:
+        if not self._quantify_beta:
+            yield self._model, self._operator
+            return
+        assert isinstance(self._model, AugmentedModel)
+        ids = tuple(sorted(tau.ids))
+        for bits in product((0, 1), repeat=len(ids)):
+            key = (ids, bits)
+            entry = self._beta_cache.get(key)
+            if entry is None:
+                beta = dict(zip(ids, bits))
+                model = AugmentedModel(
+                    self._model.box,
+                    beta_input_function(beta),
+                    name=f"{self._model.name}|β={bits}",
+                )
+                entry = self._beta_cache[key] = (
+                    model,
+                    ProtocolOperator(model),
+                )
+            yield entry
+
     def _candidate_models(
         self, tau: Simplex
     ) -> Iterable[ComputationModel]:
-        if not self._quantify_beta:
-            yield self._model
-            return
-        assert isinstance(self._model, AugmentedModel)
-        ids = sorted(tau.ids)
-        for bits in product((0, 1), repeat=len(ids)):
-            beta = dict(zip(ids, bits))
-            yield AugmentedModel(
-                self._model.box,
-                beta_input_function(beta),
-                name=f"{self._model.name}|β={bits}",
-            )
+        """The models quantified over for ``τ`` (kept for introspection)."""
+        for model, _ in self._candidate_operators(tau):
+            yield model
 
     # ------------------------------------------------------------------
     # The closure's specification

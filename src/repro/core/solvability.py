@@ -106,16 +106,66 @@ class SolvabilityProblem:
     candidates: Dict[Vertex, Tuple[Vertex, ...]]
     constraints: List[Tuple[Simplex, FrozenSet[Simplex]]]
     rounds: int = 0
-    _by_vertex: Dict[Vertex, List[int]] = field(default_factory=dict)
+    #: Number of search nodes explored by the most recent :meth:`solve`.
+    #: Derived state, not a constructor parameter: keeping it out of
+    #: ``__init__`` guarantees positional construction binds exactly
+    #: ``(candidates, constraints, rounds)`` and nothing more.
+    last_search_nodes: int = field(default=0, init=False, compare=False)
+    _by_vertex: Dict[Vertex, List[int]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    #: Per-constraint lookup tables derived by :meth:`_index`: the allowed
+    #: faces as plain vertex-frozensets (so membership checks need no
+    #: throwaway :class:`Simplex`), and the allowed pairs indexed as
+    #: ``vertex → color → partners`` for the propagation/consistency fast
+    #: paths.  Tables are shared between constraints with the same allowed
+    #: family.
+    _allowed_faces: List[FrozenSet[FrozenSet[Vertex]]] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+    _allowed_partners: List[
+        Dict[Vertex, Dict[int, FrozenSet[Vertex]]]
+    ] = field(default_factory=list, init=False, repr=False, compare=False)
 
     def _index(self) -> None:
         self._by_vertex = {vertex: [] for vertex in self.candidates}
-        for position, (facet, _) in enumerate(self.constraints):
+        self._allowed_faces = []
+        self._allowed_partners = []
+        face_tables: Dict[
+            FrozenSet[Simplex], FrozenSet[FrozenSet[Vertex]]
+        ] = {}
+        partner_tables: Dict[
+            FrozenSet[Simplex], Dict[Vertex, Dict[int, FrozenSet[Vertex]]]
+        ] = {}
+        for position, (facet, allowed) in enumerate(self.constraints):
             for vertex in facet.vertices:
                 self._by_vertex[vertex].append(position)
-
-    #: Number of search nodes explored by the most recent :meth:`solve`.
-    last_search_nodes: int = 0
+            faces = face_tables.get(allowed)
+            if faces is None:
+                faces = frozenset(
+                    frozenset(simplex.vertices) for simplex in allowed
+                )
+                face_tables[allowed] = faces
+                collecting: Dict[Vertex, Dict[int, set]] = {}
+                for pair in faces:
+                    if len(pair) != 2:
+                        continue
+                    first, second = pair
+                    collecting.setdefault(first, {}).setdefault(
+                        second.color, set()
+                    ).add(second)
+                    collecting.setdefault(second, {}).setdefault(
+                        first.color, set()
+                    ).add(first)
+                partner_tables[allowed] = {
+                    vertex: {
+                        color: frozenset(partners)
+                        for color, partners in by_color.items()
+                    }
+                    for vertex, by_color in collecting.items()
+                }
+            self._allowed_faces.append(faces)
+            self._allowed_partners.append(partner_tables[allowed])
 
     def solve(
         self,
@@ -162,11 +212,14 @@ class SolvabilityProblem:
             for vertex, options in domains.items()
             if len(options) == 1
         }
-        for facet, allowed in self.constraints:
+        for position, (facet, _) in enumerate(self.constraints):
             pinned = [
                 assignment[v] for v in facet.vertices if v in assignment
             ]
-            if len(pinned) >= 2 and Simplex(pinned) not in allowed:
+            if (
+                len(pinned) >= 2
+                and frozenset(pinned) not in self._allowed_faces[position]
+            ):
                 return None
 
         free = [v for v in domains if v not in assignment]
@@ -190,42 +243,47 @@ class SolvabilityProblem:
         A candidate for ``u`` survives only if, for every facet containing
         both ``u`` and some ``v``, a candidate of ``v`` forms an allowed
         edge with it (complexes are face-closed, so the pair must itself
-        be an allowed simplex).
+        be an allowed simplex).  Edge tests go through the color-indexed
+        partner tables built by :meth:`_index`, so no simplices are
+        materialized during the fixpoint.
         """
         arcs = []
         arc_set = set()
-        for facet, allowed in self.constraints:
+        for position, (facet, _) in enumerate(self.constraints):
+            partners = self._allowed_partners[position]
             vertices = facet.vertices
             for i, u in enumerate(vertices):
                 for v in vertices[i + 1 :]:
                     for left, right in ((u, v), (v, u)):
-                        key = (left, right, allowed)
+                        key = (left, right, id(partners))
                         if key not in arc_set:
                             arc_set.add(key)
-                            arcs.append(key)
+                            arcs.append((left, right, partners))
         from collections import deque
 
         queue = deque(arcs)
         watchers: Dict[Vertex, List] = {}
-        for key in arcs:
-            watchers.setdefault(key[1], []).append(key)
+        for arc in arcs:
+            watchers.setdefault(arc[1], []).append(arc)
 
+        empty: Dict[int, FrozenSet[Vertex]] = {}
         while queue:
-            u, v, allowed = queue.popleft()
-            kept = [
-                cand_u
-                for cand_u in domains[u]
-                if any(
-                    Simplex((cand_u, cand_v)) in allowed
-                    for cand_v in domains[v]
-                )
-            ]
+            u, v, partners = queue.popleft()
+            domain_v = domains[v]
+            color_v = v.color
+            kept = []
+            for cand_u in domains[u]:
+                allowed_partners = partners.get(cand_u, empty).get(color_v)
+                if allowed_partners is not None and not (
+                    allowed_partners.isdisjoint(domain_v)
+                ):
+                    kept.append(cand_u)
             if len(kept) != len(domains[u]):
                 if not kept:
                     return False
                 domains[u] = kept
-                for key in watchers.get(u, ()):
-                    queue.append(key)
+                for arc in watchers.get(u, ()):
+                    queue.append(arc)
         return True
 
     def _components(self, free: List[Vertex]) -> List[List[Vertex]]:
@@ -269,16 +327,27 @@ class SolvabilityProblem:
         order = sorted(
             component, key=lambda v: (len(domains[v]), v._sort_key())
         )
+        empty_partners: Dict[int, FrozenSet[Vertex]] = {}
 
         def consistent(vertex: Vertex) -> bool:
             for constraint_index in self._by_vertex[vertex]:
-                facet, allowed = self.constraints[constraint_index]
+                facet, _ = self.constraints[constraint_index]
                 partial = [
                     assignment[v] for v in facet.vertices if v in assignment
                 ]
                 if len(partial) < 2:
                     continue
-                if Simplex(partial) not in allowed:
+                if len(partial) == 2:
+                    first, second = partial
+                    partners = self._allowed_partners[constraint_index]
+                    if second not in partners.get(first, empty_partners).get(
+                        second.color, ()
+                    ):
+                        return False
+                elif (
+                    frozenset(partial)
+                    not in self._allowed_faces[constraint_index]
+                ):
                     return False
             return True
 
@@ -300,7 +369,16 @@ class SolvabilityProblem:
                 del assignment[vertex]
             return False
 
-        return backtrack(0)
+        try:
+            return backtrack(0)
+        except SolvabilityError:
+            # A budget abort propagates out of backtrack() mid-descent,
+            # skipping the per-frame deletions; unwind the component's
+            # partial images so a caught error leaves the problem (and the
+            # shared assignment) reusable for a later solve.
+            for vertex in order:
+                assignment.pop(vertex, None)
+            raise
 
 
 def build_solvability_problem(
@@ -323,24 +401,26 @@ def build_solvability_problem(
         participate.
     """
     candidates: Dict[Vertex, set] = {}
-    seen_vertices: Dict[Vertex, bool] = {}
     constraints: List[Tuple[Simplex, FrozenSet[Simplex]]] = []
     constraint_keys: set = set()
 
     for sigma in input_simplices:
         allowed = delta_of(sigma)
         allowed_faces = allowed.simplices
-        allowed_by_color: Dict[int, frozenset] = {}
+        # Accumulate per-color domains in plain sets (rebuilding a frozenset
+        # per vertex is quadratic in the color class size).
+        allowed_by_color: Dict[int, set] = {}
         for output_vertex in allowed.vertices:
-            allowed_by_color.setdefault(output_vertex.color, frozenset())
-            allowed_by_color[output_vertex.color] |= {output_vertex}
+            allowed_by_color.setdefault(output_vertex.color, set()).add(
+                output_vertex
+            )
         protocol = protocol_of(sigma)
+        empty: set = set()
         for vertex in protocol.vertices:
-            domain = allowed_by_color.get(vertex.color, frozenset())
-            if vertex in seen_vertices:
-                candidates[vertex] &= set(domain)
+            domain = allowed_by_color.get(vertex.color, empty)
+            if vertex in candidates:
+                candidates[vertex] &= domain
             else:
-                seen_vertices[vertex] = True
                 candidates[vertex] = set(domain)
         for facet in protocol.facets:
             key = (facet, allowed_faces)

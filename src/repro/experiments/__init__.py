@@ -5,7 +5,7 @@ reproduction adds) has a ``reproduce_*`` function here returning plain
 data; the benchmark harness wraps them with timing and paper-vs-measured
 tables, and the CLI exposes them via ``repro experiment <id>``.
 
-The registry maps experiment ids (E1–E21, matching DESIGN.md §4) to
+The registry maps experiment ids (E1–E22, matching DESIGN.md §4) to
 :class:`Experiment` descriptors.
 """
 
@@ -45,6 +45,7 @@ from repro.experiments.extensions import (
     reproduce_noniterated,
 )
 from repro.experiments.performance import (
+    reproduce_cache_effectiveness,
     reproduce_scaling,
     reproduce_solver_ablation,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "reproduce_affine_concurrency",
     "reproduce_kset",
     "reproduce_noniterated",
+    "reproduce_cache_effectiveness",
     "reproduce_scaling",
     "reproduce_solver_ablation",
 ]

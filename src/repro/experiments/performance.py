@@ -1,4 +1,4 @@
-"""Experiments E18, E19 — engine ablation and scaling characteristics."""
+"""Experiments E18, E19, E22 — ablation, scaling, and cache effectiveness."""
 
 from __future__ import annotations
 
@@ -9,6 +9,7 @@ from typing import Dict
 from repro.core import ClosureComputer
 from repro.core.solvability import build_solvability_problem
 from repro.errors import SolvabilityError
+from repro.instrumentation import counters_delta, counters_snapshot
 from repro.models import ImmediateSnapshotModel, ProtocolOperator
 from repro.tasks import approximate_agreement_task
 from repro.topology import Simplex
@@ -16,6 +17,7 @@ from repro.topology import Simplex
 __all__ = [
     "reproduce_solver_ablation",
     "reproduce_scaling",
+    "reproduce_cache_effectiveness",
     "SOLVER_NODE_BUDGET",
 ]
 
@@ -95,4 +97,57 @@ def reproduce_scaling() -> Dict[str, object]:
         "rounds": round_counts,
         "queries": queries,
         "cache_entries": cache_entries,
+    }
+
+
+#: Sweep iterations of the cache-effectiveness workload.  Mirrors the
+#: closure machinery, where each (σ, τ, β) decision historically built its
+#: own :class:`ProtocolOperator` over the shared model.
+CACHE_SWEEP_OPERATORS = 5
+
+
+def reproduce_cache_effectiveness() -> Dict[str, object]:
+    """E22 — one-round materializations saved on the 3-process substrate.
+
+    The workload is the hot pattern of every closure/solvability sweep:
+    independent :class:`ProtocolOperator` instances (one per decision, as
+    the closure computer used to construct them) each requesting the
+    2-round protocol complex of every face of a 3-process input simplex.
+    Without the model-level memo every request re-enumerates the ordered
+    partitions of Appendix A.3.4, so the pre-caching baseline performs one
+    materialization per request; the measured ratio ``requests /
+    materializations`` is exactly the saving factor.
+    """
+    iis = ImmediateSnapshotModel()
+    triangle = Simplex([(1, "a"), (2, "b"), (3, "c")])
+    faces = list(triangle.faces())
+
+    before = counters_snapshot()
+    start = time.perf_counter()
+    protocol = None
+    for _ in range(CACHE_SWEEP_OPERATORS):
+        operator = ProtocolOperator(iis)
+        for face in faces:
+            result = operator.of_simplex(face, 2)
+            if face is faces[0]:
+                protocol = result
+    elapsed = time.perf_counter() - start
+    stats = counters_delta(before, counters_snapshot())
+
+    hits, misses = stats.get(
+        "one-round-complex[iterated-immediate-snapshot]", (0, 0)
+    )
+    requests = hits + misses
+    op_hits, op_misses = stats.get("protocol-operator.of-simplex", (0, 0))
+    assert protocol is not None
+    return {
+        "requests": requests,
+        "materializations": misses,
+        "saving_factor": requests / misses if misses else float("inf"),
+        "operator_requests": op_hits + op_misses,
+        "operator_materializations": op_misses,
+        "facets": len(protocol.facets),
+        "f_vector": protocol.f_vector(),
+        "seconds": elapsed,
+        "stats": stats,
     }

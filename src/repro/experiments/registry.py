@@ -1,6 +1,6 @@
 """The experiment registry: DESIGN.md §4's index, executable.
 
-Maps experiment identifiers (``E1`` … ``E21``) to descriptors carrying the
+Maps experiment identifiers (``E1`` … ``E22``) to descriptors carrying the
 paper artifact they regenerate and the reproduction function.  The CLI's
 ``repro experiment`` subcommand and the benchmark harness both resolve
 through this table, so the index in the documentation can never drift from
@@ -157,6 +157,11 @@ def _build_registry() -> Dict[str, Experiment]:
             "E21", "extension (non-iterated model)",
             "stale reads break Eq. (3); phase filtering repairs it",
             ext.reproduce_noniterated,
+        ),
+        Experiment(
+            "E22", "cache effectiveness",
+            "one-round materializations saved by the model-level memo",
+            perf.reproduce_cache_effectiveness,
         ),
     ]
     return {entry.identifier: entry for entry in entries}

@@ -1,0 +1,129 @@
+"""Process-wide cache and construction counters for the hot paths.
+
+The combinatorial substrate (one-round complexes, view maps, iterated
+protocol complexes, closure membership) is memoized at several layers; this
+module provides the shared, dependency-free counters those layers report
+into, so benchmarks and the :mod:`repro.analysis` cache report can verify
+that the memoization actually fires.
+
+Counters are process-global and keyed by name, so independent instances of
+the same model (or operator) aggregate into one line — exactly what a sweep
+that constructs many short-lived operators needs.  The recording methods are
+single attribute increments; fetch the counter once at import (or first
+use) and keep a reference on the hot path.
+
+For a memoizing layer, every ``miss`` is one materialization of the cached
+object, so ``constructions`` is an alias of ``misses``; layers that build
+unconditionally (no cache in front) record via :meth:`CacheCounter.built`
+and report zero hits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "CacheCounter",
+    "counter",
+    "all_counters",
+    "reset_counters",
+    "counters_snapshot",
+    "counters_delta",
+]
+
+
+class CacheCounter:
+    """Hit/miss tallies for one named cache (or construction site)."""
+
+    __slots__ = ("name", "hits", "misses")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+
+    def hit(self) -> None:
+        """Record a lookup served from the cache."""
+        self.hits += 1
+
+    def miss(self) -> None:
+        """Record a lookup that had to materialize the object."""
+        self.misses += 1
+
+    #: Construction sites without a cache record every build as a miss.
+    built = miss
+
+    @property
+    def calls(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def constructions(self) -> int:
+        """Materializations — for a memoized layer, exactly the misses."""
+        return self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        calls = self.calls
+        return self.hits / calls if calls else 0.0
+
+    def reset(self) -> None:
+        """Zero the tallies (the counter stays registered)."""
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheCounter({self.name!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+_REGISTRY: Dict[str, CacheCounter] = {}
+
+
+def counter(name: str) -> CacheCounter:
+    """The process-wide counter registered under ``name`` (created lazily)."""
+    found = _REGISTRY.get(name)
+    if found is None:
+        found = _REGISTRY[name] = CacheCounter(name)
+    return found
+
+
+def all_counters() -> List[CacheCounter]:
+    """Every registered counter, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def reset_counters() -> None:
+    """Zero every registered counter."""
+    for entry in _REGISTRY.values():
+        entry.reset()
+
+
+def counters_snapshot() -> Dict[str, Tuple[int, int]]:
+    """An immutable ``{name: (hits, misses)}`` view of the registry."""
+    return {
+        name: (entry.hits, entry.misses)
+        for name, entry in _REGISTRY.items()
+    }
+
+
+def counters_delta(
+    before: Dict[str, Tuple[int, int]],
+    after: Dict[str, Tuple[int, int]],
+) -> Dict[str, Tuple[int, int]]:
+    """Per-counter ``(hits, misses)`` accumulated between two snapshots.
+
+    Counters absent from ``before`` are taken as starting from zero;
+    counters unchanged between the snapshots are omitted.
+    """
+    changed: Dict[str, Tuple[int, int]] = {}
+    for name, (hits, misses) in after.items():
+        base_hits, base_misses = before.get(name, (0, 0))
+        delta = (hits - base_hits, misses - base_misses)
+        if delta != (0, 0):
+            changed[name] = delta
+    return changed

@@ -51,23 +51,17 @@ class AffineModel(IteratedModel):
         self._base = base
         self._keep = keep
         self._require_solo = require_solo
-        self._checked: set = set()
-        self._cache: Dict[FrozenSet[int], List[ViewMap]] = {}
         self.name = name or f"affine({base.name})"
 
-    def view_maps(self, ids: FrozenSet[int]) -> List[ViewMap]:
-        key = frozenset(ids)
-        if key not in self._cache:
-            kept = [
-                view_map
-                for view_map in self._base.view_maps(key)
-                if self._keep(view_map)
-            ]
-            if self._require_solo and key not in self._checked:
-                self._verify_solo(key, kept)
-                self._checked.add(key)
-            self._cache[key] = kept
-        return self._cache[key]
+    def _enumerate_view_maps(self, ids: FrozenSet[int]) -> List[ViewMap]:
+        kept = [
+            view_map
+            for view_map in self._base.view_maps(ids)
+            if self._keep(view_map)
+        ]
+        if self._require_solo:
+            self._verify_solo(ids, kept)
+        return kept
 
     def one_round_schedule_allowed(self, view_map: ViewMap) -> bool:
         """Expose the predicate (useful for adversaries and tests)."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List
 
+from repro.instrumentation import counter
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
 from repro.topology.vertex import Vertex
@@ -32,7 +33,6 @@ class ComputationModel(ABC):
     #: Human-readable model name, used in reports and experiment tables.
     name: str = "abstract"
 
-    @abstractmethod
     def one_round_complex(self, sigma: Simplex) -> SimplicialComplex:
         """The complex ``P^(1)(σ)`` of one-round executions of ``ID(σ)``.
 
@@ -40,7 +40,30 @@ class ComputationModel(ABC):
         the processes of ``σ`` participate; executions of faces of ``σ`` are
         obtained by calling this method on the faces (the protocol operator
         takes the union).
+
+        Results are memoized per input simplex at the model level, so every
+        :class:`~repro.models.protocol.ProtocolOperator` iteration and every
+        ``σ`` of a solvability sweep over the same model instance shares
+        one materialization; subclasses implement the actual enumeration in
+        :meth:`_build_one_round_complex`.
         """
+        cache = getattr(self, "_one_round_cache", None)
+        if cache is None:
+            cache = self._one_round_cache = {}
+            self._one_round_stats = counter(
+                f"one-round-complex[{self.name}]"
+            )
+        found = cache.get(sigma)
+        if found is None:
+            self._one_round_stats.miss()
+            found = cache[sigma] = self._build_one_round_complex(sigma)
+        else:
+            self._one_round_stats.hit()
+        return found
+
+    @abstractmethod
+    def _build_one_round_complex(self, sigma: Simplex) -> SimplicialComplex:
+        """Materialize ``P^(1)(σ)`` (uncached hook behind the memo layer)."""
 
     @abstractmethod
     def solo_value(self, vertex: Vertex) -> Hashable:
@@ -105,23 +128,46 @@ class ComputationModel(ABC):
 class IteratedModel(ComputationModel):
     """A register-only iterated model defined by one-round view maps."""
 
-    @abstractmethod
     def view_maps(
         self, ids: FrozenSet[int]
     ) -> List[Dict[int, FrozenSet[int]]]:
-        """The distinct per-process view maps of one round among ``ids``."""
+        """The distinct per-process view maps of one round among ``ids``.
 
-    def one_round_complex(self, sigma: Simplex) -> SimplicialComplex:
+        Memoized per participant set at the model level; subclasses
+        implement the enumeration in :meth:`_enumerate_view_maps`.
+        """
+        cache = getattr(self, "_view_map_cache", None)
+        if cache is None:
+            cache = self._view_map_cache = {}
+            self._view_map_stats = counter(f"view-maps[{self.name}]")
+        key = frozenset(ids)
+        found = cache.get(key)
+        if found is None:
+            self._view_map_stats.miss()
+            found = cache[key] = self._enumerate_view_maps(key)
+        else:
+            self._view_map_stats.hit()
+        return found
+
+    @abstractmethod
+    def _enumerate_view_maps(
+        self, ids: FrozenSet[int]
+    ) -> List[Dict[int, FrozenSet[int]]]:
+        """Enumerate the view maps (uncached hook behind :meth:`view_maps`)."""
+
+    def _build_one_round_complex(self, sigma: Simplex) -> SimplicialComplex:
         """Materialize the view maps into the complex ``P^(1)(σ)``."""
-        facets = []
+        facets = set()
         values = sigma.as_mapping()
         for view_map in self.view_maps(sigma.ids):
             vertices = []
             for process, seen in view_map.items():
                 view = View((j, values[j]) for j in seen)
                 vertices.append(Vertex(process, view))
-            facets.append(Simplex(vertices))
-        return SimplicialComplex(facets)
+            facets.add(Simplex(vertices))
+        # Every view map covers all of ID(σ), so the facets share one
+        # dimension and the family is maximal as-is.
+        return SimplicialComplex.from_maximal(facets)
 
     def solo_value(self, vertex: Vertex) -> Hashable:
         """A solo round leaves process ``i`` with the view ``{(i, value)}``."""

@@ -9,7 +9,6 @@ of Appendix A.3.4 (Fig. 8(d) shows the simplices unique to it).
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Dict, FrozenSet, List
 
 from repro.models.base import IteratedModel
@@ -23,13 +22,7 @@ class CollectModel(IteratedModel):
 
     name = "write-collect"
 
-    def __init__(self) -> None:
-        self._cache: Dict[FrozenSet[int], List[Dict[int, FrozenSet[int]]]] = {}
-
-    def view_maps(
+    def _enumerate_view_maps(
         self, ids: FrozenSet[int]
     ) -> List[Dict[int, FrozenSet[int]]]:
-        key = frozenset(ids)
-        if key not in self._cache:
-            self._cache[key] = view_maps_of_schedules(collect_schedules(key))
-        return self._cache[key]
+        return view_maps_of_schedules(collect_schedules(ids))

@@ -32,18 +32,10 @@ class ImmediateSnapshotModel(IteratedModel):
 
     name = "iterated-immediate-snapshot"
 
-    def __init__(self) -> None:
-        self._cache: Dict[FrozenSet[int], List[Dict[int, FrozenSet[int]]]] = {}
-
-    def view_maps(
+    def _enumerate_view_maps(
         self, ids: FrozenSet[int]
     ) -> List[Dict[int, FrozenSet[int]]]:
-        key = frozenset(ids)
-        if key not in self._cache:
-            self._cache[key] = view_maps_of_schedules(
-                immediate_snapshot_schedules(key)
-            )
-        return self._cache[key]
+        return view_maps_of_schedules(immediate_snapshot_schedules(ids))
 
 
 def standard_chromatic_subdivision(sigma: Simplex) -> SimplicialComplex:

@@ -12,11 +12,16 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
+from repro.instrumentation import counter
 from repro.models.base import ComputationModel
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
 
 __all__ = ["ProtocolOperator"]
+
+#: Shared across operator instances on purpose: a sweep that constructs many
+#: short-lived operators still aggregates into one hit/miss line.
+_OF_SIMPLEX_STATS = counter("protocol-operator.of-simplex")
 
 
 class ProtocolOperator:
@@ -44,14 +49,18 @@ class ProtocolOperator:
         the identity, Claim 1's setting).
         """
         key = (sigma, rounds)
-        if key not in self._simplex_cache:
+        found = self._simplex_cache.get(key)
+        if found is None:
+            _OF_SIMPLEX_STATS.miss()
             if rounds == 0:
-                result = SimplicialComplex.from_simplex(sigma)
+                found = SimplicialComplex.from_simplex(sigma)
             else:
                 previous = self.of_simplex(sigma, rounds - 1)
-                result = self._one_round_of_complex(previous)
-            self._simplex_cache[key] = result
-        return self._simplex_cache[key]
+                found = self._one_round_of_complex(previous)
+            self._simplex_cache[key] = found
+        else:
+            _OF_SIMPLEX_STATS.hit()
+        return found
 
     def of_complex(
         self, base: SimplicialComplex, rounds: int

@@ -91,12 +91,12 @@ class AugmentedModel(ComputationModel):
             if self._filter is None or self._filter(schedule):
                 yield schedule
 
-    def one_round_complex(self, sigma: Simplex) -> SimplicialComplex:
+    def _build_one_round_complex(self, sigma: Simplex) -> SimplicialComplex:
         values = sigma.as_mapping()
         inputs = {
             vertex.color: self._alpha(vertex) for vertex in sigma.vertices
         }
-        facets = []
+        facets = set()
         for schedule in self.schedules(sigma.ids):
             view_map = schedule.view_map()
             for assignment in self._box.assignments(schedule, inputs):
@@ -106,8 +106,10 @@ class AugmentedModel(ComputationModel):
                     vertices.append(
                         Vertex(process, (assignment[process], view))
                     )
-                facets.append(Simplex(vertices))
-        return SimplicialComplex(facets)
+                facets.add(Simplex(vertices))
+        # Every schedule's view map covers all of ID(σ), so all facets share
+        # one dimension and the deduplicated family is maximal as-is.
+        return SimplicialComplex.from_maximal(facets)
 
     def solo_value(self, vertex: Vertex) -> Hashable:
         solo_box = self._box.solo_output(vertex.color, self._alpha(vertex))

@@ -15,10 +15,14 @@ from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ChromaticityError
+from repro.instrumentation import counter
 from repro.topology.simplex import Simplex
 from repro.topology.vertex import Vertex
 
 __all__ = ["SimplicialComplex"]
+
+_PRUNED_BUILDS = counter("simplicial-complex.pruned-builds")
+_TRUSTED_BUILDS = counter("simplicial-complex.trusted-builds")
 
 
 class SimplicialComplex:
@@ -40,30 +44,69 @@ class SimplicialComplex:
 
     def __init__(self, simplices: Iterable[Simplex] = ()):
         candidates = set(simplices)
-        facets = set(candidates)
-        # Prune entries that are faces of another entry.  Quadratic, but the
-        # candidate sets in this library are small by construction.
-        for simplex in candidates:
-            if simplex not in facets:
-                continue
-            for other in candidates:
-                if other is simplex or other not in facets:
-                    continue
-                if simplex != other and simplex.is_face_of(other):
-                    facets.discard(simplex)
+        # Prune entries that are faces of another entry.  Candidates are
+        # visited by decreasing dimension, so a non-maximal entry always
+        # meets an already-accepted superset; the subset tests are confined
+        # to the accepted facets sharing the candidate's rarest vertex
+        # (vertex-indexed), which keeps the pass near-linear in practice
+        # instead of quadratic in the candidate count.
+        facets: List[Simplex] = []
+        by_vertex: Dict[Vertex, List[FrozenSet[Vertex]]] = {}
+        for simplex in sorted(candidates, key=len, reverse=True):
+            vertices = simplex.vertices
+            buckets = []
+            for vertex in vertices:
+                bucket = by_vertex.get(vertex)
+                if bucket is None:
+                    buckets = None
                     break
+                buckets.append(bucket)
+            vertex_set = frozenset(vertices)
+            if buckets is not None and any(
+                vertex_set <= accepted
+                for accepted in min(buckets, key=len)
+            ):
+                continue
+            facets.append(simplex)
+            for vertex in vertices:
+                by_vertex.setdefault(vertex, []).append(vertex_set)
         self._facets: FrozenSet[Simplex] = frozenset(facets)
         self._faces_cache: Optional[FrozenSet[Simplex]] = None
         self._vertices_cache: Optional[FrozenSet[Vertex]] = None
         self._hash: Optional[int] = None
+        _PRUNED_BUILDS.built()
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
+    def from_maximal(
+        cls, facets: Iterable[Simplex]
+    ) -> "SimplicialComplex":
+        """Trusted fast path: wrap an already inclusion-maximal facet family.
+
+        Skips the pruning pass of ``__init__`` entirely.  The caller
+        promises that no entry is a face of another — e.g. the facet set of
+        an existing complex, or a family of distinct simplices sharing one
+        dimension (the one-round builders produce exactly those).  Passing
+        a family that violates the promise corrupts every facet-based
+        accessor, so only construction sites that guarantee maximality may
+        use this.
+        """
+        self = object.__new__(cls)
+        self._facets = (
+            facets if isinstance(facets, frozenset) else frozenset(facets)
+        )
+        self._faces_cache = None
+        self._vertices_cache = None
+        self._hash = None
+        _TRUSTED_BUILDS.built()
+        return self
+
+    @classmethod
     def from_simplex(cls, simplex: Simplex) -> "SimplicialComplex":
         """The complex ``σ̄`` of all faces of a single simplex."""
-        return cls([simplex])
+        return cls.from_maximal((simplex,))
 
     @classmethod
     def empty(cls) -> "SimplicialComplex":
@@ -201,7 +244,8 @@ class SimplicialComplex:
 
     def star(self, vertex: Vertex) -> "SimplicialComplex":
         """The star of a vertex: all facets containing it."""
-        return SimplicialComplex(self.facets_containing(vertex))
+        # Facets of a complex never nest, so any subset is already maximal.
+        return SimplicialComplex.from_maximal(self.facets_containing(vertex))
 
     def vertices_of_color(self, color: int) -> List[Vertex]:
         """All vertices of the given color, sorted."""

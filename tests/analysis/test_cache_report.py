@@ -1,0 +1,38 @@
+"""Tests for the cache-stats report."""
+
+from repro.analysis import CacheStatsRow, cache_stats_rows, render_cache_report
+from repro.instrumentation import counter
+
+
+class TestRows:
+    def test_cells_show_hit_rate(self):
+        row = CacheStatsRow("sample", 3, 1)
+        assert row.calls == 4
+        assert row.cells() == ("sample", "3", "1", "75.0%")
+
+    def test_zero_calls_renders_na(self):
+        assert CacheStatsRow("idle", 0, 0).cells()[-1] == "n/a"
+
+    def test_pure_construction_counter_renders(self):
+        # A cache that only ever builds (0 hits) is still a valid row.
+        assert CacheStatsRow("cold", 0, 7).cells() == (
+            "cold", "0", "7", "0.0%"
+        )
+
+    def test_rows_sorted_by_name(self):
+        rows = cache_stats_rows({"b": (1, 0), "a": (0, 1)})
+        assert [row.cache for row in rows] == ["a", "b"]
+
+
+class TestReport:
+    def test_explicit_stats(self):
+        text = render_cache_report({"one-round": (9, 1)}, title="T")
+        assert "T" in text
+        assert "one-round" in text
+        assert "90.0%" in text
+
+    def test_defaults_to_registered_counters(self):
+        sample = counter("test-cache-report.lifetime")
+        sample.hit()
+        text = render_cache_report()
+        assert "test-cache-report.lifetime" in text

@@ -142,3 +142,91 @@ class TestProblemCompilation:
         )
         for vertex, domain in problem.candidates.items():
             assert all(image.color == vertex.color for image in domain)
+
+
+class TestProblemConstruction:
+    """Regressions for the dataclass field layout and search-state reset."""
+
+    def _compiled(self, iis, rounds=1):
+        task = approximate_agreement_task([1, 2], F(1, 2), 2)
+        operator = ProtocolOperator(iis)
+        return build_solvability_problem(
+            list(task.input_complex),
+            task.delta,
+            lambda sigma: operator.of_simplex(sigma, rounds),
+            rounds=rounds,
+        )
+
+    def test_positional_construction_binds_rounds(self, iis):
+        # ``last_search_nodes`` once leaked into the dataclass __init__ as a
+        # fourth positional parameter, silently swallowing arguments meant
+        # for nothing.  Positional construction must bind exactly
+        # (candidates, constraints, rounds).
+        from repro.core.solvability import SolvabilityProblem
+
+        compiled = self._compiled(iis)
+        problem = SolvabilityProblem(
+            compiled.candidates, compiled.constraints, 3
+        )
+        assert problem.rounds == 3
+        assert problem.last_search_nodes == 0
+
+    def test_no_fourth_positional_parameter(self, iis):
+        from repro.core.solvability import SolvabilityProblem
+
+        compiled = self._compiled(iis)
+        with pytest.raises(TypeError):
+            SolvabilityProblem(
+                compiled.candidates, compiled.constraints, 3, 99
+            )
+
+    def test_last_search_nodes_not_settable_at_init(self, iis):
+        from repro.core.solvability import SolvabilityProblem
+
+        compiled = self._compiled(iis)
+        with pytest.raises(TypeError):
+            SolvabilityProblem(
+                compiled.candidates,
+                compiled.constraints,
+                rounds=1,
+                last_search_nodes=5,
+            )
+
+
+class TestBudgetRecovery:
+    """A budget failure must not poison later solves (satellite b)."""
+
+    def _hard_but_solvable(self, iis):
+        task = approximate_agreement_task([1, 2], F(1, 2), 2)
+        operator = ProtocolOperator(iis)
+        return build_solvability_problem(
+            list(task.input_complex),
+            task.delta,
+            lambda sigma: operator.of_simplex(sigma, 1),
+            rounds=1,
+        )
+
+    def test_resolve_after_budget_failure(self, iis):
+        problem = self._hard_but_solvable(iis)
+        # Starve the raw search so SolvabilityError fires mid-backtrack.
+        with pytest.raises(SolvabilityError):
+            problem.solve(
+                use_propagation=False, use_components=False, node_limit=1
+            )
+        # The interrupted search must have unwound its partial assignment;
+        # a fresh solve on the same instance still finds the map.
+        decision = problem.solve()
+        assert decision is not None
+        for facet, allowed in problem.constraints:
+            assert decision.output_simplex(facet) in allowed
+
+    def test_budget_failure_repeatable(self, iis):
+        problem = self._hard_but_solvable(iis)
+        for _ in range(2):
+            with pytest.raises(SolvabilityError):
+                problem.solve(
+                    use_propagation=False,
+                    use_components=False,
+                    node_limit=1,
+                )
+        assert problem.solve() is not None

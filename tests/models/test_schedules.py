@@ -27,6 +27,13 @@ class TestScheduleValidation:
         )
         assert schedule.participants == fs(1, 2)
 
+    def test_condition_2_views_within_participants(self):
+        # P_1 = {2, 9} mentions process 9 which is in no group.
+        with pytest.raises(ScheduleError):
+            OneRoundSchedule(
+                groups=(fs(1), fs(2)), views=(fs(1, 2), fs(2, 9))
+            )
+
     def test_condition_3_p0_equals_participants(self):
         with pytest.raises(ScheduleError):
             OneRoundSchedule(groups=(fs(1), fs(2)), views=(fs(1), fs(2)))
@@ -74,6 +81,14 @@ class TestScheduleSemantics:
         blocks = (fs(2), fs(1, 3))
         schedule = schedule_from_blocks(blocks)
         assert schedule.blocks() == blocks
+
+    def test_blocks_roundtrip_all_three_process_schedules(self):
+        # blocks() ∘ schedule_from_blocks is the identity on every
+        # 3-process immediate-snapshot schedule (matrix ↔ ordered blocks).
+        for schedule in immediate_snapshot_schedules([1, 2, 3]):
+            rebuilt = schedule_from_blocks(schedule.blocks())
+            assert rebuilt.blocks() == schedule.blocks()
+            assert rebuilt.view_map() == schedule.view_map()
 
     def test_blocks_rejected_for_non_is(self):
         # Cyclic-free collect-only matrix: 1 sees all, 2 sees {2,3}, 3 sees
@@ -157,7 +172,7 @@ class TestEnumerations:
         assert snap <= collect
 
     @pytest.mark.parametrize(
-        "n, expected_facets", [(1, 1), (2, 3), (3, 13)]
+        "n, expected_facets", [(1, 1), (2, 3), (3, 13), (4, 75)]
     )
     def test_distinct_is_view_maps(self, n, expected_facets):
         maps = view_maps_of_schedules(

@@ -1,4 +1,4 @@
-"""Tests for the experiments registry (E1–E21)."""
+"""Tests for the experiments registry (E1–E22)."""
 
 import pytest
 
@@ -7,9 +7,9 @@ from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
 
 
 class TestRegistryStructure:
-    def test_twenty_one_experiments(self):
-        assert len(EXPERIMENTS) == 21
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 22)}
+    def test_twenty_two_experiments(self):
+        assert len(EXPERIMENTS) == 22
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 23)}
 
     def test_entries_are_complete(self):
         for identifier, entry in EXPERIMENTS.items():
@@ -75,6 +75,14 @@ class TestRunners:
         data = run_experiment("E17")
         assert data["closure_grows"]
 
+    def test_e22_cache_effectiveness(self):
+        data = run_experiment("E22")
+        assert data["facets"] == 169
+        assert data["f_vector"] == (99, 267, 169)
+        # The acceptance bar: ≥ 5× fewer one-round materializations than
+        # the one-per-request pre-caching baseline.
+        assert data["requests"] >= 5 * data["materializations"]
+
 
 class TestParameterizedRunners:
     """The heavier experiment functions, exercised on reduced instances."""
@@ -108,6 +116,7 @@ class TestParameterizedRunners:
         assert data["filtered_async"]["violations"] == 0
         assert data["plain_async"]["violations"] > 0
 
+    @pytest.mark.slow
     def test_solver_ablation_shape(self):
         from repro.experiments import reproduce_solver_ablation
 

@@ -1,0 +1,29 @@
+"""The perf smoke script must pass against its generous budget."""
+
+import pathlib
+import sys
+
+
+def test_perf_smoke_passes():
+    scripts = pathlib.Path(__file__).parents[1] / "scripts"
+    sys.path.insert(0, str(scripts))
+    try:
+        import perf_smoke
+    finally:
+        sys.path.remove(str(scripts))
+
+    assert perf_smoke.main() == 0
+
+
+def test_perf_smoke_measurements_have_expected_shape():
+    scripts = pathlib.Path(__file__).parents[1] / "scripts"
+    sys.path.insert(0, str(scripts))
+    try:
+        import perf_smoke
+    finally:
+        sys.path.remove(str(scripts))
+
+    data = perf_smoke.run_smoke()
+    assert data["facets"] == 169
+    assert data["f_vector"] == (99, 267, 169)
+    assert data["one_round_requests"] >= data["one_round_materializations"]

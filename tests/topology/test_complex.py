@@ -39,6 +39,34 @@ class TestConstruction:
             SimplicialComplex([triangle])
         )
 
+    def test_pruning_mixed_dimension_chain(self):
+        # A whole inclusion chain collapses to its top element, regardless
+        # of the order the candidates arrive in.
+        top = Simplex([(1, "a"), (2, "b"), (3, "c")])
+        edge = top.proj([1, 2])
+        point = top.proj([2])
+        for candidates in ([top, edge, point], [point, edge, top]):
+            assert SimplicialComplex(candidates).facets == frozenset({top})
+
+    def test_pruning_keeps_incomparable_simplices(self):
+        # Same-dimension distinct simplices can never nest.
+        left = Simplex([(1, "a"), (2, "b")])
+        right = Simplex([(1, "a"), (2, "z")])
+        lone = Simplex([(3, "c")])
+        complex_ = SimplicialComplex([left, right, lone, left.proj([1])])
+        assert complex_.facets == frozenset({left, right, lone})
+
+    def test_from_maximal_equals_pruning_constructor(self, two_triangles):
+        trusted = SimplicialComplex.from_maximal(two_triangles.facets)
+        assert trusted == two_triangles
+        assert hash(trusted) == hash(two_triangles)
+        assert trusted.simplices == two_triangles.simplices
+        assert trusted.f_vector() == two_triangles.f_vector()
+
+    def test_from_maximal_accepts_any_iterable(self, triangle):
+        from_iter = SimplicialComplex.from_maximal(iter([triangle]))
+        assert from_iter == SimplicialComplex([triangle])
+
 
 class TestAccessors:
     def test_vertices(self, two_triangles):
