@@ -23,7 +23,7 @@ algorithm that makes Theorem 4's ``⌈log₂ n⌉ − 1`` term essentially tight
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Mapping, Optional
+from typing import Hashable, Mapping, Optional
 
 from repro.core.lower_bounds import ceil_log
 from repro.errors import RuntimeModelError
@@ -88,7 +88,7 @@ class ConsensusViaBinaryConsensus(RoundAlgorithm):
             raise RuntimeModelError(
                 "ConsensusViaBinaryConsensus requires the binary consensus box"
             )
-        merged: Dict[int, Hashable] = {}
+        merged: dict[int, Hashable] = {}
         for other in seen_states.values():
             merged.update(other.known_inputs)
         champion = state.champion

@@ -14,14 +14,14 @@ participants.
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping, Optional, Tuple
+from typing import Hashable, Mapping, Optional
 
 from repro.errors import RuntimeModelError
 from repro.runtime.algorithm import RoundAlgorithm
 
 __all__ = ["TwoProcessConsensusTAS"]
 
-State = Tuple[Hashable, Hashable]  # (own input, decided value or None)
+State = tuple[Hashable, Hashable]  # (own input, decided value or None)
 
 
 class TwoProcessConsensusTAS(RoundAlgorithm):

@@ -20,7 +20,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.analysis.reporting import render_table
 from repro.instrumentation import all_counters
@@ -48,8 +48,8 @@ class CacheStatsRow:
 
 
 def cache_stats_rows(
-    stats: Optional[Dict[str, Tuple[int, int]]] = None,
-) -> List[CacheStatsRow]:
+    stats: Optional[dict[str, tuple[int, int]]] = None,
+) -> list[CacheStatsRow]:
     """One row per cache, sorted by cache name.
 
     Parameters
@@ -70,7 +70,7 @@ def cache_stats_rows(
 
 
 def render_cache_report(
-    stats: Optional[Dict[str, Tuple[int, int]]] = None,
+    stats: Optional[dict[str, tuple[int, int]]] = None,
     title: str = "Cache effectiveness (hits / misses = constructions)",
 ) -> str:
     """Render the counters as a fixed-width table."""

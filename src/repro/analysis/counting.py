@@ -9,7 +9,6 @@ comparisons between models (Fig. 8's message is precisely
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 from repro.models.base import ComputationModel
 from repro.topology.complex import SimplicialComplex
@@ -24,7 +23,7 @@ class ComplexCensus:
 
     facets: int
     vertices: int
-    f_vector: Tuple[int, ...]
+    f_vector: tuple[int, ...]
     euler_characteristic: int
     dim: int
     pure: bool
@@ -55,9 +54,9 @@ def model_census(
     return ComplexCensus.of(protocol)
 
 
-def per_color_census(complex_: SimplicialComplex) -> Dict[int, int]:
+def per_color_census(complex_: SimplicialComplex) -> dict[int, int]:
     """Vertex count per color — Fig. 5's "seven vertices with the same ID"."""
-    counts: Dict[int, int] = {}
+    counts: dict[int, int] = {}
     for vertex in complex_.vertices:
         counts[vertex.color] = counts.get(vertex.color, 0) + 1
     return dict(sorted(counts.items()))
@@ -68,7 +67,7 @@ def compare_models(
     larger: ComputationModel,
     sigma: Simplex,
     rounds: int = 1,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Check (strict) inclusion of two models' protocol complexes.
 
     Returns a report dictionary with the simplex-level containment verdicts

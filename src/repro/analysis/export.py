@@ -13,7 +13,7 @@ into formats a human (or graphviz) can look at:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Tuple
+from typing import Hashable
 
 from repro.topology.complex import SimplicialComplex
 from repro.topology.connectivity import one_skeleton_adjacency
@@ -45,10 +45,10 @@ def _short_value(value: Hashable) -> str:
     return str(value)
 
 
-def vertex_legend(complex_: SimplicialComplex) -> Dict[str, Vertex]:
+def vertex_legend(complex_: SimplicialComplex) -> dict[str, Vertex]:
     """Map deterministic short labels (``p1_0``, ``p1_1``, …) to vertices."""
-    legend: Dict[str, Vertex] = {}
-    counters: Dict[int, int] = {}
+    legend: dict[str, Vertex] = {}
+    counters: dict[int, int] = {}
     for vertex in complex_.sorted_vertices():
         index = counters.get(vertex.color, 0)
         counters[vertex.color] = index + 1
@@ -65,7 +65,7 @@ def to_dot(complex_: SimplicialComplex, title: str = "complex") -> str:
     """
     legend = vertex_legend(complex_)
     label_of = {vertex: label for label, vertex in legend.items()}
-    lines: List[str] = [
+    lines: list[str] = [
         f'graph "{title}" {{',
         "  node [style=filled, fontcolor=white];",
     ]
@@ -95,7 +95,7 @@ def facet_listing(complex_: SimplicialComplex) -> str:
 
     One facet per line, vertices sorted by color, views summarized.
     """
-    lines: List[str] = [
+    lines: list[str] = [
         f"# {len(complex_.facets)} facets, "
         f"{len(complex_.vertices)} vertices, dim {complex_.dim}"
     ]

@@ -20,7 +20,7 @@ assert the drawn structure exactly:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Optional, Tuple
+from typing import Hashable, Mapping, Optional
 
 from repro.analysis.counting import ComplexCensus, per_color_census
 from repro.core.solvability import DecisionMap, find_decision_map
@@ -46,7 +46,7 @@ __all__ = [
 ]
 
 
-def figure4_complex_and_map() -> Tuple[SimplicialComplex, Optional[DecisionMap]]:
+def figure4_complex_and_map() -> tuple[SimplicialComplex, Optional[DecisionMap]]:
     """Fig. 4: 2-process binary consensus is 1-round solvable with test&set.
 
     Returns the 1-round protocol complex over the binary input complex and a
@@ -63,7 +63,7 @@ def figure4_complex_and_map() -> Tuple[SimplicialComplex, Optional[DecisionMap]]
 
 def figure5_complex(
     values: Optional[Mapping[int, Hashable]] = None,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Fig. 5: the 1-round IIS+test&set complex for three processes.
 
     Returns the complex together with the census the figure displays:
@@ -108,7 +108,7 @@ def figure6_simplices(
     i: int,
     j: int,
     k: int,
-) -> Tuple[Simplex, Simplex]:
+) -> tuple[Simplex, Simplex]:
     """Fig. 6: the simplices ``ρ_{i,j,k}`` and ``ρ_{j,i,k}`` of Corollary 2.
 
     ``ρ_{i,j,k}``: process ``i`` runs solo first (winning test&set), then
@@ -117,7 +117,7 @@ def figure6_simplices(
     """
     y = dict(tau_values)
 
-    def vertex(process: int, bit: int, seen: Tuple[int, ...]) -> Vertex:
+    def vertex(process: int, bit: int, seen: tuple[int, ...]) -> Vertex:
         return Vertex(process, (bit, View((s, y[s]) for s in seen)))
 
     rho_ijk = Simplex(
@@ -140,7 +140,7 @@ def figure6_simplices(
 def figure7_complex(
     call_bits: Optional[Mapping[int, int]] = None,
     values: Optional[Mapping[int, Hashable]] = None,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Fig. 7: the 1-round IIS+binary-consensus complex for three processes.
 
     Default call bits follow the figure: the "black" process (ID 1) calls
@@ -182,7 +182,7 @@ def figure7_complex(
 
 def figure8_census(
     values: Optional[Mapping[int, Hashable]] = None,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Fig. 8: one-round complexes of the three register models, compared."""
     inputs = dict(values or {1: 1, 2: 2, 3: 3})
     sigma = Simplex(inputs.items())

@@ -9,9 +9,9 @@ readable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
-__all__ = ["ExperimentRow", "render_table"]
+__all__ = ["ExperimentRow", "render_table", "render_rows"]
 
 
 @dataclass(frozen=True)
@@ -33,18 +33,18 @@ class ExperimentRow:
         )
 
 
-def render_table(
+def render_rows(
     title: str,
-    rows: Iterable[ExperimentRow],
-    headers: Sequence[str] = ("instance", "paper", "measured", "verdict"),
+    rows: Iterable[Sequence[str]],
+    headers: Sequence[str],
 ) -> str:
-    """Render a fixed-width table with a title line.
+    """Render arbitrary cell rows as a fixed-width table with a title line.
 
-    Returns the table as a string; callers print it (benchmarks) or write
-    it to EXPERIMENTS.md.
+    The generic engine behind :func:`render_table`; the checks subsystem
+    reuses it for finding reports.
     """
-    materialized: List[Sequence[str]] = [tuple(headers)]
-    materialized.extend(row.cells() for row in rows)
+    materialized: list[Sequence[str]] = [tuple(headers)]
+    materialized.extend(tuple(row) for row in rows)
     widths = [
         max(len(str(row[col])) for row in materialized)
         for col in range(len(headers))
@@ -59,3 +59,16 @@ def render_table(
     lines.append("  ".join("-" * width for width in widths))
     lines.extend(fmt(cells) for cells in materialized[1:])
     return "\n".join(lines)
+
+
+def render_table(
+    title: str,
+    rows: Iterable[ExperimentRow],
+    headers: Sequence[str] = ("instance", "paper", "measured", "verdict"),
+) -> str:
+    """Render a fixed-width paper-vs-measured table with a title line.
+
+    Returns the table as a string; callers print it (benchmarks) or write
+    it to EXPERIMENTS.md.
+    """
+    return render_rows(title, (row.cells() for row in rows), headers)

@@ -7,6 +7,8 @@ Exposes the library's headline computations without writing Python::
     repro closure --n 3 --eps 1/4 --m 4 --liberal --model tas
     repro bounds --eps 1/8 --n 3
     repro run halving --eps 1/8 --inputs 0,1/2,1 --seed 7 --crash 0.2
+    repro check --all                 # audit every experiment's invariants
+    repro check --lint src/           # repo-specific AST lint (RPR rules)
 
 Also available as ``python -m repro``.
 """
@@ -16,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 from fractions import Fraction
-from typing import List, Optional
+from typing import Optional
 
 from repro.algorithms import (
     BitwiseAA,
@@ -226,6 +228,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.checks import (
+        audit_all,
+        audit_experiments,
+        lint_report,
+        parse_severity,
+        render_json,
+        render_text,
+    )
+
+    try:
+        fail_on = parse_severity(args.fail_on)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    reports = []
+    if args.lint:
+        reports.append(lint_report(args.lint))
+    if args.all:
+        reports.append(audit_all())
+    elif args.ids:
+        try:
+            reports.append(audit_experiments(args.ids))
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+    if not reports:
+        # Bare `repro check` audits everything, like `--all`.
+        reports.append(audit_all())
+
+    merged = reports[0]
+    for report in reports[1:]:
+        merged = merged.merged_with(report)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(merged))
+    return merged.exit_code(fail_on)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from pprint import pformat
 
@@ -284,6 +323,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("id", nargs="?", default=None)
 
+    p = sub.add_parser(
+        "check",
+        help="static analysis: audit domain invariants and lint sources",
+        description=(
+            "Audit the library's structural invariants over the experiment "
+            "registry's live objects (chromaticity, facet maximality, "
+            "carrier monotonicity, schedule matrix conditions, memo "
+            "coherence, task/closure well-formedness) and/or run the "
+            "repo-specific AST lint (RPR001–RPR005)."
+        ),
+    )
+    p.add_argument(
+        "ids",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids to audit (e.g. E7 E12); default: all",
+    )
+    p.add_argument(
+        "--all",
+        action="store_true",
+        help="audit every registered experiment's machinery",
+    )
+    p.add_argument(
+        "--lint",
+        nargs="+",
+        metavar="PATH",
+        help="lint the given files/directories with the RPR rules",
+    )
+    p.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--fail-on",
+        default="error",
+        metavar="SEVERITY",
+        help="exit non-zero when a finding reaches this severity "
+        "(info, warning, error; default: error)",
+    )
+
     p = sub.add_parser("run", help="execute an algorithm under an adversary")
     p.add_argument(
         "algorithm",
@@ -304,10 +385,11 @@ _COMMANDS = {
     "bounds": _cmd_bounds,
     "run": _cmd_run,
     "experiment": _cmd_experiment,
+    "check": _cmd_check,
 }
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:

@@ -23,7 +23,7 @@ Two practical notes:
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+from typing import Iterable, Optional
 
 from repro.core.local_task import local_task
 from repro.core.solvability import build_solvability_problem
@@ -73,18 +73,18 @@ class ClosureComputer:
             raise SolvabilityError(
                 "quantify_beta requires an augmented model"
             )
-        self._membership_cache: Dict[
-            Tuple[SimplicialComplex, Simplex], bool
+        self._membership_cache: dict[
+            tuple[SimplicialComplex, Simplex], bool
         ] = {}
-        self._delta_cache: Dict[Simplex, SimplicialComplex] = {}
+        self._delta_cache: dict[Simplex, SimplicialComplex] = {}
         # One memoized operator shared by every (σ, τ, β) decision — the
         # model's own one-round cache makes a fresh operator cheap, but
         # reusing a single instance also shares the iterated ``P^(t)``
         # complexes across decisions.
         self._operator = ProtocolOperator(model)
-        self._beta_cache: Dict[
-            Tuple[Tuple[int, ...], Tuple[int, ...]],
-            Tuple[ComputationModel, ProtocolOperator],
+        self._beta_cache: dict[
+            tuple[tuple[int, ...], tuple[int, ...]],
+            tuple[ComputationModel, ProtocolOperator],
         ] = {}
 
     @property
@@ -145,7 +145,7 @@ class ClosureComputer:
 
     def _candidate_operators(
         self, tau: Simplex
-    ) -> Iterable[Tuple[ComputationModel, ProtocolOperator]]:
+    ) -> Iterable[tuple[ComputationModel, ProtocolOperator]]:
         if not self._quantify_beta:
             yield self._model, self._operator
             return
@@ -177,7 +177,7 @@ class ClosureComputer:
     # ------------------------------------------------------------------
     # The closure's specification
     # ------------------------------------------------------------------
-    def legal_outputs(self, sigma: Simplex) -> List[Simplex]:
+    def legal_outputs(self, sigma: Simplex) -> list[Simplex]:
         """All chromatic sets ``τ ∈ Δ'(σ)`` with ``ID(τ) = ID(σ)``, sorted."""
         allowed = self._task.delta(sigma)
         per_color = [

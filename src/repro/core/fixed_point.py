@@ -13,7 +13,7 @@ impossibility results through :func:`impossibility_from_fixed_point`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, Optional
 
 from repro.core.closure import ClosureComputer
 from repro.core.solvability import is_solvable
@@ -67,7 +67,7 @@ class FixedPointReport:
     model_name: str
     fixed_point: bool
     zero_round_solvable: bool
-    counterexamples: List[Simplex] = field(default_factory=list)
+    counterexamples: list[Simplex] = field(default_factory=list)
 
     @property
     def unsolvable(self) -> bool:
@@ -107,7 +107,7 @@ def impossibility_from_fixed_point(
         if input_simplices is not None
         else list(task.input_complex)
     )
-    counterexamples: List[Simplex] = []
+    counterexamples: list[Simplex] = []
     for sigma in pool:
         if computer.delta_prime(sigma).simplices != task.delta(sigma).simplices:
             counterexamples.append(sigma)

@@ -18,7 +18,6 @@ the solvability engine must constrain every face of ``τ``, which it does.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from repro.errors import TaskSpecificationError
 from repro.tasks.task import Task

@@ -27,7 +27,7 @@ computationally on grid instances (Claims 2–4, 6).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Optional, Union
+from typing import Union
 
 from repro.core.closure import ClosureComputer
 from repro.core.solvability import is_solvable

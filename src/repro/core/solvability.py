@@ -25,14 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import (
     Callable,
-    Dict,
-    FrozenSet,
     Iterable,
-    List,
     Mapping,
     Optional,
     Sequence,
-    Tuple,
 )
 
 from repro.errors import SolvabilityError
@@ -103,15 +99,15 @@ class SolvabilityProblem:
         Recorded for reporting only.
     """
 
-    candidates: Dict[Vertex, Tuple[Vertex, ...]]
-    constraints: List[Tuple[Simplex, FrozenSet[Simplex]]]
+    candidates: dict[Vertex, tuple[Vertex, ...]]
+    constraints: list[tuple[Simplex, frozenset[Simplex]]]
     rounds: int = 0
     #: Number of search nodes explored by the most recent :meth:`solve`.
     #: Derived state, not a constructor parameter: keeping it out of
     #: ``__init__`` guarantees positional construction binds exactly
     #: ``(candidates, constraints, rounds)`` and nothing more.
     last_search_nodes: int = field(default=0, init=False, compare=False)
-    _by_vertex: Dict[Vertex, List[int]] = field(
+    _by_vertex: dict[Vertex, list[int]] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
     #: Per-constraint lookup tables derived by :meth:`_index`: the allowed
@@ -120,22 +116,22 @@ class SolvabilityProblem:
     #: ``vertex → color → partners`` for the propagation/consistency fast
     #: paths.  Tables are shared between constraints with the same allowed
     #: family.
-    _allowed_faces: List[FrozenSet[FrozenSet[Vertex]]] = field(
+    _allowed_faces: list[frozenset[frozenset[Vertex]]] = field(
         default_factory=list, init=False, repr=False, compare=False
     )
-    _allowed_partners: List[
-        Dict[Vertex, Dict[int, FrozenSet[Vertex]]]
+    _allowed_partners: list[
+        dict[Vertex, dict[int, frozenset[Vertex]]]
     ] = field(default_factory=list, init=False, repr=False, compare=False)
 
     def _index(self) -> None:
         self._by_vertex = {vertex: [] for vertex in self.candidates}
         self._allowed_faces = []
         self._allowed_partners = []
-        face_tables: Dict[
-            FrozenSet[Simplex], FrozenSet[FrozenSet[Vertex]]
+        face_tables: dict[
+            frozenset[Simplex], frozenset[frozenset[Vertex]]
         ] = {}
-        partner_tables: Dict[
-            FrozenSet[Simplex], Dict[Vertex, Dict[int, FrozenSet[Vertex]]]
+        partner_tables: dict[
+            frozenset[Simplex], dict[Vertex, dict[int, frozenset[Vertex]]]
         ] = {}
         for position, (facet, allowed) in enumerate(self.constraints):
             for vertex in facet.vertices:
@@ -146,7 +142,7 @@ class SolvabilityProblem:
                     frozenset(simplex.vertices) for simplex in allowed
                 )
                 face_tables[allowed] = faces
-                collecting: Dict[Vertex, Dict[int, set]] = {}
+                collecting: dict[Vertex, dict[int, set]] = {}
                 for pair in faces:
                     if len(pair) != 2:
                         continue
@@ -194,7 +190,7 @@ class SolvabilityProblem:
         if any(not domain for domain in self.candidates.values()):
             return None
         self._index()
-        domains: Dict[Vertex, List[Vertex]] = {
+        domains: dict[Vertex, list[Vertex]] = {
             vertex: list(options)
             for vertex, options in self.candidates.items()
         }
@@ -207,7 +203,7 @@ class SolvabilityProblem:
         # decomposition genuinely split the problem: forced vertices are
         # shared between otherwise-independent input windows and would
         # bridge their components.
-        assignment: Dict[Vertex, Vertex] = {
+        assignment: dict[Vertex, Vertex] = {
             vertex: options[0]
             for vertex, options in domains.items()
             if len(options) == 1
@@ -236,7 +232,7 @@ class SolvabilityProblem:
         return DecisionMap(dict(assignment), self.rounds)
 
     def _propagate_pairwise(
-        self, domains: Dict[Vertex, List[Vertex]]
+        self, domains: dict[Vertex, list[Vertex]]
     ) -> bool:
         """AC-3 over the pairs of every constraint facet.
 
@@ -262,11 +258,11 @@ class SolvabilityProblem:
         from collections import deque
 
         queue = deque(arcs)
-        watchers: Dict[Vertex, List] = {}
+        watchers: dict[Vertex, list] = {}
         for arc in arcs:
             watchers.setdefault(arc[1], []).append(arc)
 
-        empty: Dict[int, FrozenSet[Vertex]] = {}
+        empty: dict[int, frozenset[Vertex]] = {}
         while queue:
             u, v, partners = queue.popleft()
             domain_v = domains[v]
@@ -286,14 +282,14 @@ class SolvabilityProblem:
                     queue.append(arc)
         return True
 
-    def _components(self, free: List[Vertex]) -> List[List[Vertex]]:
+    def _components(self, free: list[Vertex]) -> list[list[Vertex]]:
         """Connected components of the constraint graph over free vertices.
 
         Forced vertices are excluded: their values are already fixed, so
         they transmit no uncertainty between the subproblems they touch.
         """
         free_set = set(free)
-        neighbors: Dict[Vertex, set] = {v: set() for v in free_set}
+        neighbors: dict[Vertex, set] = {v: set() for v in free_set}
         for facet, _ in self.constraints:
             vertices = [v for v in facet.vertices if v in free_set]
             for i, u in enumerate(vertices):
@@ -301,7 +297,7 @@ class SolvabilityProblem:
                     neighbors[u].add(v)
                     neighbors[v].add(u)
         remaining = set(free_set)
-        components: List[List[Vertex]] = []
+        components: list[list[Vertex]] = []
         while remaining:
             seed = min(remaining, key=lambda v: v._sort_key())
             stack, seen = [seed], {seed}
@@ -319,15 +315,15 @@ class SolvabilityProblem:
 
     def _search_component(
         self,
-        component: List[Vertex],
-        domains: Dict[Vertex, List[Vertex]],
-        assignment: Dict[Vertex, Vertex],
+        component: list[Vertex],
+        domains: dict[Vertex, list[Vertex]],
+        assignment: dict[Vertex, Vertex],
         node_limit: Optional[int] = None,
     ) -> bool:
         order = sorted(
             component, key=lambda v: (len(domains[v]), v._sort_key())
         )
-        empty_partners: Dict[int, FrozenSet[Vertex]] = {}
+        empty_partners: dict[int, frozenset[Vertex]] = {}
 
         def consistent(vertex: Vertex) -> bool:
             for constraint_index in self._by_vertex[vertex]:
@@ -400,8 +396,8 @@ def build_solvability_problem(
         ``σ ↦ P^(t)(σ)``, the executions where exactly ``ID(σ)``
         participate.
     """
-    candidates: Dict[Vertex, set] = {}
-    constraints: List[Tuple[Simplex, FrozenSet[Simplex]]] = []
+    candidates: dict[Vertex, set] = {}
+    constraints: list[tuple[Simplex, frozenset[Simplex]]] = []
     constraint_keys: set = set()
 
     for sigma in input_simplices:
@@ -409,7 +405,7 @@ def build_solvability_problem(
         allowed_faces = allowed.simplices
         # Accumulate per-color domains in plain sets (rebuilding a frozenset
         # per vertex is quadratic in the color class size).
-        allowed_by_color: Dict[int, set] = {}
+        allowed_by_color: dict[int, set] = {}
         for output_vertex in allowed.vertices:
             allowed_by_color.setdefault(output_vertex.color, set()).add(
                 output_vertex

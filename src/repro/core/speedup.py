@@ -22,7 +22,7 @@ and that the constructed ``f'`` solves the closure in ``t - 1`` rounds
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from repro.core.closure import ClosureComputer
 from repro.core.solvability import DecisionMap
@@ -61,7 +61,7 @@ def speedup_decision_map(
             "the speedup construction needs a map deciding after ≥ 1 rounds"
         )
     op = operator or ProtocolOperator(model)
-    assignment: Dict[Vertex, Vertex] = {}
+    assignment: dict[Vertex, Vertex] = {}
     for sigma in task.input_complex:
         previous = op.of_simplex(sigma, rounds - 1)
         for vertex in previous.vertices:
@@ -99,7 +99,7 @@ class SpeedupReport:
     rounds: int
     original_valid: bool
     sped_up_valid: bool
-    violations: List[Tuple[Simplex, Simplex, Simplex]] = field(
+    violations: list[tuple[Simplex, Simplex, Simplex]] = field(
         default_factory=list
     )
 
@@ -141,7 +141,7 @@ def verify_speedup_theorem(
 
     faster = speedup_decision_map(task, model, decision_map, operator)
     closure = ClosureComputer(task, model)
-    violations: List[Tuple[Simplex, Simplex, Simplex]] = []
+    violations: list[tuple[Simplex, Simplex, Simplex]] = []
     for sigma in task.input_complex:
         protocol = operator.of_simplex(sigma, rounds - 1)
         for facet in protocol.facets:

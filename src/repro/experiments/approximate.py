@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Tuple
 
 from repro.algorithms import HalvingAA, TwoProcessThirdsAA
 from repro.core import (
@@ -43,7 +42,7 @@ F = Fraction
 THEOREM4_BETA = {1: 0, 2: 1, 3: 0, 4: 0, 5: 1}
 
 
-def reproduce_claim1() -> Dict[str, bool]:
+def reproduce_claim1() -> dict[str, bool]:
     """E14 — Claim 1: zero-round (un)solvability landscape of ε-AA."""
     iis = ImmediateSnapshotModel()
     return {
@@ -65,7 +64,7 @@ def reproduce_claim1() -> Dict[str, bool]:
     }
 
 
-def reproduce_claim2(m: int = 6, eps: Fraction = F(1, 6)) -> Dict[str, object]:
+def reproduce_claim2(m: int = 6, eps: Fraction = F(1, 6)) -> dict[str, object]:
     """E7 — Claim 2: CL_IIS(ε-AA) = (3ε)-AA for two processes,
     exhaustively over the grid."""
     iis = ImmediateSnapshotModel()
@@ -83,7 +82,7 @@ def reproduce_claim2(m: int = 6, eps: Fraction = F(1, 6)) -> Dict[str, object]:
     return {"checked": checked, "mismatches": mismatches, "eps": eps, "m": m}
 
 
-def reproduce_claim3(m: int = 4, eps: Fraction = F(1, 4)) -> Dict[str, object]:
+def reproduce_claim3(m: int = 4, eps: Fraction = F(1, 4)) -> dict[str, object]:
     """E8 — Claim 3: CL_IIS(liberal ε-AA) = liberal (2ε)-AA for n = 3,
     over every 2-dimensional input simplex plus representative faces."""
     iis = ImmediateSnapshotModel()
@@ -112,10 +111,10 @@ def reproduce_claim3(m: int = 4, eps: Fraction = F(1, 4)) -> Dict[str, object]:
     return {"checked": checked, "mismatches": mismatches, "eps": eps, "m": m}
 
 
-def reproduce_corollary3() -> Dict[str, object]:
+def reproduce_corollary3() -> dict[str, object]:
     """E9 — Corollary 3: lower bounds, generic iteration, and tightness."""
     iis = ImmediateSnapshotModel()
-    table: List[Tuple[int, Fraction, int, int, int]] = []
+    table: list[tuple[int, Fraction, int, int, int]] = []
     for n in (2, 3):
         for k in (1, 2, 3, 4):
             eps = F(1, 2**k) if n >= 3 else F(1, 3**k)
@@ -133,7 +132,7 @@ def reproduce_corollary3() -> Dict[str, object]:
 
 def reproduce_theorem3(
     m: int = 4, eps: Fraction = F(1, 4)
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """E10 — Theorem 3 / Claim 4: the IIS+test&set closure still doubles ε
     and the round bounds coincide with plain IIS for n ≥ 3."""
     model = AugmentedModel(TestAndSetBox())
@@ -178,7 +177,7 @@ def reproduce_theorem3(
 
 def reproduce_theorem4(
     m: int = 4, eps: Fraction = F(1, 4)
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """E12 — Theorem 4 / Claims 5–6: the β-closure collapses on the
     majority call side, escapes on mixed sides, and the closed form holds."""
     from repro.core import ceil_log

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict
 
 from repro.analysis import figure6_simplices
 from repro.core import (
@@ -30,7 +29,7 @@ __all__ = [
 ]
 
 
-def reproduce_closure_machinery() -> Dict[str, object]:
+def reproduce_closure_machinery() -> dict[str, object]:
     """E2 — the worked closure instance of Figs. 1–3 on ε-AA.
 
     Builds a local task for a non-Δ output set, witnesses its one-round
@@ -65,11 +64,11 @@ def reproduce_closure_machinery() -> Dict[str, object]:
     }
 
 
-def reproduce_corollary1() -> Dict[int, Dict[str, bool]]:
+def reproduce_corollary1() -> dict[int, dict[str, bool]]:
     """E3 — Corollary 1: consensus is a fixed point of wait-free IIS,
     hence unsolvable (Lemma 1); cross-checked by brute force at t = 1."""
     iis = ImmediateSnapshotModel()
-    outcomes: Dict[int, Dict[str, bool]] = {}
+    outcomes: dict[int, dict[str, bool]] = {}
     for n in (2, 3):
         task = binary_consensus_task(list(range(1, n + 1)))
         report = impossibility_from_fixed_point(task, iis)
@@ -82,7 +81,7 @@ def reproduce_corollary1() -> Dict[int, Dict[str, bool]]:
     return outcomes
 
 
-def reproduce_corollary2() -> Dict[str, bool]:
+def reproduce_corollary2() -> dict[str, bool]:
     """E6 — Corollary 2 + Fig. 6: consensus with test&set for n > 2.
 
     The relaxed task is a fixed point of IIS+test&set (so unsolvable); the

@@ -4,7 +4,6 @@ affine concurrency models, and the non-iterated setting."""
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict
 
 from repro.algorithms import HalvingAA
 from repro.core import (
@@ -30,7 +29,7 @@ __all__ = [
 F = Fraction
 
 
-def reproduce_kset() -> Dict[str, object]:
+def reproduce_kset() -> dict[str, object]:
     """E17 — the closure engine on 2-set agreement among three processes.
 
     The closure strictly extends Δ (not a fixed point: the paper's remark
@@ -54,7 +53,7 @@ def reproduce_kset() -> Dict[str, object]:
     }
 
 
-def reproduce_affine_concurrency() -> Dict[str, object]:
+def reproduce_affine_concurrency() -> dict[str, object]:
     """E20 — concurrency as a resource in affine sub-models of IIS.
 
     * k = 1, n = 2: consensus becomes 1-round solvable;
@@ -105,7 +104,7 @@ def reproduce_affine_concurrency() -> Dict[str, object]:
     }
 
 
-def reproduce_noniterated(samples: int = 800) -> Dict[str, object]:
+def reproduce_noniterated(samples: int = 800) -> dict[str, object]:
     """E21 — the non-iterated model (the conclusion's open question).
 
     Empirics for why iterated vs non-iterated round complexity is subtle:

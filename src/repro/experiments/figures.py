@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from itertools import product
-from typing import Dict
 
 from repro.algorithms import TwoProcessConsensusTAS
 from repro.analysis import (
@@ -27,7 +25,7 @@ __all__ = [
 ]
 
 
-def reproduce_fig8() -> Dict[str, object]:
+def reproduce_fig8() -> dict[str, object]:
     """E1 — Fig. 8: census and strict hierarchy of the three models."""
     return figure8_census()
 
@@ -43,7 +41,7 @@ class _PickOption(FixedScheduleAdversary):
         return options[min(self._option_index, len(options) - 1)]
 
 
-def reproduce_fig4() -> Dict[str, object]:
+def reproduce_fig4() -> dict[str, object]:
     """E4 — Fig. 4: 2-process consensus with test&set, combinatorially
     (a simplicial decision map exists) and operationally (the algorithm is
     correct on every input × schedule × box behavior)."""
@@ -70,12 +68,12 @@ def reproduce_fig4() -> Dict[str, object]:
     }
 
 
-def reproduce_fig5() -> Dict[str, object]:
+def reproduce_fig5() -> dict[str, object]:
     """E5 — Fig. 5: the IIS+test&set one-round complex for three processes."""
     return figure5_complex()
 
 
-def reproduce_fig7() -> Dict[str, object]:
+def reproduce_fig7() -> dict[str, object]:
     """E11 — Fig. 7: the IIS+binary-consensus one-round complex, with the
     figure's call bits (black calls 0, the others 1) and the uniform-call
     contrast."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from fractions import Fraction
-from typing import Dict, Iterable, List, Tuple
+from typing import Iterable
 
 from repro.algorithms import (
     BitwiseAA,
@@ -51,13 +51,13 @@ def _consensus_ok(result, inputs) -> bool:
 
 def reproduce_upper_bounds(
     seeds: Iterable[int] = range(60),
-) -> List[Tuple[str, int, int, bool]]:
+) -> list[tuple[str, int, int, bool]]:
     """E15 — all five upper-bound algorithm families under adversarial
     randomized schedules with crashes; returns (label, expected rounds,
     actual rounds, all-correct)."""
     seeds = list(seeds)
     eps = F(1, 8)
-    cases: List[Tuple[str, int, int, bool]] = []
+    cases: list[tuple[str, int, int, bool]] = []
 
     algorithm = TwoProcessThirdsAA(F(1, 9))
     inputs = {1: F(0), 2: F(1)}
@@ -128,7 +128,7 @@ def reproduce_upper_bounds(
 
 def reproduce_runtime_vs_matrices(
     samples: int = 1000,
-) -> Dict[str, Dict[str, object]]:
+) -> dict[str, dict[str, object]]:
     """E16 — operation-level executions land inside (and cover) the matrix
     sets of Appendix A.3.4, per model."""
     ids = [1, 2, 3]
@@ -160,7 +160,7 @@ def reproduce_runtime_vs_matrices(
         "snapshot": random_snapshot_round,
         "immediate": random_immediate_snapshot_round,
     }
-    report: Dict[str, Dict[str, object]] = {}
+    report: dict[str, dict[str, object]] = {}
     rng = random.Random(2022)
     for name, runner in runners.items():
         reached = set()

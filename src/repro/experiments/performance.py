@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import time
 from fractions import Fraction
-from typing import Dict
 
 from repro.core import ClosureComputer
 from repro.core.solvability import build_solvability_problem
@@ -61,7 +60,7 @@ def _measure_solver(use_propagation: bool, use_components: bool):
     }
 
 
-def reproduce_solver_ablation() -> Dict[str, Dict[str, object]]:
+def reproduce_solver_ablation() -> dict[str, dict[str, object]]:
     """E18 — search-node counts per solver configuration."""
     return {
         "full": _measure_solver(True, True),
@@ -71,7 +70,7 @@ def reproduce_solver_ablation() -> Dict[str, Dict[str, object]]:
     }
 
 
-def reproduce_scaling() -> Dict[str, object]:
+def reproduce_scaling() -> dict[str, object]:
     """E19 — Fubini growth, per-round protocol growth, cache effectiveness."""
     iis = ImmediateSnapshotModel()
     subdivision_counts = {}
@@ -106,7 +105,7 @@ def reproduce_scaling() -> Dict[str, object]:
 CACHE_SWEEP_OPERATORS = 5
 
 
-def reproduce_cache_effectiveness() -> Dict[str, object]:
+def reproduce_cache_effectiveness() -> dict[str, object]:
     """E22 — one-round materializations saved on the 3-process substrate.
 
     The workload is the hot pattern of every closure/solvability sweep:

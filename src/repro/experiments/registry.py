@@ -10,7 +10,7 @@ what actually runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable
 
 from repro.errors import ReproError
 
@@ -43,7 +43,7 @@ class Experiment:
         return self.runner()
 
 
-def _build_registry() -> Dict[str, Experiment]:
+def _build_registry() -> dict[str, Experiment]:
     from repro.experiments import approximate as aa
     from repro.experiments import consensus as cons
     from repro.experiments import extensions as ext
@@ -167,7 +167,7 @@ def _build_registry() -> Dict[str, Experiment]:
     return {entry.identifier: entry for entry in entries}
 
 
-EXPERIMENTS: Dict[str, Experiment] = _build_registry()
+EXPERIMENTS: dict[str, Experiment] = _build_registry()
 
 
 def get_experiment(identifier: str) -> Experiment:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict
 
 from repro.algorithms import TwoProcessConsensusTAS, TwoProcessThirdsAA
 from repro.core import verify_speedup_theorem
@@ -16,7 +15,7 @@ from repro.tasks import approximate_agreement_task, binary_consensus_task
 __all__ = ["reproduce_speedup"]
 
 
-def reproduce_speedup() -> Dict[str, SpeedupReport]:
+def reproduce_speedup() -> dict[str, SpeedupReport]:
     """E13 — run ``f ↦ f'`` on real decision maps and verify Theorems 1–2.
 
     Theorem 1 on the 2-round thirds algorithm for ε = 1/9 approximate

@@ -20,7 +20,6 @@ and report zero hits.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
 __all__ = [
     "CacheCounter",
@@ -81,7 +80,7 @@ class CacheCounter:
         )
 
 
-_REGISTRY: Dict[str, CacheCounter] = {}
+_REGISTRY: dict[str, CacheCounter] = {}
 
 
 def counter(name: str) -> CacheCounter:
@@ -92,7 +91,7 @@ def counter(name: str) -> CacheCounter:
     return found
 
 
-def all_counters() -> List[CacheCounter]:
+def all_counters() -> list[CacheCounter]:
     """Every registered counter, sorted by name."""
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
 
@@ -103,7 +102,7 @@ def reset_counters() -> None:
         entry.reset()
 
 
-def counters_snapshot() -> Dict[str, Tuple[int, int]]:
+def counters_snapshot() -> dict[str, tuple[int, int]]:
     """An immutable ``{name: (hits, misses)}`` view of the registry."""
     return {
         name: (entry.hits, entry.misses)
@@ -112,15 +111,15 @@ def counters_snapshot() -> Dict[str, Tuple[int, int]]:
 
 
 def counters_delta(
-    before: Dict[str, Tuple[int, int]],
-    after: Dict[str, Tuple[int, int]],
-) -> Dict[str, Tuple[int, int]]:
+    before: dict[str, tuple[int, int]],
+    after: dict[str, tuple[int, int]],
+) -> dict[str, tuple[int, int]]:
     """Per-counter ``(hits, misses)`` accumulated between two snapshots.
 
     Counters absent from ``before`` are taken as starting from zero;
     counters unchanged between the snapshots are omitted.
     """
-    changed: Dict[str, Tuple[int, int]] = {}
+    changed: dict[str, tuple[int, int]] = {}
     for name, (hits, misses) in after.items():
         base_hits, base_misses = before.get(name, (0, 0))
         delta = (hits - base_hits, misses - base_misses)

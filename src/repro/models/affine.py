@@ -12,14 +12,14 @@ the speedup machinery would then be unsound for the resulting model.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.errors import ModelError
 from repro.models.base import IteratedModel
 
 __all__ = ["AffineModel", "k_concurrency_model", "no_synchrony_model"]
 
-ViewMap = Dict[int, FrozenSet[int]]
+ViewMap = dict[int, frozenset[int]]
 
 
 class AffineModel(IteratedModel):
@@ -53,7 +53,7 @@ class AffineModel(IteratedModel):
         self._require_solo = require_solo
         self.name = name or f"affine({base.name})"
 
-    def _enumerate_view_maps(self, ids: FrozenSet[int]) -> List[ViewMap]:
+    def _enumerate_view_maps(self, ids: frozenset[int]) -> list[ViewMap]:
         kept = [
             view_map
             for view_map in self._base.view_maps(ids)
@@ -68,7 +68,7 @@ class AffineModel(IteratedModel):
         return self._keep(view_map)
 
     def _verify_solo(
-        self, ids: FrozenSet[int], kept: Iterable[ViewMap]
+        self, ids: frozenset[int], kept: Iterable[ViewMap]
     ) -> None:
         kept = list(kept)
         for process in ids:
@@ -92,7 +92,7 @@ def _block_sizes(view_map: ViewMap) -> list:
     block.  Only call on IS view maps (the base model guarantees it when
     the base is :class:`~repro.models.immediate.ImmediateSnapshotModel`).
     """
-    by_view: Dict[FrozenSet[int], int] = {}
+    by_view: dict[frozenset[int], int] = {}
     for view in view_map.values():
         by_view[view] = by_view.get(view, 0) + 1
     return [count for _, count in sorted(by_view.items(), key=lambda kv: len(kv[0]))]

@@ -16,7 +16,7 @@ Two layers of abstraction:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List
+from typing import Hashable, Iterable
 
 from repro.instrumentation import counter
 from repro.topology.complex import SimplicialComplex
@@ -50,7 +50,10 @@ class ComputationModel(ABC):
         cache = getattr(self, "_one_round_cache", None)
         if cache is None:
             cache = self._one_round_cache = {}
-            self._one_round_stats = counter(
+            # Per-instance lazy init: the counter name embeds self.name,
+            # so a module-level fetch is impossible; this runs once per
+            # model instance, not per lookup.
+            self._one_round_stats = counter(  # norpr: RPR003
                 f"one-round-complex[{self.name}]"
             )
         found = cache.get(sigma)
@@ -129,8 +132,8 @@ class IteratedModel(ComputationModel):
     """A register-only iterated model defined by one-round view maps."""
 
     def view_maps(
-        self, ids: FrozenSet[int]
-    ) -> List[Dict[int, FrozenSet[int]]]:
+        self, ids: frozenset[int]
+    ) -> list[dict[int, frozenset[int]]]:
         """The distinct per-process view maps of one round among ``ids``.
 
         Memoized per participant set at the model level; subclasses
@@ -139,7 +142,10 @@ class IteratedModel(ComputationModel):
         cache = getattr(self, "_view_map_cache", None)
         if cache is None:
             cache = self._view_map_cache = {}
-            self._view_map_stats = counter(f"view-maps[{self.name}]")
+            # Same per-instance lazy init as one_round_complex above.
+            self._view_map_stats = counter(  # norpr: RPR003
+                f"view-maps[{self.name}]"
+            )
         key = frozenset(ids)
         found = cache.get(key)
         if found is None:
@@ -151,8 +157,8 @@ class IteratedModel(ComputationModel):
 
     @abstractmethod
     def _enumerate_view_maps(
-        self, ids: FrozenSet[int]
-    ) -> List[Dict[int, FrozenSet[int]]]:
+        self, ids: frozenset[int]
+    ) -> list[dict[int, frozenset[int]]]:
         """Enumerate the view maps (uncached hook behind :meth:`view_maps`)."""
 
     def _build_one_round_complex(self, sigma: Simplex) -> SimplicialComplex:

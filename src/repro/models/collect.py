@@ -9,7 +9,6 @@ of Appendix A.3.4 (Fig. 8(d) shows the simplices unique to it).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List
 
 from repro.models.base import IteratedModel
 from repro.models.schedules import collect_schedules, view_maps_of_schedules
@@ -23,6 +22,6 @@ class CollectModel(IteratedModel):
     name = "write-collect"
 
     def _enumerate_view_maps(
-        self, ids: FrozenSet[int]
-    ) -> List[Dict[int, FrozenSet[int]]]:
+        self, ids: frozenset[int]
+    ) -> list[dict[int, frozenset[int]]]:
         return view_maps_of_schedules(collect_schedules(ids))

@@ -14,7 +14,6 @@ models and in the non-iterated variants).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List
 
 from repro.models.base import IteratedModel
 from repro.models.schedules import (
@@ -33,8 +32,8 @@ class ImmediateSnapshotModel(IteratedModel):
     name = "iterated-immediate-snapshot"
 
     def _enumerate_view_maps(
-        self, ids: FrozenSet[int]
-    ) -> List[Dict[int, FrozenSet[int]]]:
+        self, ids: frozenset[int]
+    ) -> list[dict[int, frozenset[int]]]:
         return view_maps_of_schedules(immediate_snapshot_schedules(ids))
 
 

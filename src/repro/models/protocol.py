@@ -10,7 +10,6 @@ information needed to state solvability ("for every σ,
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
 
 from repro.instrumentation import counter
 from repro.models.base import ComputationModel
@@ -35,7 +34,7 @@ class ProtocolOperator:
 
     def __init__(self, model: ComputationModel) -> None:
         self._model = model
-        self._simplex_cache: Dict[Tuple[Simplex, int], SimplicialComplex] = {}
+        self._simplex_cache: dict[tuple[Simplex, int], SimplicialComplex] = {}
 
     @property
     def model(self) -> ComputationModel:
@@ -66,7 +65,7 @@ class ProtocolOperator:
         self, base: SimplicialComplex, rounds: int
     ) -> SimplicialComplex:
         """``P^(t)`` of a whole input complex: union over its simplices."""
-        merged: List[Simplex] = []
+        merged: list[Simplex] = []
         for simplex in base:
             merged.extend(self.of_simplex(simplex, rounds).facets)
         return SimplicialComplex(merged)
@@ -74,7 +73,7 @@ class ProtocolOperator:
     def _one_round_of_complex(
         self, base: SimplicialComplex
     ) -> SimplicialComplex:
-        pieces: List[Simplex] = []
+        pieces: list[Simplex] = []
         for simplex in base:
             pieces.extend(self._model.one_round_complex(simplex).facets)
         return SimplicialComplex(pieces)
@@ -83,13 +82,13 @@ class ProtocolOperator:
         self,
         input_complex: SimplicialComplex,
         rounds: int,
-    ) -> Dict[Simplex, List[Simplex]]:
+    ) -> dict[Simplex, list[Simplex]]:
         """Map each input simplex ``σ`` to the facets of ``P^(t)(σ)``.
 
         The solvability engine uses this to impose ``f(ρ) ∈ Δ(σ)`` for every
         protocol facet ``ρ`` of every input simplex ``σ``.
         """
-        table: Dict[Simplex, List[Simplex]] = {}
+        table: dict[Simplex, list[Simplex]] = {}
         for sigma in input_complex:
             protocol = self.of_simplex(sigma, rounds)
             table[sigma] = protocol.sorted_facets()

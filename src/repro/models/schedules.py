@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import chain, combinations
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ScheduleError
 
@@ -46,8 +46,8 @@ __all__ = [
     "view_maps_of_schedules",
 ]
 
-Ids = FrozenSet[int]
-ViewMap = Dict[int, Ids]
+Ids = frozenset[int]
+ViewMap = dict[int, Ids]
 
 
 @dataclass(frozen=True)
@@ -63,8 +63,8 @@ class OneRoundSchedule:
         exactly the writes of ``views[s]``.
     """
 
-    groups: Tuple[Ids, ...]
-    views: Tuple[Ids, ...]
+    groups: tuple[Ids, ...]
+    views: tuple[Ids, ...]
 
     def __post_init__(self) -> None:
         if len(self.groups) != len(self.views):
@@ -150,7 +150,7 @@ class OneRoundSchedule:
             if view == frozenset({process})
         )
 
-    def blocks(self) -> Tuple[Ids, ...]:
+    def blocks(self) -> tuple[Ids, ...]:
         """Temporal blocks ``B_1, …, B_k`` for immediate-snapshot schedules.
 
         The matrix orders groups by decreasing views; temporally the group
@@ -170,8 +170,8 @@ class OneRoundSchedule:
         indexed = sorted(
             range(len(self.groups)), key=lambda s: len(self.views[s])
         )
-        merged: List[Ids] = []
-        merged_views: List[Ids] = []
+        merged: list[Ids] = []
+        merged_views: list[Ids] = []
         for s in indexed:
             if merged_views and self.views[s] == merged_views[-1]:
                 merged[-1] = merged[-1] | self.groups[s]
@@ -190,8 +190,8 @@ def schedule_from_blocks(blocks: Sequence[Iterable[int]]) -> OneRoundSchedule:
     resolved = [frozenset(block) for block in blocks]
     if not resolved:
         raise ScheduleError("at least one block is required")
-    groups: List[Ids] = []
-    views: List[Ids] = []
+    groups: list[Ids] = []
+    views: list[Ids] = []
     prefix: Ids = frozenset()
     for block in resolved:
         if not block:
@@ -206,7 +206,7 @@ def schedule_from_blocks(blocks: Sequence[Iterable[int]]) -> OneRoundSchedule:
     return OneRoundSchedule(tuple(groups), tuple(views))
 
 
-def _set_partitions(items: Tuple[int, ...]) -> Iterator[List[Ids]]:
+def _set_partitions(items: tuple[int, ...]) -> Iterator[list[Ids]]:
     """Yield every partition of ``items`` into non-empty unordered parts."""
     if not items:
         yield []
@@ -220,7 +220,7 @@ def _set_partitions(items: Tuple[int, ...]) -> Iterator[List[Ids]]:
         yield partial + [frozenset({first})]
 
 
-def ordered_partitions(ids: Iterable[int]) -> Iterator[Tuple[Ids, ...]]:
+def ordered_partitions(ids: Iterable[int]) -> Iterator[tuple[Ids, ...]]:
     """Yield every ordered set partition of ``ids`` (temporal block order).
 
     The number of ordered partitions of an ``n``-set is the ``n``-th Fubini
@@ -268,7 +268,7 @@ def collect_schedules(ids: Iterable[int]) -> Iterator[OneRoundSchedule]:
     if not participants:
         return
     for groups in ordered_partitions(participants):
-        suffixes: List[Ids] = []
+        suffixes: list[Ids] = []
         suffix: Ids = frozenset()
         for group in reversed(groups):
             suffix = suffix | group
@@ -276,7 +276,7 @@ def collect_schedules(ids: Iterable[int]) -> Iterator[OneRoundSchedule]:
         suffixes.reverse()
 
         def choose(
-            index: int, chosen: Tuple[Ids, ...]
+            index: int, chosen: tuple[Ids, ...]
         ) -> Iterator[OneRoundSchedule]:
             if index == len(groups):
                 yield OneRoundSchedule(groups, chosen)
@@ -299,7 +299,7 @@ def snapshot_schedules(ids: Iterable[int]) -> Iterator[OneRoundSchedule]:
 
 def view_maps_of_schedules(
     schedules: Iterable[OneRoundSchedule],
-) -> List[ViewMap]:
+) -> list[ViewMap]:
     """Deduplicate schedules down to their distinct view maps.
 
     Returns the view maps in a deterministic order (sorted by the per-process

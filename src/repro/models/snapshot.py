@@ -9,7 +9,6 @@ snapshot and collect (Fig. 8(c)).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List
 
 from repro.models.base import IteratedModel
 from repro.models.schedules import snapshot_schedules, view_maps_of_schedules
@@ -23,6 +22,6 @@ class SnapshotModel(IteratedModel):
     name = "write-snapshot"
 
     def _enumerate_view_maps(
-        self, ids: FrozenSet[int]
-    ) -> List[Dict[int, FrozenSet[int]]]:
+        self, ids: frozenset[int]
+    ) -> list[dict[int, frozenset[int]]]:
         return view_maps_of_schedules(snapshot_schedules(ids))

@@ -22,7 +22,7 @@ test&set; a process calling consensus with input 0 cannot output 1 solo).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Hashable, Iterator, Mapping
+from typing import Hashable, Iterator, Mapping
 
 from repro.models.schedules import OneRoundSchedule
 
@@ -40,7 +40,7 @@ class BlackBox(ABC):
         self,
         schedule: OneRoundSchedule,
         inputs: Mapping[int, Hashable],
-    ) -> Iterator[Dict[int, Hashable]]:
+    ) -> Iterator[dict[int, Hashable]]:
         """Yield every admissible per-process output assignment.
 
         Parameters

@@ -14,7 +14,7 @@ output is forced, collapsing the augmented model onto plain IIS.
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Hashable, Iterable, Mapping
+from typing import Callable, Hashable, Iterable, Mapping
 
 from repro.topology.vertex import Vertex
 
@@ -39,7 +39,7 @@ def beta_input_function(beta: Mapping[int, Hashable]) -> InputFunction:
 
 def majority_side(
     beta: Mapping[int, Hashable], ids: Iterable[int]
-) -> FrozenSet[int]:
+) -> frozenset[int]:
     """The set ``S'`` of Claim 6: the larger preimage of β over ``ids``.
 
     Ties break toward ``β⁻¹(0)``, following the paper.  The returned set has

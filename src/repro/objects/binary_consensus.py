@@ -15,7 +15,7 @@ the first temporal block.  Matching Fig. 7:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, Mapping
+from typing import Hashable, Iterator, Mapping
 
 from repro.errors import ModelError
 from repro.models.schedules import OneRoundSchedule
@@ -38,7 +38,7 @@ class BinaryConsensusBox(BlackBox):
         self,
         schedule: OneRoundSchedule,
         inputs: Mapping[int, Hashable],
-    ) -> Iterator[Dict[int, Hashable]]:
+    ) -> Iterator[dict[int, Hashable]]:
         participants = schedule.participants
         missing = participants - set(inputs)
         if missing:

@@ -18,7 +18,7 @@ any member of the first block may be that first caller.  Consequences
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, Mapping
+from typing import Hashable, Iterator, Mapping
 
 from repro.models.schedules import OneRoundSchedule
 from repro.objects.base import BlackBox
@@ -35,7 +35,7 @@ class TestAndSetBox(BlackBox):
         self,
         schedule: OneRoundSchedule,
         inputs: Mapping[int, Hashable],
-    ) -> Iterator[Dict[int, Hashable]]:
+    ) -> Iterator[dict[int, Hashable]]:
         participants = schedule.participants
         first_block = schedule.blocks()[0]
         for winner in sorted(first_block):

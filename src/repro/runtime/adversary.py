@@ -16,16 +16,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from itertools import product
-from typing import (
-    Dict,
-    FrozenSet,
-    Iterable,
-    Iterator,
-    List,
-    Mapping,
-    Sequence,
-    Tuple,
-)
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import RuntimeModelError
 from repro.models.schedules import (
@@ -45,15 +36,15 @@ __all__ = [
     "all_schedule_sequences",
 ]
 
-Blocks = Tuple[FrozenSet[int], ...]
+Blocks = tuple[frozenset[int], ...]
 
 
 class Adversary(ABC):
     """The scheduler's interface, one decision per round."""
 
     def crashes(
-        self, round_index: int, active: FrozenSet[int]
-    ) -> FrozenSet[int]:
+        self, round_index: int, active: frozenset[int]
+    ) -> frozenset[int]:
         """Processes that crash before this round (default: none).
 
         At least one process must survive the whole execution.
@@ -62,7 +53,7 @@ class Adversary(ABC):
 
     @abstractmethod
     def schedule(
-        self, round_index: int, active: FrozenSet[int]
+        self, round_index: int, active: frozenset[int]
     ) -> OneRoundSchedule:
         """The immediate-snapshot schedule of the round."""
 
@@ -80,7 +71,7 @@ class FullSyncAdversary(Adversary):
     """Every round is a single block: the synchronous, failure-free run."""
 
     def schedule(
-        self, round_index: int, active: FrozenSet[int]
+        self, round_index: int, active: frozenset[int]
     ) -> OneRoundSchedule:
         return schedule_from_blocks([active])
 
@@ -96,12 +87,12 @@ class SoloFirstAdversary(Adversary):
         self._process = process
 
     def schedule(
-        self, round_index: int, active: FrozenSet[int]
+        self, round_index: int, active: frozenset[int]
     ) -> OneRoundSchedule:
         if self._process not in active:
             return schedule_from_blocks([active])
         rest = active - {self._process}
-        blocks: List[Iterable[int]] = [[self._process]]
+        blocks: list[Iterable[int]] = [[self._process]]
         if rest:
             blocks.append(rest)
         return schedule_from_blocks(blocks)
@@ -117,7 +108,7 @@ class FixedScheduleAdversary(Adversary):
         ]
 
     def schedule(
-        self, round_index: int, active: FrozenSet[int]
+        self, round_index: int, active: frozenset[int]
     ) -> OneRoundSchedule:
         try:
             blocks = self._blocks[round_index - 1]
@@ -152,8 +143,8 @@ class RandomAdversary(Adversary):
         self._crash_probability = crash_probability
 
     def crashes(
-        self, round_index: int, active: FrozenSet[int]
-    ) -> FrozenSet[int]:
+        self, round_index: int, active: frozenset[int]
+    ) -> frozenset[int]:
         if self._crash_probability <= 0:
             return frozenset()
         doomed = set()
@@ -165,11 +156,11 @@ class RandomAdversary(Adversary):
         return frozenset(doomed)
 
     def schedule(
-        self, round_index: int, active: FrozenSet[int]
+        self, round_index: int, active: frozenset[int]
     ) -> OneRoundSchedule:
         pool = sorted(active)
         self._rng.shuffle(pool)
-        blocks: List[Tuple[int, ...]] = []
+        blocks: list[tuple[int, ...]] = []
         index = 0
         while index < len(pool):
             size = self._rng.randint(1, len(pool) - index)
@@ -209,11 +200,11 @@ class RandomMatrixAdversary(Adversary):
             )
         self._kind = kind
         self._rng = random.Random(seed)
-        self._pool: Dict[FrozenSet[int], List[OneRoundSchedule]] = {}
+        self._pool: dict[frozenset[int], list[OneRoundSchedule]] = {}
 
     def _schedules_for(
-        self, active: FrozenSet[int]
-    ) -> List[OneRoundSchedule]:
+        self, active: frozenset[int]
+    ) -> list[OneRoundSchedule]:
         if active not in self._pool:
             from repro.models.schedules import (
                 collect_schedules,
@@ -238,7 +229,7 @@ class RandomMatrixAdversary(Adversary):
         return self._pool[active]
 
     def schedule(
-        self, round_index: int, active: FrozenSet[int]
+        self, round_index: int, active: frozenset[int]
     ) -> OneRoundSchedule:
         pool = self._schedules_for(active)
         return pool[self._rng.randrange(len(pool))]
@@ -251,7 +242,7 @@ class FixedMatrixAdversary(Adversary):
         self._schedules = list(schedules)
 
     def schedule(
-        self, round_index: int, active: FrozenSet[int]
+        self, round_index: int, active: frozenset[int]
     ) -> OneRoundSchedule:
         try:
             schedule = self._schedules[round_index - 1]
@@ -270,7 +261,7 @@ class FixedMatrixAdversary(Adversary):
 
 def all_schedule_sequences(
     ids: Iterable[int], rounds: int
-) -> Iterator[Tuple[Blocks, ...]]:
+) -> Iterator[tuple[Blocks, ...]]:
     """Every ``rounds``-tuple of block schedules over a fixed process set.
 
     There are ``Fubini(n)^rounds`` of them (13² = 169 for three processes

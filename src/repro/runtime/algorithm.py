@@ -15,14 +15,13 @@ state, and ``step`` receives the states of every process it saw.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
+from typing import Any, Hashable, Mapping, Optional
 
 from repro.core.solvability import DecisionMap
 from repro.errors import RuntimeModelError
 from repro.models.base import ComputationModel
 from repro.models.protocol import ProtocolOperator
 from repro.topology.complex import SimplicialComplex
-from repro.topology.simplex import Simplex
 from repro.topology.vertex import Vertex
 from repro.topology.views import View
 
@@ -77,7 +76,7 @@ class RoundAlgorithm(ABC):
         """The output value after the final round."""
 
 
-def _split_vertex_value(value: Hashable) -> Tuple[Optional[Hashable], View]:
+def _split_vertex_value(value: Hashable) -> tuple[Optional[Hashable], View]:
     """Separate a protocol vertex value into (box output, view)."""
     if isinstance(value, View):
         return None, value
@@ -116,7 +115,7 @@ def extract_decision_map(
     """
     op = operator or ProtocolOperator(model)
     rounds = algorithm.rounds
-    state_cache: Dict[Tuple[Vertex, int], State] = {}
+    state_cache: dict[tuple[Vertex, int], State] = {}
 
     def state_of(vertex: Vertex, round_index: int) -> State:
         key = (vertex, round_index)
@@ -140,7 +139,7 @@ def extract_decision_map(
         state_cache[key] = state
         return state
 
-    assignment: Dict[Vertex, Vertex] = {}
+    assignment: dict[Vertex, Vertex] = {}
     for sigma in input_complex:
         protocol = op.of_simplex(sigma, rounds)
         for vertex in protocol.vertices:

@@ -13,7 +13,7 @@ finish their ``t`` rounds and decide, which is the whole point of the model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Hashable, Mapping, Optional
 
 from repro.errors import RuntimeModelError
 from repro.models.schedules import OneRoundSchedule
@@ -30,9 +30,9 @@ class RoundRecord:
     """What happened in one round: schedule, box outputs, per-process views."""
 
     round_index: int
-    active: Tuple[int, ...]
-    blocks: Tuple[Tuple[int, ...], ...]
-    views: Mapping[int, Tuple[int, ...]]
+    active: tuple[int, ...]
+    blocks: tuple[tuple[int, ...], ...]
+    views: Mapping[int, tuple[int, ...]]
     box_outputs: Mapping[int, Hashable]
 
 
@@ -51,11 +51,11 @@ class ExecutionResult:
         One :class:`RoundRecord` per round, for audit and debugging.
     """
 
-    decisions: Dict[int, Hashable]
-    crashed: Dict[int, int] = field(default_factory=dict)
-    trace: List[RoundRecord] = field(default_factory=list)
+    decisions: dict[int, Hashable]
+    crashed: dict[int, int] = field(default_factory=dict)
+    trace: list[RoundRecord] = field(default_factory=list)
 
-    def surviving(self) -> Tuple[int, ...]:
+    def surviving(self) -> tuple[int, ...]:
         """The processes that decided."""
         return tuple(sorted(self.decisions))
 
@@ -85,12 +85,12 @@ class IteratedExecutor:
         active = frozenset(inputs)
         if not active:
             raise RuntimeModelError("at least one process must participate")
-        states: Dict[int, object] = {
+        states: dict[int, object] = {
             process: algorithm.initial_state(process, value)
             for process, value in inputs.items()
         }
-        crashed: Dict[int, int] = {}
-        trace: List[RoundRecord] = []
+        crashed: dict[int, int] = {}
+        trace: list[RoundRecord] = []
 
         for round_index in range(1, algorithm.rounds + 1):
             doomed = scheduler.crashes(round_index, active)
@@ -158,7 +158,7 @@ class IteratedExecutor:
         self,
         schedule: OneRoundSchedule,
         states: Mapping[int, object],
-    ) -> Dict[int, frozenset]:
+    ) -> dict[int, frozenset]:
         """Materialize the schedule through a real register array.
 
         Immediate-snapshot schedules run block by block (write together,
@@ -168,7 +168,7 @@ class IteratedExecutor:
         """
         active = tuple(sorted(schedule.participants))
         array = RegisterArray(active)
-        views: Dict[int, frozenset] = {}
+        views: dict[int, frozenset] = {}
         if schedule.is_immediate_snapshot():
             for block in schedule.blocks():
                 for process in sorted(block):
@@ -198,7 +198,7 @@ class IteratedExecutor:
         states: Mapping[int, object],
         algorithm: RoundAlgorithm,
         scheduler: Adversary,
-    ) -> Dict[int, Hashable]:
+    ) -> dict[int, Hashable]:
         if self._box is None:
             return {}
         box_inputs = {

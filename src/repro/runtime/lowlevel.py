@@ -17,7 +17,7 @@ property tests tie the two layers together.
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, Hashable, List, Mapping, Sequence, Tuple
+from typing import Hashable, Mapping, Sequence
 
 from repro.errors import RuntimeModelError
 from repro.runtime.registers import RegisterArray
@@ -28,16 +28,16 @@ __all__ = [
     "random_immediate_snapshot_round",
 ]
 
-ViewSets = Dict[int, FrozenSet[int]]
+ViewSets = dict[int, frozenset[int]]
 
 
 def _random_blocks(
     ids: Sequence[int], rng: random.Random
-) -> List[Tuple[int, ...]]:
+) -> list[tuple[int, ...]]:
     """A uniform-ish random ordered partition of ``ids``."""
     pool = list(ids)
     rng.shuffle(pool)
-    blocks: List[Tuple[int, ...]] = []
+    blocks: list[tuple[int, ...]] = []
     index = 0
     while index < len(pool):
         size = rng.randint(1, len(pool) - index)
@@ -62,7 +62,7 @@ def random_collect_round(
     id_list = sorted(set(ids))
     array = RegisterArray(tuple(id_list))
     # Program of process p: [("write", p)] + reads in random order.
-    programs: Dict[int, List[Tuple[str, int]]] = {}
+    programs: dict[int, list[tuple[str, int]]] = {}
     for process in id_list:
         reads = list(id_list)
         rng.shuffle(reads)
@@ -70,7 +70,7 @@ def random_collect_round(
             ("read", target) for target in reads
         ]
     position = {process: 0 for process in id_list}
-    seen: Dict[int, set] = {process: set() for process in id_list}
+    seen: dict[int, set] = {process: set() for process in id_list}
     pending = [
         process
         for process in id_list
@@ -112,15 +112,15 @@ def random_snapshot_round(
     """
     id_list = sorted(set(ids))
     array = RegisterArray(tuple(id_list))
-    steps: List[Tuple[str, int]] = [("write", p) for p in id_list] + [
+    steps: list[tuple[str, int]] = [("write", p) for p in id_list] + [
         ("snap", p) for p in id_list
     ]
     # Random interleaving subject to write-before-snapshot per process:
     # shuffle, then repair by bubbling each snapshot after its write.
     rng.shuffle(steps)
-    ordered: List[Tuple[str, int]] = []
+    ordered: list[tuple[str, int]] = []
     written: set = set()
-    deferred: List[Tuple[str, int]] = []
+    deferred: list[tuple[str, int]] = []
     for step in steps:
         op, process = step
         if op == "write":
@@ -140,7 +140,7 @@ def random_snapshot_round(
                 deferred.append(step)
     ordered.extend(deferred)
 
-    views: Dict[int, FrozenSet[int]] = {}
+    views: dict[int, frozenset[int]] = {}
     for op, process in ordered:
         if op == "write":
             array.write(process, values[process])
@@ -161,7 +161,7 @@ def random_immediate_snapshot_round(
     """
     id_list = sorted(set(ids))
     array = RegisterArray(tuple(id_list))
-    views: Dict[int, FrozenSet[int]] = {}
+    views: dict[int, frozenset[int]] = {}
     for block in _random_blocks(id_list, rng):
         for process in block:
             array.write(process, values[process])

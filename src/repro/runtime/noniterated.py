@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Hashable, Mapping
 
 from repro.errors import RuntimeModelError
 from repro.runtime.algorithm import RoundAlgorithm
@@ -50,15 +50,15 @@ class PhaseObservation:
 
     process: int
     phase: int
-    seen: Mapping[int, Tuple[int, Hashable]]
+    seen: Mapping[int, tuple[int, Hashable]]
 
 
 @dataclass
 class NonIteratedResult:
     """Outcome of one non-iterated execution."""
 
-    decisions: Dict[int, Hashable]
-    observations: List[PhaseObservation] = field(default_factory=list)
+    decisions: dict[int, Hashable]
+    observations: list[PhaseObservation] = field(default_factory=list)
 
     def max_phase_skew(self) -> int:
         """The largest phase difference observed within a single collect.
@@ -102,19 +102,19 @@ class NonIteratedExecutor:
             raise RuntimeModelError("at least one process must participate")
         ids = tuple(sorted(inputs))
         array = RegisterArray(ids)
-        states: Dict[int, Hashable] = {
+        states: dict[int, Hashable] = {
             p: algorithm.initial_state(p, inputs[p]) for p in ids
         }
-        phase: Dict[int, int] = {p: 0 for p in ids}
+        phase: dict[int, int] = {p: 0 for p in ids}
         # Per-process program position within the current phase:
         # 0 = must write; 1..n = has performed that many reads.
-        pending_reads: Dict[int, List[int]] = {p: [] for p in ids}
-        observed: Dict[int, Dict[int, Tuple[int, Hashable]]] = {
+        pending_reads: dict[int, list[int]] = {p: [] for p in ids}
+        observed: dict[int, dict[int, tuple[int, Hashable]]] = {
             p: {} for p in ids
         }
-        observations: List[PhaseObservation] = []
+        observations: list[PhaseObservation] = []
 
-        def runnable() -> List[int]:
+        def runnable() -> list[int]:
             if not self._synchronized:
                 return [p for p in ids if phase[p] < algorithm.rounds]
             lowest = min(phase.values())

@@ -7,8 +7,8 @@ the single-writer discipline and record every access for trace analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Hashable, Optional
 
 from repro.errors import RuntimeModelError
 
@@ -52,13 +52,13 @@ class SWMRRegister:
 class RegisterArray:
     """One round's array ``M_r`` of SWMR registers, one per process."""
 
-    def __init__(self, ids: Tuple[int, ...]) -> None:
-        self._registers: Dict[int, SWMRRegister] = {
+    def __init__(self, ids: tuple[int, ...]) -> None:
+        self._registers: dict[int, SWMRRegister] = {
             process: SWMRRegister(owner=process) for process in ids
         }
 
     @property
-    def ids(self) -> Tuple[int, ...]:
+    def ids(self) -> tuple[int, ...]:
         """The processes owning a register in this array."""
         return tuple(sorted(self._registers))
 
@@ -81,7 +81,7 @@ class RegisterArray:
                 f"no register for process {process} in this array"
             ) from None
 
-    def snapshot(self) -> Dict[int, Hashable]:
+    def snapshot(self) -> dict[int, Hashable]:
         """An atomic snapshot: every written register, in one step."""
         return {
             process: register.value
@@ -89,7 +89,7 @@ class RegisterArray:
             if register.value is not None
         }
 
-    def written(self) -> Tuple[int, ...]:
+    def written(self) -> tuple[int, ...]:
         """The processes that have written so far."""
         return tuple(
             sorted(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 from itertools import product
-from typing import Dict, FrozenSet, Iterable, List, Tuple, Union
+from typing import Iterable, Union
 
 from repro.errors import TaskSpecificationError
 from repro.tasks.inputs import full_input_complex
@@ -37,7 +37,7 @@ __all__ = [
 Rational = Union[Fraction, int, str]
 
 
-def grid(m: int) -> List[Fraction]:
+def grid(m: int) -> list[Fraction]:
     """The value grid ``{0, 1/m, 2/m, …, 1}``."""
     if m < 1:
         raise TaskSpecificationError("grid resolution m must be at least 1")
@@ -55,7 +55,7 @@ def _normalize_epsilon(epsilon: Rational, m: int) -> Fraction:
     return eps
 
 
-def _range_of(sigma: Simplex) -> Tuple[Fraction, Fraction]:
+def _range_of(sigma: Simplex) -> tuple[Fraction, Fraction]:
     values = [Fraction(v.value) for v in sigma.vertices]
     return min(values), max(values)
 
@@ -71,8 +71,8 @@ class _AgreementDelta:
         self._epsilon = epsilon
         self._values = grid(m)
         self._liberal = liberal
-        self._cache: Dict[
-            Tuple[FrozenSet[int], Fraction, Fraction], SimplicialComplex
+        self._cache: dict[
+            tuple[frozenset[int], Fraction, Fraction], SimplicialComplex
         ] = {}
 
     def __call__(self, sigma: Simplex) -> SimplicialComplex:
@@ -83,7 +83,7 @@ class _AgreementDelta:
         return self._cache[key]
 
     def _build(
-        self, ids: List[int], low: Fraction, high: Fraction
+        self, ids: list[int], low: Fraction, high: Fraction
     ) -> SimplicialComplex:
         window = [v for v in self._values if low <= v <= high]
         distance_free = self._liberal and len(ids) == 2
@@ -95,7 +95,7 @@ class _AgreementDelta:
 
 
 def _output_complex(
-    ids: List[int], epsilon: Fraction, m: int, liberal: bool
+    ids: list[int], epsilon: Fraction, m: int, liberal: bool
 ) -> SimplicialComplex:
     values = grid(m)
     facets = []

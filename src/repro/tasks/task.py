@@ -9,7 +9,7 @@ exposes monotonicity as a queryable property.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.errors import TaskSpecificationError
 from repro.topology.carrier import CarrierMap
@@ -132,7 +132,7 @@ class Task:
 
     def specification_table(
         self, simplices: Optional[Iterable[Simplex]] = None
-    ) -> Dict[Simplex, SimplicialComplex]:
+    ) -> dict[Simplex, SimplicialComplex]:
         """Materialize ``Δ`` into an explicit table (small tasks only)."""
         pool = (
             list(simplices)

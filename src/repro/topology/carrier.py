@@ -10,7 +10,7 @@ instead of enforcing it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Mapping, Optional
+from typing import Callable, Iterable, Mapping, Optional
 
 from repro.errors import TaskSpecificationError
 from repro.topology.complex import SimplicialComplex
@@ -42,7 +42,7 @@ class CarrierMap:
     ):
         self._domain = domain
         self._function = function
-        self._cache: Dict[Simplex, SimplicialComplex] = {}
+        self._cache: dict[Simplex, SimplicialComplex] = {}
         self._name = name or "Δ"
 
     @classmethod

@@ -12,7 +12,7 @@ returns a new complex.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, Optional
 
 from repro.errors import ChromaticityError
 from repro.instrumentation import counter
@@ -50,8 +50,8 @@ class SimplicialComplex:
         # to the accepted facets sharing the candidate's rarest vertex
         # (vertex-indexed), which keeps the pass near-linear in practice
         # instead of quadratic in the candidate count.
-        facets: List[Simplex] = []
-        by_vertex: Dict[Vertex, List[FrozenSet[Vertex]]] = {}
+        facets: list[Simplex] = []
+        by_vertex: dict[Vertex, list[frozenset[Vertex]]] = {}
         for simplex in sorted(candidates, key=len, reverse=True):
             vertices = simplex.vertices
             buckets = []
@@ -70,9 +70,9 @@ class SimplicialComplex:
             facets.append(simplex)
             for vertex in vertices:
                 by_vertex.setdefault(vertex, []).append(vertex_set)
-        self._facets: FrozenSet[Simplex] = frozenset(facets)
-        self._faces_cache: Optional[FrozenSet[Simplex]] = None
-        self._vertices_cache: Optional[FrozenSet[Vertex]] = None
+        self._facets: frozenset[Simplex] = frozenset(facets)
+        self._faces_cache: Optional[frozenset[Simplex]] = None
+        self._vertices_cache: Optional[frozenset[Vertex]] = None
         self._hash: Optional[int] = None
         _PRUNED_BUILDS.built()
 
@@ -117,16 +117,16 @@ class SimplicialComplex:
     # Core accessors
     # ------------------------------------------------------------------
     @property
-    def facets(self) -> FrozenSet[Simplex]:
+    def facets(self) -> frozenset[Simplex]:
         """The inclusion-maximal simplices."""
         return self._facets
 
-    def sorted_facets(self) -> List[Simplex]:
+    def sorted_facets(self) -> list[Simplex]:
         """The facets in a deterministic order."""
         return sorted(self._facets, key=lambda s: s._sort_key())
 
     @property
-    def simplices(self) -> FrozenSet[Simplex]:
+    def simplices(self) -> frozenset[Simplex]:
         """Every simplex of the complex (all faces of all facets)."""
         if self._faces_cache is None:
             faces = set()
@@ -136,7 +136,7 @@ class SimplicialComplex:
         return self._faces_cache
 
     @property
-    def vertices(self) -> FrozenSet[Vertex]:
+    def vertices(self) -> frozenset[Vertex]:
         """The vertex set ``V(K)``."""
         if self._vertices_cache is None:
             found = set()
@@ -145,7 +145,7 @@ class SimplicialComplex:
             self._vertices_cache = frozenset(found)
         return self._vertices_cache
 
-    def sorted_vertices(self) -> List[Vertex]:
+    def sorted_vertices(self) -> list[Vertex]:
         """The vertices in a deterministic order."""
         return sorted(self.vertices, key=lambda v: v._sort_key())
 
@@ -212,7 +212,7 @@ class SimplicialComplex:
         """The ``k``-skeleton: all simplices of dimension at most ``k``."""
         if k < 0:
             return SimplicialComplex.empty()
-        pieces: List[Simplex] = []
+        pieces: list[Simplex] = []
         for facet in self._facets:
             if facet.dim <= k:
                 pieces.append(facet)
@@ -232,12 +232,12 @@ class SimplicialComplex:
         shared = self.simplices & other.simplices
         return SimplicialComplex(shared)
 
-    def simplices_of_dim(self, k: int) -> List[Simplex]:
+    def simplices_of_dim(self, k: int) -> list[Simplex]:
         """All simplices of dimension exactly ``k``, sorted."""
         found = [s for s in self.simplices if s.dim == k]
         return sorted(found, key=lambda s: s._sort_key())
 
-    def facets_containing(self, vertex: Vertex) -> List[Simplex]:
+    def facets_containing(self, vertex: Vertex) -> list[Simplex]:
         """All facets containing the given vertex, sorted."""
         found = [f for f in self._facets if vertex in f]
         return sorted(found, key=lambda s: s._sort_key())
@@ -247,16 +247,16 @@ class SimplicialComplex:
         # Facets of a complex never nest, so any subset is already maximal.
         return SimplicialComplex.from_maximal(self.facets_containing(vertex))
 
-    def vertices_of_color(self, color: int) -> List[Vertex]:
+    def vertices_of_color(self, color: int) -> list[Vertex]:
         """All vertices of the given color, sorted."""
         found = [v for v in self.vertices if v.color == color]
         return sorted(found, key=lambda v: v._sort_key())
 
-    def f_vector(self) -> Tuple[int, ...]:
+    def f_vector(self) -> tuple[int, ...]:
         """The f-vector ``(f_0, f_1, …)``: simplex counts per dimension."""
         if self.is_empty():
             return ()
-        counts: Dict[int, int] = {}
+        counts: dict[int, int] = {}
         for simplex in self.simplices:
             counts[simplex.dim] = counts.get(simplex.dim, 0) + 1
         top = max(counts)

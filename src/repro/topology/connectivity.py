@@ -11,7 +11,7 @@ an optional networkx export for analysis.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Any, Optional
 
 from repro.topology.complex import SimplicialComplex
 from repro.topology.vertex import Vertex
@@ -27,13 +27,13 @@ __all__ = [
 
 def one_skeleton_adjacency(
     complex_: SimplicialComplex,
-) -> Dict[Vertex, Set[Vertex]]:
+) -> dict[Vertex, set[Vertex]]:
     """The adjacency structure of the complex's 1-skeleton.
 
     Two vertices are adjacent iff they belong to a common simplex (of any
     dimension ≥ 1).
     """
-    adjacency: Dict[Vertex, Set[Vertex]] = {
+    adjacency: dict[Vertex, set[Vertex]] = {
         vertex: set() for vertex in complex_.vertices
     }
     for facet in complex_.facets:
@@ -47,7 +47,7 @@ def one_skeleton_adjacency(
 
 def connected_components(
     complex_: SimplicialComplex,
-) -> List[FrozenSet[Vertex]]:
+) -> list[frozenset[Vertex]]:
     """The connected components of the 1-skeleton, as vertex sets.
 
     Components are returned in deterministic order (by their smallest
@@ -55,7 +55,7 @@ def connected_components(
     """
     adjacency = one_skeleton_adjacency(complex_)
     remaining = set(adjacency)
-    components: List[FrozenSet[Vertex]] = []
+    components: list[frozenset[Vertex]] = []
     while remaining:
         seed = min(remaining, key=lambda v: v._sort_key())
         seen = {seed}
@@ -83,7 +83,7 @@ def is_connected(complex_: SimplicialComplex) -> bool:
 
 def shortest_path(
     complex_: SimplicialComplex, start: Vertex, goal: Vertex
-) -> Optional[List[Vertex]]:
+) -> Optional[list[Vertex]]:
     """A shortest vertex path between two vertices, or ``None``.
 
     The path includes both endpoints; a vertex connected to itself yields the
@@ -94,7 +94,7 @@ def shortest_path(
     if start == goal:
         return [start]
     adjacency = one_skeleton_adjacency(complex_)
-    parents: Dict[Vertex, Vertex] = {}
+    parents: dict[Vertex, Vertex] = {}
     frontier = deque([start])
     seen = {start}
     while frontier:
@@ -116,8 +116,12 @@ def shortest_path(
     return None
 
 
-def to_networkx(complex_: SimplicialComplex):
-    """Export the 1-skeleton as a :class:`networkx.Graph` (optional dep)."""
+def to_networkx(complex_: SimplicialComplex) -> Any:
+    """Export the 1-skeleton as a :class:`networkx.Graph` (optional dep).
+
+    Typed ``Any`` because networkx is an optional dependency: the
+    annotation cannot name a class of a package that may be absent.
+    """
     import networkx as nx
 
     graph = nx.Graph()

@@ -16,7 +16,7 @@ Two kinds of isomorphism matter in the paper:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Optional, Tuple
+from typing import Hashable, Mapping, Optional
 
 from repro.errors import ChromaticityError
 from repro.topology.complex import SimplicialComplex
@@ -124,7 +124,7 @@ def canonical_isomorphism(
 
 def find_color_preserving_isomorphism(
     left: SimplicialComplex, right: SimplicialComplex
-) -> Optional[Dict[Vertex, Vertex]]:
+) -> Optional[dict[Vertex, Vertex]]:
     """Search for a color-preserving isomorphism between two complexes.
 
     Returns a vertex bijection realizing the isomorphism, or ``None`` when
@@ -134,7 +134,7 @@ def find_color_preserving_isomorphism(
     if left.f_vector() != right.f_vector():
         return None
     left_vertices = left.sorted_vertices()
-    right_by_color: Dict[int, Tuple[Vertex, ...]] = {}
+    right_by_color: dict[int, tuple[Vertex, ...]] = {}
     for vertex in right.vertices:
         right_by_color.setdefault(vertex.color, ())
         right_by_color[vertex.color] += (vertex,)
@@ -145,7 +145,7 @@ def find_color_preserving_isomorphism(
 
     left_faces = left.simplices
     right_faces = right.simplices
-    assignment: Dict[Vertex, Vertex] = {}
+    assignment: dict[Vertex, Vertex] = {}
     used: set = set()
 
     # Degree-based compatibility pruning: a vertex can only map to a vertex

@@ -12,7 +12,7 @@ agreement checks against carrier maps.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Mapping, Optional
+from typing import Callable, Mapping
 
 from repro.errors import ChromaticityError, SimplicialityError
 from repro.topology.complex import SimplicialComplex
@@ -51,7 +51,7 @@ class SimplicialMap:
     ):
         self._source = source
         self._target = target
-        self._vertex_map: Dict[Vertex, Vertex] = dict(vertex_map)
+        self._vertex_map: dict[Vertex, Vertex] = dict(vertex_map)
         if check:
             self._validate()
 
@@ -97,7 +97,7 @@ class SimplicialMap:
         return self._target
 
     @property
-    def vertex_map(self) -> Dict[Vertex, Vertex]:
+    def vertex_map(self) -> dict[Vertex, Vertex]:
         """A copy of the underlying vertex assignment."""
         return dict(self._vertex_map)
 

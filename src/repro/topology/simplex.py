@@ -9,14 +9,14 @@ are deterministic.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple, Union
+from typing import Hashable, Iterable, Iterator, Mapping, Union
 
 from repro.errors import ChromaticityError
 from repro.topology.vertex import Vertex
 
 __all__ = ["Simplex"]
 
-VertexLike = Union[Vertex, Tuple[int, Hashable]]
+VertexLike = Union[Vertex, tuple[int, Hashable]]
 
 
 def _as_vertex(entry: VertexLike) -> Vertex:
@@ -47,7 +47,7 @@ class Simplex:
         resolved = [_as_vertex(entry) for entry in vertices]
         if not resolved:
             raise ChromaticityError("a simplex must contain at least one vertex")
-        by_color: Dict[int, Vertex] = {}
+        by_color: dict[int, Vertex] = {}
         for vertex in resolved:
             if vertex.color in by_color:
                 if by_color[vertex.color] != vertex:
@@ -80,7 +80,7 @@ class Simplex:
     # Basic structure
     # ------------------------------------------------------------------
     @property
-    def vertices(self) -> Tuple[Vertex, ...]:
+    def vertices(self) -> tuple[Vertex, ...]:
         """The vertices of the simplex, sorted by color."""
         return self._vertices
 
@@ -102,7 +102,7 @@ class Simplex:
         """Return the vertex of the given color."""
         return self._by_color[color]
 
-    def as_mapping(self) -> Dict[int, Hashable]:
+    def as_mapping(self) -> dict[int, Hashable]:
         """Return the simplex as a ``{color: value}`` dictionary."""
         return {v.color: v.value for v in self._vertices}
 
@@ -177,7 +177,7 @@ class Simplex:
     # ------------------------------------------------------------------
     # Value-object plumbing
     # ------------------------------------------------------------------
-    def _sort_key(self) -> Tuple:
+    def _sort_key(self) -> tuple:
         return tuple(v._sort_key() for v in self._vertices)
 
     def __eq__(self, other: object) -> bool:

@@ -16,12 +16,12 @@ from __future__ import annotations
 
 from fractions import Fraction
 from functools import total_ordering
-from typing import Any, Hashable, Tuple
+from typing import Any, Hashable
 
 __all__ = ["Vertex", "value_sort_key"]
 
 
-def value_sort_key(value: Any) -> Tuple:
+def value_sort_key(value: Any) -> tuple:
     """Return a tuple usable to totally order heterogeneous vertex values.
 
     The key is structural and recursive: numbers sort among themselves,
@@ -95,11 +95,11 @@ class Vertex:
         """Return a vertex with the same color and a new value."""
         return Vertex(self._color, value)
 
-    def as_pair(self) -> Tuple[int, Hashable]:
+    def as_pair(self) -> tuple[int, Hashable]:
         """Return the vertex as the plain pair ``(color, value)``."""
         return (self._color, self._value)
 
-    def _sort_key(self) -> Tuple:
+    def _sort_key(self) -> tuple:
         return (self._color, value_sort_key(self._value))
 
     def __eq__(self, other: object) -> bool:

@@ -11,7 +11,7 @@ deterministic color order.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Iterator, Mapping, Tuple, Union
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Union
 
 from repro.errors import ChromaticityError
 from repro.topology.vertex import Vertex, value_sort_key
@@ -20,7 +20,7 @@ __all__ = ["View"]
 
 PairsLike = Union[
     Mapping[int, Hashable],
-    Iterable[Tuple[int, Hashable]],
+    Iterable[tuple[int, Hashable]],
     Iterable[Vertex],
 ]
 
@@ -54,7 +54,7 @@ class View:
                 else:
                     color, value = entry
                     raw.append((color, value))
-        index: Dict[int, Hashable] = {}
+        index: dict[int, Hashable] = {}
         for color, value in raw:
             if not isinstance(color, int):
                 raise ChromaticityError(
@@ -87,7 +87,7 @@ class View:
     def __len__(self) -> int:
         return len(self._items)
 
-    def __iter__(self) -> Iterator[Tuple[int, Hashable]]:
+    def __iter__(self) -> Iterator[tuple[int, Hashable]]:
         return iter(self._items)
 
     # ------------------------------------------------------------------
@@ -99,11 +99,11 @@ class View:
         return frozenset(self._index)
 
     @property
-    def items(self) -> Tuple[Tuple[int, Hashable], ...]:
+    def items(self) -> tuple[tuple[int, Hashable], ...]:
         """The pairs of the view, sorted by color."""
         return self._items
 
-    def values(self) -> Tuple[Hashable, ...]:
+    def values(self) -> tuple[Hashable, ...]:
         """The values of the view, in color order."""
         return tuple(value for _, value in self._items)
 
@@ -120,7 +120,7 @@ class View:
         updated[color] = value
         return View(updated)
 
-    def vertices(self) -> Tuple[Vertex, ...]:
+    def vertices(self) -> tuple[Vertex, ...]:
         """Return the view's pairs as :class:`Vertex` objects."""
         return tuple(Vertex(color, value) for color, value in self._items)
 
@@ -138,7 +138,7 @@ class View:
     # ------------------------------------------------------------------
     # Value-object plumbing
     # ------------------------------------------------------------------
-    def _sort_key(self) -> Tuple:
+    def _sort_key(self) -> tuple:
         return tuple(
             (color, value_sort_key(value)) for color, value in self._items
         )

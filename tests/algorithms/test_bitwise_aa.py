@@ -1,7 +1,6 @@
 """Tests for bitwise approximate agreement via binary consensus."""
 
 from fractions import Fraction
-from itertools import product
 
 import pytest
 from hypothesis import given, settings

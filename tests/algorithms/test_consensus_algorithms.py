@@ -1,6 +1,5 @@
 """Tests for the object-augmented consensus algorithms."""
 
-from itertools import product
 
 import pytest
 from hypothesis import given, settings

@@ -1,11 +1,9 @@
 """Unit tests for census utilities."""
 
-import pytest
 
 from repro.analysis import compare_models, model_census, per_color_census
 from repro.analysis.counting import ComplexCensus
-from repro.models import CollectModel, ImmediateSnapshotModel, SnapshotModel
-from repro.topology import Simplex, SimplicialComplex
+from repro.topology import SimplicialComplex
 
 
 class TestComplexCensus:

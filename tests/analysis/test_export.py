@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import facet_listing, to_dot, vertex_legend
-from repro.models import ImmediateSnapshotModel
 from repro.objects import AugmentedModel, TestAndSetBox
 from repro.topology import Simplex, SimplicialComplex
 

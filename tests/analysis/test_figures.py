@@ -1,6 +1,5 @@
 """The paper's figures, asserted structurally."""
 
-import pytest
 
 from repro.analysis import (
     figure4_complex_and_map,

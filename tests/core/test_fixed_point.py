@@ -2,7 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.core import impossibility_from_fixed_point, is_fixed_point
 from repro.tasks import (

@@ -7,14 +7,13 @@ import pytest
 from repro.core import find_decision_map, is_solvable
 from repro.core.solvability import build_solvability_problem
 from repro.errors import SolvabilityError
-from repro.models import ImmediateSnapshotModel, ProtocolOperator
+from repro.models import ProtocolOperator
 from repro.tasks import (
     approximate_agreement_task,
     binary_consensus_task,
     multivalued_consensus_task,
 )
 from repro.tasks.inputs import input_simplex
-from repro.topology import SimplicialComplex
 
 
 def F(num, den=1):

@@ -14,7 +14,6 @@ from repro.core.solvability import DecisionMap
 from repro.errors import SolvabilityError
 from repro.models import ProtocolOperator
 from repro.tasks import approximate_agreement_task, binary_consensus_task
-from repro.tasks.inputs import input_simplex
 
 
 def F(num, den=1):

@@ -2,7 +2,6 @@
 test&set (E6), while it IS solvable for n = 2 (Fig. 4).
 """
 
-import pytest
 
 from repro.analysis import figure6_simplices
 from repro.core import (

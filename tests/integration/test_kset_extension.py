@@ -9,7 +9,6 @@ unsolvability and compute closures, and 2-set agreement among 2 processes
 is trivial.
 """
 
-import pytest
 
 from repro.core import ClosureComputer, is_solvable
 from repro.tasks import set_agreement_task

@@ -7,7 +7,6 @@ operationally must agree with the symbolically extracted decision map.
 
 from fractions import Fraction
 
-import pytest
 
 from repro.algorithms import HalvingAA
 from repro.models import ProtocolOperator

@@ -4,7 +4,6 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.algorithms import HalvingAA, TwoProcessConsensusTAS, TwoProcessThirdsAA
 from repro.core import speedup_decision_map, verify_speedup_theorem

@@ -17,7 +17,7 @@ from repro.algorithms import (
     TwoProcessThirdsAA,
 )
 from repro.core import aa_lower_bound_iis, aa_lower_bound_iis_tas, ceil_log
-from repro.objects import BinaryConsensusBox, TestAndSetBox
+from repro.objects import BinaryConsensusBox
 from repro.runtime import (
     FixedScheduleAdversary,
     IteratedExecutor,

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.errors import ModelError
-from repro.models import AffineModel, ImmediateSnapshotModel
-from repro.topology import Simplex
+from repro.models import AffineModel
 
 
 def drop_synchronous(view_map):

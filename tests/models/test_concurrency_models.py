@@ -10,7 +10,6 @@ from repro.models import (
     no_synchrony_model,
 )
 from repro.tasks import binary_consensus_task
-from repro.topology import SimplicialComplex
 
 
 class TestKConcurrency:

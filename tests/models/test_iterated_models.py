@@ -1,6 +1,5 @@
 """Unit tests for the three register models and their one-round complexes."""
 
-import pytest
 
 from repro.models import (
     CollectModel,

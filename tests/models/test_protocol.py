@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.models import ImmediateSnapshotModel, ProtocolOperator
+from repro.models import ProtocolOperator
 from repro.topology import Simplex, SimplicialComplex
 
 

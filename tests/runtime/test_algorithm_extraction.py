@@ -2,7 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.algorithms import HalvingAA, TwoProcessConsensusTAS, TwoProcessThirdsAA
 from repro.core.solvability import DecisionMap

@@ -1,6 +1,5 @@
 """Unit tests for the consensus task family."""
 
-import pytest
 
 from repro.tasks import (
     binary_consensus_task,
@@ -8,7 +7,6 @@ from repro.tasks import (
     relaxed_consensus_task,
 )
 from repro.tasks.inputs import input_simplex
-from repro.topology import Simplex
 
 
 class TestBinaryConsensus:

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.errors import ChromaticityError
-from repro.models import ImmediateSnapshotModel
-from repro.objects import AugmentedModel, TestAndSetBox
 from repro.topology import Simplex, SimplicialComplex, Vertex, View
 from repro.topology.isomorphism import (
     canonical_isomorphism,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ChromaticityError
-from repro.models import ImmediateSnapshotModel, standard_chromatic_subdivision
+from repro.models import standard_chromatic_subdivision
 from repro.topology import (
     Simplex,
     SimplicialComplex,
