@@ -35,6 +35,10 @@ AUD008    task       task well-formedness: ``Δ(σ)`` is chromatic and
                      contained in the output complex
 AUD009    closure    closure well-formedness (Theorem 1): ``Δ ⊆ Δ'`` and
                      ``Δ'`` is name-preserving
+AUD010    faults-    chaos campaign configuration soundness: known cell,
+          config     supported model, probabilities in range, crash
+                     budget ``0 ≤ t < n``, illegal injectors gated behind
+                     ``allow_illegal``
 ========  =========  ====================================================
 
 Each rule applies to one *kind* of :class:`AuditTarget`; the driver in
@@ -541,4 +545,81 @@ def check_closure_well_formed(target: AuditTarget) -> Iterator[Finding]:
                 target.path,
                 f"Δ({sigma!r}) ⊄ Δ'({sigma!r}): lost legal output "
                 f"{sample!r} (closures only grow, Definition 2)",
+            )
+
+
+@audit_rule(
+    "AUD010", "faults-config", "chaos campaign configurations are sound"
+)
+def check_faults_config(target: AuditTarget) -> Iterator[Finding]:
+    """Soundness of a chaos :class:`~repro.faults.campaign.CampaignConfig`.
+
+    The campaign runner validates eagerly; this rule re-checks the same
+    conditions as findings (all at once, never raising) so ``repro check``
+    can audit config constants and CLI presets without running anything:
+    the cell must exist, the model must be supported by the cell (black
+    box cells are IIS-only — general matrix schedules have no temporal
+    blocks), probabilities must be in range, the crash budget must leave a
+    survivor, and *illegal* injectors must be explicitly opted into.
+    """
+    from repro.faults.campaign import CELLS, ILLEGAL_MODES
+
+    config = target.obj
+    spec = CELLS.get(config.cell)
+    if spec is None:
+        yield Finding(
+            "AUD010",
+            Severity.ERROR,
+            target.path,
+            f"unknown chaos cell {config.cell!r}",
+        )
+        return
+    if not 0.0 <= config.crash_probability <= 1.0:
+        yield Finding(
+            "AUD010",
+            Severity.ERROR,
+            target.path,
+            f"crash probability {config.crash_probability} outside "
+            "[0, 1]",
+        )
+    if config.model not in spec.models:
+        yield Finding(
+            "AUD010",
+            Severity.ERROR,
+            target.path,
+            f"cell {config.cell!r} does not support model "
+            f"{config.model!r} (allowed: {'/'.join(spec.models)})",
+        )
+    if not 0 <= config.t < config.n:
+        yield Finding(
+            "AUD010",
+            Severity.ERROR,
+            target.path,
+            f"crash budget t={config.t} must satisfy 0 ≤ t < n="
+            f"{config.n} (some process must survive)",
+        )
+    if not 0 < config.epsilon <= 1:
+        yield Finding(
+            "AUD010",
+            Severity.ERROR,
+            target.path,
+            f"ε = {config.epsilon} outside (0, 1]",
+        )
+    if config.illegal is not None:
+        if config.illegal not in ILLEGAL_MODES:
+            yield Finding(
+                "AUD010",
+                Severity.ERROR,
+                target.path,
+                f"unknown illegal injector {config.illegal!r} "
+                f"(known: {', '.join(ILLEGAL_MODES)})",
+            )
+        elif not config.allow_illegal:
+            yield Finding(
+                "AUD010",
+                Severity.ERROR,
+                target.path,
+                f"illegal injector {config.illegal!r} configured "
+                "without allow_illegal: model-breaking faults must be "
+                "an explicit opt-in",
             )

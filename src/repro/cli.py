@@ -9,6 +9,8 @@ Exposes the library's headline computations without writing Python::
     repro run halving --eps 1/8 --inputs 0,1/2,1 --seed 7 --crash 0.2
     repro check --all                 # audit every experiment's invariants
     repro check --lint src/           # repo-specific AST lint (RPR rules)
+    repro chaos --algorithm aa --model iis -n 3 --executions 2000 --seed 0
+    repro chaos --replay trace.json --shrink
 
 Also available as ``python -m repro``.
 """
@@ -43,7 +45,13 @@ from repro.objects import (
     beta_input_function,
 )
 from repro.objects.base import BlackBox
-from repro.runtime import IteratedExecutor, RandomAdversary
+from repro.errors import ExperimentError, ReproError
+from repro.runtime import (
+    Adversary,
+    IteratedExecutor,
+    RandomAdversary,
+    RandomMatrixAdversary,
+)
 from repro.tasks import (
     approximate_agreement_task,
     binary_consensus_task,
@@ -209,8 +217,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         raise SystemExit(f"unknown algorithm {args.algorithm!r}")
 
+    if args.adversary == "random":
+        adversary: Adversary = RandomAdversary(
+            seed=args.seed, crash_probability=args.crash
+        )
+    else:
+        # Seeded matrix adversary over the weaker snapshot/collect models.
+        if box is not None:
+            raise SystemExit(
+                f"algorithm {args.algorithm!r} uses a black box, which "
+                "requires immediate-snapshot schedules; use "
+                "--adversary random"
+            )
+        if args.crash:
+            raise SystemExit(
+                "--crash is only supported with --adversary random"
+            )
+        adversary = RandomMatrixAdversary(kind=args.adversary, seed=args.seed)
+
     executor = IteratedExecutor(box=box)
-    adversary = RandomAdversary(seed=args.seed, crash_probability=args.crash)
     result = executor.run(algorithm, inputs, adversary)
     print(f"algorithm : {algorithm.name} ({algorithm.rounds} rounds)")
     for record in result.trace:
@@ -278,13 +303,93 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             entry = EXPERIMENTS[identifier]
             print(f"  {identifier:<4} {entry.artifact:<28} {entry.summary}")
         return 0
+    from repro.experiments import run_experiment
+
     experiment = get_experiment(args.id)
     print(f"{experiment.identifier} — {experiment.artifact}")
     print(experiment.summary)
     print()
-    data = experiment.run()
+    try:
+        data = run_experiment(experiment.identifier)
+    except ExperimentError as exc:
+        # One-line diagnosable cause instead of a raw traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(pformat(data))
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults import (
+        CampaignConfig,
+        FaultTrace,
+        replay_trace,
+        render_report,
+        report_to_json,
+        run_campaign,
+        shrink_trace,
+        trace_weight,
+    )
+    from repro.faults.campaign import get_cell
+
+    eps = Fraction(args.eps)
+    if args.replay is not None:
+        try:
+            with open(args.replay, "r", encoding="utf-8") as handle:
+                trace = FaultTrace.from_json(handle.read())
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"cannot load trace {args.replay!r}: {exc}")
+        try:
+            if args.shrink:
+                trace = shrink_trace(trace, epsilon=eps)
+            classification, violation = replay_trace(trace, epsilon=eps)
+        except ReproError as exc:
+            raise SystemExit(f"replay failed: {exc}")
+        payload = {
+            "classification": classification,
+            "property": violation.property if violation else None,
+            "witness": violation.witness if violation else None,
+            "weight": trace_weight(trace),
+            "trace": trace.to_json(),
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"classification: {classification}")
+            if violation is not None:
+                print(f"property      : {violation.property}")
+                print(f"witness       : {violation.witness}")
+            print(f"trace weight  : {payload['weight']}")
+            if args.shrink:
+                print(f"shrunk trace  : {payload['trace']}")
+        return 0
+
+    config = CampaignConfig(
+        cell=args.algorithm,
+        model=args.model,
+        n=args.n,
+        t=args.t,
+        executions=args.executions,
+        seed=args.seed,
+        epsilon=eps,
+        deadline=args.deadline,
+        illegal=args.inject_illegal,
+        allow_illegal=args.allow_illegal,
+    )
+    try:
+        report = run_campaign(config)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(report_to_json(report), indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    if get_cell(config.cell).broken:
+        # Violations/hangs are the expected outcome for broken fixtures.
+        return 0
+    return 0 if report.clean else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -319,7 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "experiment",
-        help="list or run the paper's experiments (E1–E22)",
+        help="list or run the paper's experiments (E1–E23)",
     )
     p.add_argument("id", nargs="?", default=None)
 
@@ -374,6 +479,78 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inputs", default="0,1/2,1", help="comma-separated rationals")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--crash", type=float, default=0.0)
+    p.add_argument(
+        "--adversary",
+        default="random",
+        choices=["random", "snapshot", "collect"],
+        help="schedule source: seeded immediate-snapshot blocks (random), "
+        "or seeded matrix schedules of the weaker models",
+    )
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a randomized fault-injection campaign, or replay a trace",
+        description=(
+            "Execute N seeded randomized executions of an algorithm cell "
+            "under crash/black-box fault injection, classify each against "
+            "the cell's property oracle, and report the tally.  With "
+            "--replay, re-execute a recorded trace file instead (add "
+            "--shrink to delta-debug it to a locally minimal "
+            "counterexample first)."
+        ),
+    )
+    p.add_argument(
+        "--algorithm",
+        default="aa",
+        help="campaign cell key (aa, aa2, consensus, aa-broken, "
+        "consensus-broken, hang, exploding)",
+    )
+    p.add_argument(
+        "--model",
+        default="iis",
+        choices=["iis", "snapshot", "collect"],
+    )
+    p.add_argument("-n", type=int, default=3, help="number of processes")
+    p.add_argument(
+        "-t", type=int, default=1, help="max crash faults per execution"
+    )
+    p.add_argument("--executions", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--eps", default="1/8")
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="campaign wall-clock budget in seconds (monotonic)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a deterministic JSON report",
+    )
+    p.add_argument(
+        "--replay",
+        metavar="TRACE_FILE",
+        default=None,
+        help="replay a recorded FaultTrace JSON file instead of campaigning",
+    )
+    p.add_argument(
+        "--shrink",
+        action="store_true",
+        help="with --replay: minimize the trace before replaying",
+    )
+    p.add_argument(
+        "--inject-illegal",
+        default=None,
+        choices=["lost-write", "stale-snapshot", "bad-box"],
+        help="inject a model-illegal fault the executor must detect "
+        "(requires --allow-illegal)",
+    )
+    p.add_argument(
+        "--allow-illegal",
+        action="store_true",
+        help="acknowledge that --inject-illegal makes executions invalid",
+    )
 
     return parser
 
@@ -386,6 +563,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "experiment": _cmd_experiment,
     "check": _cmd_check,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -17,6 +17,9 @@ __all__ = [
     "SolvabilityError",
     "ModelError",
     "RuntimeModelError",
+    "FaultInjectionError",
+    "ExecutionBudgetExceeded",
+    "ExperimentError",
 ]
 
 
@@ -63,3 +66,42 @@ class ModelError(ReproError, ValueError):
 
 class RuntimeModelError(ReproError, RuntimeError):
     """The operational runtime simulator reached an inconsistent state."""
+
+
+class FaultInjectionError(RuntimeModelError):
+    """The executor detected an *illegal* fault (a safety-net firing).
+
+    Raised when shared-memory or black-box behavior falls outside the
+    model: a lost register write, a snapshot inconsistent with the realized
+    schedule, a black-box output assignment that is not admissible, or a
+    non-linearizable object response.  The fault-injection harness
+    (:mod:`repro.faults`) deliberately provokes these to prove the runtime
+    flags them instead of silently absorbing them.
+    """
+
+
+class ExecutionBudgetExceeded(ReproError, RuntimeError):
+    """A single execution exceeded its step budget or wall-clock deadline.
+
+    The chaos campaign runner (:mod:`repro.faults.campaign`) wraps each
+    algorithm with a budget guard so a non-terminating or pathologically
+    slow execution is classified as ``HUNG`` instead of stalling the whole
+    campaign.
+    """
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment runner failed; carries the experiment identifier.
+
+    Wraps arbitrary exceptions escaping a registered ``reproduce_*``
+    function so ``repro experiment E<k>`` failures are diagnosable from a
+    one-line cause instead of a raw traceback.
+    """
+
+    def __init__(self, experiment_id: str, cause: BaseException) -> None:
+        self.experiment_id = experiment_id
+        self.cause = cause
+        super().__init__(
+            f"experiment {experiment_id} failed: "
+            f"{type(cause).__name__}: {cause}"
+        )

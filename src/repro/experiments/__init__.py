@@ -5,7 +5,7 @@ reproduction adds) has a ``reproduce_*`` function here returning plain
 data; the benchmark harness wraps them with timing and paper-vs-measured
 tables, and the CLI exposes them via ``repro experiment <id>``.
 
-The registry maps experiment ids (E1–E22, matching DESIGN.md §4) to
+The registry maps experiment ids (E1–E23, matching DESIGN.md §4) to
 :class:`Experiment` descriptors.
 """
 
@@ -49,6 +49,7 @@ from repro.experiments.performance import (
     reproduce_scaling,
     reproduce_solver_ablation,
 )
+from repro.experiments.robustness import reproduce_chaos_harness
 
 __all__ = [
     "EXPERIMENTS",
@@ -77,4 +78,5 @@ __all__ = [
     "reproduce_cache_effectiveness",
     "reproduce_scaling",
     "reproduce_solver_ablation",
+    "reproduce_chaos_harness",
 ]

@@ -1,6 +1,6 @@
 """The experiment registry: DESIGN.md §4's index, executable.
 
-Maps experiment identifiers (``E1`` … ``E22``) to descriptors carrying the
+Maps experiment identifiers (``E1`` … ``E23``) to descriptors carrying the
 paper artifact they regenerate and the reproduction function.  The CLI's
 ``repro experiment`` subcommand and the benchmark harness both resolve
 through this table, so the index in the documentation can never drift from
@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import ReproError
+from repro.errors import ExperimentError, ReproError
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
 
@@ -50,6 +50,7 @@ def _build_registry() -> dict[str, Experiment]:
     from repro.experiments import figures as figs
     from repro.experiments import operational as ops
     from repro.experiments import performance as perf
+    from repro.experiments import robustness as rob
     from repro.experiments import speedup as sp
 
     entries = [
@@ -163,6 +164,12 @@ def _build_registry() -> dict[str, Experiment]:
             "one-round materializations saved by the model-level memo",
             perf.reproduce_cache_effectiveness,
         ),
+        Experiment(
+            "E23", "robustness (chaos harness)",
+            "fault campaigns: clean cells stay clean, broken fixtures "
+            "caught & shrunk, illegal faults detected",
+            rob.reproduce_chaos_harness,
+        ),
     ]
     return {entry.identifier: entry for entry in entries}
 
@@ -183,5 +190,17 @@ def get_experiment(identifier: str) -> Experiment:
 
 
 def run_experiment(identifier: str) -> Any:
-    """Run an experiment by id and return its data."""
-    return get_experiment(identifier).run()
+    """Run an experiment by id and return its data.
+
+    Any exception escaping the reproduction function is wrapped into an
+    :class:`~repro.errors.ExperimentError` carrying the experiment id, so
+    callers (the CLI, the benchmark harness) get a one-line diagnosable
+    cause instead of a context-free traceback.
+    """
+    experiment = get_experiment(identifier)
+    try:
+        return experiment.run()
+    except ExperimentError:
+        raise
+    except Exception as exc:
+        raise ExperimentError(experiment.identifier, exc) from exc

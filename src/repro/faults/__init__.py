@@ -1,0 +1,97 @@
+"""Fault-injection and chaos-testing harness for the operational runtime.
+
+The runtime of :mod:`repro.runtime` claims wait-freedom: algorithms survive
+*every* legal adversary (crashes, schedules, adversarial black-box
+choices).  This subpackage stress-tests that claim operationally and — just
+as importantly — verifies the runtime's *safety nets*: behaviors outside
+the model (lost writes, corrupted snapshots, non-admissible box outputs,
+non-linearizable objects) must surface as
+:class:`~repro.errors.FaultInjectionError`, never be silently absorbed.
+
+* :mod:`repro.faults.injectors` — composable, seed-deterministic fault
+  injectors plugging into the executor hooks, plus the replayable
+  :class:`~repro.faults.injectors.FaultTrace`;
+* :mod:`repro.faults.oracles` — property oracles (consensus, ε-approximate
+  agreement, k-set agreement) and the execution classification lattice;
+* :mod:`repro.faults.campaign` — the chaos campaign runner: N randomized
+  executions per (algorithm, model, n, t) cell with budget guards, error
+  isolation, and JSON/text reporting;
+* :mod:`repro.faults.shrink` — delta-debugging of violating traces down to
+  locally minimal counterexamples;
+* :mod:`repro.faults.fixtures` — deliberately broken algorithms used to
+  prove the harness actually detects violations (ε-AA with too few rounds;
+  consensus in plain IIS, impossible by Corollary 1).
+"""
+
+from repro.faults.injectors import (
+    FaultInjector,
+    CompositeInjector,
+    MidRoundCrashInjector,
+    CrashStormInjector,
+    AdversarialBoxInjector,
+    LostWriteInjector,
+    StaleSnapshotInjector,
+    NonAdmissibleBoxInjector,
+    FaultTrace,
+    TraceRound,
+    ReplayAdversary,
+    ReplayInjector,
+)
+from repro.faults.oracles import (
+    DECIDED_OK,
+    VIOLATION,
+    HUNG,
+    HARNESS_FAULT_DETECTED,
+    PropertyOracle,
+    ConsensusOracle,
+    ApproximateAgreementOracle,
+    KSetAgreementOracle,
+    Violation,
+)
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignIncident,
+    CampaignReport,
+    ExecutionOutcome,
+    CELLS,
+    run_campaign,
+    replay_trace,
+    render_report,
+    report_to_json,
+)
+from repro.faults.shrink import shrink_trace, trace_weight
+
+__all__ = [
+    "FaultInjector",
+    "CompositeInjector",
+    "MidRoundCrashInjector",
+    "CrashStormInjector",
+    "AdversarialBoxInjector",
+    "LostWriteInjector",
+    "StaleSnapshotInjector",
+    "NonAdmissibleBoxInjector",
+    "FaultTrace",
+    "TraceRound",
+    "ReplayAdversary",
+    "ReplayInjector",
+    "DECIDED_OK",
+    "VIOLATION",
+    "HUNG",
+    "HARNESS_FAULT_DETECTED",
+    "PropertyOracle",
+    "ConsensusOracle",
+    "ApproximateAgreementOracle",
+    "KSetAgreementOracle",
+    "Violation",
+    "CampaignConfig",
+    "CampaignIncident",
+    "CampaignReport",
+    "ExecutionOutcome",
+    "CELLS",
+    "run_campaign",
+    "replay_trace",
+    "render_report",
+    "report_to_json",
+    "shrink_trace",
+    "trace_weight",
+]

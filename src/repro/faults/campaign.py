@@ -1,0 +1,733 @@
+"""The chaos campaign runner: randomized executions with budget guards.
+
+A *campaign* runs ``N`` seed-derived randomized executions of one cell —
+an (algorithm, model, n, t) combination — and classifies every execution
+with the cell's property oracle (:mod:`repro.faults.oracles`).  The runner
+is built to survive its own subjects:
+
+* **budgets** — every execution runs under a step budget and a monotonic
+  wall-clock deadline (no signals involved), so a non-terminating
+  algorithm is classified ``HUNG`` instead of stalling the campaign; a
+  campaign-wide deadline skips the remaining executions once exceeded;
+* **error isolation** — an execution that raises is converted into a
+  structured :class:`CampaignIncident` (exception type, message, seed)
+  and the campaign continues;
+* **determinism** — execution ``i`` derives its RNG seeds from
+  ``(campaign seed, i)`` only, so re-running a campaign reproduces every
+  classification, and any single execution can be re-run alone from its
+  recorded seed;
+* **accounting** — aggregate counts feed the process-wide
+  :mod:`repro.instrumentation` counters, and reports render to text
+  (via :mod:`repro.analysis.reporting`) or deterministic JSON.
+
+Violating executions carry a replayable
+:class:`~repro.faults.injectors.FaultTrace`; feed it to
+:func:`replay_trace` (or ``repro chaos --replay``) to reproduce the
+verdict, or to :func:`repro.faults.shrink.shrink_trace` to minimize it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Optional
+
+from repro.analysis.reporting import render_rows
+from repro.errors import (
+    ExecutionBudgetExceeded,
+    FaultInjectionError,
+    ReproError,
+    RuntimeModelError,
+)
+from repro.faults.fixtures import (
+    ExplodingAlgorithm,
+    IISConsensusAttempt,
+    StubbornAlgorithm,
+    TooFewRoundsAA,
+)
+from repro.faults.injectors import (
+    AdversarialBoxInjector,
+    CompositeInjector,
+    FaultInjector,
+    FaultTrace,
+    LostWriteInjector,
+    MidRoundCrashInjector,
+    NonAdmissibleBoxInjector,
+    ReplayAdversary,
+    ReplayInjector,
+    StaleSnapshotInjector,
+)
+from repro.faults.oracles import (
+    DECIDED_OK,
+    HARNESS_FAULT_DETECTED,
+    HUNG,
+    VIOLATION,
+    ApproximateAgreementOracle,
+    ConsensusOracle,
+    KSetAgreementOracle,
+    PropertyOracle,
+    Violation,
+)
+from repro.algorithms.approximate_agreement import (
+    HalvingAA,
+    TwoProcessThirdsAA,
+)
+from repro.algorithms.consensus_bc import ConsensusViaBinaryConsensus
+from repro.instrumentation import counter
+from repro.objects import BinaryConsensusBox
+from repro.objects.base import BlackBox
+from repro.runtime.adversary import (
+    Adversary,
+    RandomAdversary,
+    RandomMatrixAdversary,
+)
+from repro.runtime.algorithm import RoundAlgorithm
+from repro.runtime.iterated import ExecutionResult, IteratedExecutor
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignIncident",
+    "CampaignReport",
+    "ExecutionOutcome",
+    "CellSpec",
+    "CELLS",
+    "ILLEGAL_MODES",
+    "run_campaign",
+    "classify_execution",
+    "replay_trace",
+    "render_report",
+    "report_to_json",
+]
+
+# Fetched once at import time (hot path — see repro.instrumentation).
+_EXECUTIONS = counter("faults.campaign.executions")
+_VIOLATIONS = counter("faults.campaign.violations")
+_HUNG = counter("faults.campaign.hung")
+_DETECTED = counter("faults.campaign.detected")
+_INCIDENTS = counter("faults.campaign.incidents")
+
+#: How many non-OK outcomes a report keeps in full (witness + trace).
+_MAX_KEPT = 25
+
+#: The illegal injector modes selectable via ``--inject-illegal``.
+ILLEGAL_MODES = ("lost-write", "stale-snapshot", "bad-box")
+
+
+# ----------------------------------------------------------------------
+# Cells: the (algorithm, oracle, box) combinations a campaign can target
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellSpec:
+    """One chaos target: algorithm factory + referee + box + inputs."""
+
+    key: str
+    summary: str
+    build: Callable[[int, Fraction], RoundAlgorithm]
+    oracle: Callable[[int, Fraction], PropertyOracle]
+    sample_inputs: Callable[
+        [int, Fraction, random.Random], dict[int, Hashable]
+    ]
+    parse_input: Callable[[str], Hashable]
+    make_box: Optional[Callable[[], BlackBox]] = None
+    #: Models the cell supports.  Black-box cells need temporal blocks, so
+    #: they are IIS-only (``OneRoundSchedule.blocks`` is undefined for
+    #: general matrix schedules).
+    models: tuple[str, ...] = ("iis", "snapshot", "collect")
+    min_n: int = 2
+    max_n: Optional[int] = None
+    #: Broken/pathological fixtures: violations (or hangs) are *expected*.
+    broken: bool = False
+
+
+def _grid_inputs(
+    n: int, epsilon: Fraction, rng: random.Random
+) -> dict[int, Hashable]:
+    """Uniform inputs on the ε-grid ``{0, 1/m, …, 1}``, ``m = 1/ε``."""
+    m = epsilon.denominator
+    return {
+        process: Fraction(rng.randrange(m + 1), m)
+        for process in range(1, n + 1)
+    }
+
+
+def _named_inputs(
+    n: int, epsilon: Fraction, rng: random.Random
+) -> dict[int, Hashable]:
+    """Distinct symbolic inputs ``v1 … vn`` (consensus-style cells)."""
+    return {process: f"v{process}" for process in range(1, n + 1)}
+
+
+CELLS: dict[str, CellSpec] = {
+    spec.key: spec
+    for spec in (
+        CellSpec(
+            key="aa",
+            summary="halving ε-AA (Eq. 3), ⌈log₂ 1/ε⌉ IIS rounds",
+            build=lambda n, eps: HalvingAA(eps),
+            oracle=lambda n, eps: ApproximateAgreementOracle(eps),
+            sample_inputs=_grid_inputs,
+            parse_input=Fraction,
+        ),
+        CellSpec(
+            key="aa2",
+            summary="two-process thirds ε-AA (Eq. 2), ⌈log₃ 1/ε⌉ rounds",
+            build=lambda n, eps: TwoProcessThirdsAA(eps),
+            oracle=lambda n, eps: ApproximateAgreementOracle(eps),
+            sample_inputs=_grid_inputs,
+            parse_input=Fraction,
+            min_n=2,
+            max_n=2,
+        ),
+        CellSpec(
+            key="consensus",
+            summary="consensus via binary-consensus box, ⌈log₂ n⌉ rounds",
+            build=lambda n, eps: ConsensusViaBinaryConsensus(n),
+            oracle=lambda n, eps: ConsensusOracle(),
+            sample_inputs=_named_inputs,
+            parse_input=str,
+            make_box=BinaryConsensusBox,
+            models=("iis",),
+        ),
+        CellSpec(
+            key="aa-broken",
+            summary="halving ε-AA run one round short (must violate ε)",
+            build=lambda n, eps: TooFewRoundsAA(eps),
+            oracle=lambda n, eps: ApproximateAgreementOracle(eps),
+            sample_inputs=_grid_inputs,
+            parse_input=Fraction,
+            broken=True,
+        ),
+        CellSpec(
+            key="consensus-broken",
+            summary="consensus attempted in plain IIS (Corollary 1 says no)",
+            build=lambda n, eps: IISConsensusAttempt(),
+            oracle=lambda n, eps: ConsensusOracle(),
+            sample_inputs=_named_inputs,
+            parse_input=str,
+            broken=True,
+        ),
+        CellSpec(
+            key="hang",
+            summary="non-converging no-op algorithm (exercises HUNG)",
+            build=lambda n, eps: StubbornAlgorithm(),
+            oracle=lambda n, eps: KSetAgreementOracle(n),
+            sample_inputs=_named_inputs,
+            parse_input=str,
+            broken=True,
+        ),
+        CellSpec(
+            key="exploding",
+            summary="raises mid-round (exercises incident isolation)",
+            build=lambda n, eps: ExplodingAlgorithm(),
+            oracle=lambda n, eps: KSetAgreementOracle(n),
+            sample_inputs=_named_inputs,
+            parse_input=str,
+            broken=True,
+        ),
+    )
+}
+
+
+def get_cell(key: str) -> CellSpec:
+    """Look up a campaign cell by key."""
+    try:
+        return CELLS[key]
+    except KeyError:
+        known = ", ".join(sorted(CELLS))
+        raise ReproError(
+            f"unknown chaos cell {key!r}; known cells: {known}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything a campaign needs; validated by :meth:`validate`."""
+
+    cell: str = "aa"
+    model: str = "iis"
+    n: int = 3
+    t: int = 1
+    executions: int = 100
+    seed: int = 0
+    epsilon: Fraction = Fraction(1, 8)
+    crash_probability: float = 0.15
+    step_budget: Optional[int] = 20_000
+    exec_deadline: Optional[float] = 30.0
+    deadline: Optional[float] = None
+    illegal: Optional[str] = None
+    allow_illegal: bool = False
+
+    def validate(self) -> None:
+        """Raise :class:`ReproError` on an inconsistent configuration."""
+        spec = get_cell(self.cell)
+        if self.model not in ("iis", "snapshot", "collect"):
+            raise ReproError(
+                f"unknown model {self.model!r}: use iis/snapshot/collect"
+            )
+        if self.model not in spec.models:
+            raise ReproError(
+                f"cell {self.cell!r} supports models "
+                f"{'/'.join(spec.models)}, not {self.model!r}"
+            )
+        if self.n < spec.min_n:
+            raise ReproError(
+                f"cell {self.cell!r} needs n ≥ {spec.min_n}, got {self.n}"
+            )
+        if spec.max_n is not None and self.n > spec.max_n:
+            raise ReproError(
+                f"cell {self.cell!r} needs n ≤ {spec.max_n}, got {self.n}"
+            )
+        if not 0 <= self.t < self.n:
+            raise ReproError(
+                f"crash budget t={self.t} must satisfy 0 ≤ t < n={self.n}"
+            )
+        if self.executions < 1:
+            raise ReproError("at least one execution is required")
+        if not 0.0 <= self.crash_probability <= 1.0:
+            raise ReproError(
+                f"crash probability {self.crash_probability} outside [0, 1]"
+            )
+        if not 0 < self.epsilon <= 1:
+            raise ReproError(f"ε = {self.epsilon} outside (0, 1]")
+        if self.illegal is not None:
+            if self.illegal not in ILLEGAL_MODES:
+                raise ReproError(
+                    f"unknown illegal mode {self.illegal!r}; known: "
+                    + ", ".join(ILLEGAL_MODES)
+                )
+            if not self.allow_illegal:
+                raise ReproError(
+                    f"illegal injector {self.illegal!r} requires "
+                    "--allow-illegal (it deliberately breaks the model)"
+                )
+            if self.illegal == "bad-box" and get_cell(self.cell).make_box is None:
+                raise ReproError(
+                    "the bad-box injector needs a cell with a black box"
+                )
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """One classified execution kept in the report."""
+
+    index: int
+    seed: int
+    classification: str
+    property: str = ""
+    witness: str = ""
+    trace: Optional[FaultTrace] = None
+
+
+@dataclass(frozen=True)
+class CampaignIncident:
+    """A raising execution, isolated and recorded (campaign continues)."""
+
+    index: int
+    seed: int
+    error: str
+    message: str
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate campaign outcome (text and JSON renderable)."""
+
+    config: CampaignConfig
+    counts: dict[str, int] = field(default_factory=dict)
+    violations: list[ExecutionOutcome] = field(default_factory=list)
+    hung: list[ExecutionOutcome] = field(default_factory=list)
+    detected: list[ExecutionOutcome] = field(default_factory=list)
+    incidents: list[CampaignIncident] = field(default_factory=list)
+    skipped: int = 0
+    elapsed: float = 0.0
+    peak_rss_kb: Optional[int] = None
+
+    @property
+    def clean(self) -> bool:
+        """No violations, hangs, undetected faults, or incidents."""
+        return (
+            not self.incidents
+            and self.counts.get(VIOLATION, 0) == 0
+            and self.counts.get(HUNG, 0) == 0
+        )
+
+
+# ----------------------------------------------------------------------
+# Execution machinery
+# ----------------------------------------------------------------------
+class _BudgetedAlgorithm(RoundAlgorithm):
+    """Wrap an algorithm with a step budget and a monotonic deadline."""
+
+    def __init__(
+        self,
+        inner: RoundAlgorithm,
+        step_budget: Optional[int],
+        deadline_at: Optional[float],
+    ) -> None:
+        self._inner = inner
+        self._step_budget = step_budget
+        self._deadline_at = deadline_at
+        self._steps = 0
+        self.rounds = inner.rounds
+        self.name = inner.name
+
+    def initial_state(self, process: int, input_value: Hashable) -> object:
+        return self._inner.initial_state(process, input_value)
+
+    def box_input(
+        self, process: int, state: object, round_index: int
+    ) -> Hashable:
+        return self._inner.box_input(process, state, round_index)
+
+    def step(
+        self,
+        process: int,
+        state: object,
+        seen_states: Mapping[int, object],
+        box_output: Optional[Hashable],
+        round_index: int,
+    ) -> object:
+        self._steps += 1
+        if (
+            self._step_budget is not None
+            and self._steps > self._step_budget
+        ):
+            raise ExecutionBudgetExceeded(
+                f"step budget {self._step_budget} exhausted at round "
+                f"{round_index}"
+            )
+        if (
+            self._deadline_at is not None
+            and time.monotonic() > self._deadline_at
+        ):
+            raise ExecutionBudgetExceeded(
+                f"wall-clock deadline exceeded at round {round_index}"
+            )
+        return self._inner.step(
+            process, state, seen_states, box_output, round_index
+        )
+
+    def decide(self, process: int, state: object) -> Hashable:
+        return self._inner.decide(process, state)
+
+
+def derive_seed(campaign_seed: int, index: int) -> int:
+    """The deterministic per-execution seed (stable across runs)."""
+    return (campaign_seed * 1_000_003 + index) % (2**31 - 1)
+
+
+def _make_adversary(model: str, seed: int) -> Adversary:
+    if model == "iis":
+        return RandomAdversary(seed=seed)
+    return RandomMatrixAdversary(kind=model, seed=seed)
+
+
+def _make_injector(
+    config: CampaignConfig, seed: int, spec: CellSpec
+) -> Optional[FaultInjector]:
+    parts: list[FaultInjector] = []
+    if config.t > 0:
+        parts.append(
+            MidRoundCrashInjector(
+                seed=seed + 1,
+                probability=config.crash_probability,
+                budget=config.t,
+            )
+        )
+    if spec.make_box is not None:
+        parts.append(AdversarialBoxInjector(seed=seed + 2))
+    if config.illegal == "lost-write":
+        parts.append(LostWriteInjector(round_index=1, victim=1))
+    elif config.illegal == "stale-snapshot":
+        parts.append(StaleSnapshotInjector(round_index=1, victim=1))
+    elif config.illegal == "bad-box":
+        parts.append(NonAdmissibleBoxInjector(round_index=1))
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return CompositeInjector(*parts)
+
+
+def classify_execution(
+    algorithm: RoundAlgorithm,
+    inputs: Mapping[int, Hashable],
+    adversary: Adversary,
+    injector: Optional[FaultInjector],
+    box: Optional[BlackBox],
+    oracle: PropertyOracle,
+    step_budget: Optional[int] = None,
+    deadline_at: Optional[float] = None,
+) -> tuple[str, Optional[Violation], Optional[ExecutionResult]]:
+    """Run one execution and classify it (see :mod:`repro.faults.oracles`).
+
+    Returns ``(classification, violation, result)``; the violation is
+    ``None`` for ``DECIDED_OK`` and the result is ``None`` when the
+    execution did not complete.  Exceptions other than the budget guard
+    and the safety net propagate — the campaign loop isolates them.
+    """
+    guarded = _BudgetedAlgorithm(algorithm, step_budget, deadline_at)
+    executor = IteratedExecutor(box=box, injector=injector)
+    try:
+        result = executor.run(guarded, inputs, adversary)
+    except ExecutionBudgetExceeded as exc:
+        return HUNG, Violation("liveness", str(exc)), None
+    except FaultInjectionError as exc:
+        return HARNESS_FAULT_DETECTED, Violation("safety-net", str(exc)), None
+    violation = oracle.check(inputs, result)
+    if violation is not None:
+        return VIOLATION, violation, result
+    return DECIDED_OK, None, result
+
+
+def run_campaign(config: CampaignConfig) -> CampaignReport:
+    """Run the whole campaign; never raises on a misbehaving execution."""
+    config.validate()
+    spec = get_cell(config.cell)
+    report = CampaignReport(
+        config=config,
+        counts={
+            DECIDED_OK: 0,
+            VIOLATION: 0,
+            HUNG: 0,
+            HARNESS_FAULT_DETECTED: 0,
+        },
+    )
+    started = time.monotonic()
+    campaign_deadline_at = (
+        started + config.deadline if config.deadline is not None else None
+    )
+    for index in range(config.executions):
+        if (
+            campaign_deadline_at is not None
+            and time.monotonic() > campaign_deadline_at
+        ):
+            report.skipped = config.executions - index
+            break
+        seed = derive_seed(config.seed, index)
+        rng = random.Random(seed)
+        inputs = spec.sample_inputs(config.n, config.epsilon, rng)
+        exec_deadline_at = (
+            time.monotonic() + config.exec_deadline
+            if config.exec_deadline is not None
+            else None
+        )
+        _EXECUTIONS.built()
+        try:
+            classification, violation, result = classify_execution(
+                algorithm=spec.build(config.n, config.epsilon),
+                inputs=inputs,
+                adversary=_make_adversary(config.model, seed),
+                injector=_make_injector(config, seed, spec),
+                box=spec.make_box() if spec.make_box is not None else None,
+                oracle=spec.oracle(config.n, config.epsilon),
+                step_budget=config.step_budget,
+                deadline_at=exec_deadline_at,
+            )
+        except Exception as exc:
+            # Error isolation: one raising execution never kills the
+            # campaign; it becomes a structured incident instead.
+            _INCIDENTS.built()
+            report.incidents.append(
+                CampaignIncident(
+                    index=index,
+                    seed=seed,
+                    error=type(exc).__name__,
+                    message=str(exc),
+                )
+            )
+            continue
+        report.counts[classification] += 1
+        if classification == VIOLATION:
+            _VIOLATIONS.built()
+            if len(report.violations) < _MAX_KEPT:
+                assert violation is not None and result is not None
+                report.violations.append(
+                    ExecutionOutcome(
+                        index=index,
+                        seed=seed,
+                        classification=classification,
+                        property=violation.property,
+                        witness=violation.witness,
+                        trace=FaultTrace.from_execution(
+                            result, inputs, spec.key
+                        ),
+                    )
+                )
+        elif classification == HUNG:
+            _HUNG.built()
+            if len(report.hung) < _MAX_KEPT:
+                assert violation is not None
+                report.hung.append(
+                    ExecutionOutcome(
+                        index=index,
+                        seed=seed,
+                        classification=classification,
+                        property=violation.property,
+                        witness=violation.witness,
+                    )
+                )
+        elif classification == HARNESS_FAULT_DETECTED:
+            _DETECTED.built()
+            if len(report.detected) < _MAX_KEPT:
+                assert violation is not None
+                report.detected.append(
+                    ExecutionOutcome(
+                        index=index,
+                        seed=seed,
+                        classification=classification,
+                        property=violation.property,
+                        witness=violation.witness,
+                    )
+                )
+    report.elapsed = time.monotonic() - started
+    report.peak_rss_kb = _peak_rss_kb()
+    return report
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """The process's peak RSS in kB, when the platform exposes it."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def replay_trace(
+    trace: FaultTrace,
+    epsilon: Fraction = Fraction(1, 8),
+    step_budget: Optional[int] = 20_000,
+) -> tuple[str, Optional[Violation]]:
+    """Deterministically re-execute a recorded trace and re-classify it.
+
+    The trace's cell key selects the algorithm/oracle/box; the recorded
+    inputs and per-round decisions are replayed through
+    :class:`~repro.faults.injectors.ReplayAdversary` /
+    :class:`~repro.faults.injectors.ReplayInjector`.
+    """
+    spec = get_cell(trace.cell)
+    inputs = trace.parsed_inputs(spec.parse_input)
+    if not inputs:
+        raise RuntimeModelError("trace has no inputs to replay")
+    classification, violation, _ = classify_execution(
+        algorithm=spec.build(len(inputs), epsilon),
+        inputs=inputs,
+        adversary=ReplayAdversary(trace),
+        injector=ReplayInjector(trace),
+        box=spec.make_box() if spec.make_box is not None else None,
+        oracle=spec.oracle(len(inputs), epsilon),
+        step_budget=step_budget,
+    )
+    return classification, violation
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def report_to_json(report: CampaignReport) -> dict:
+    """A deterministic JSON-serializable view (timing/memory excluded)."""
+    config = report.config
+    return {
+        "config": {
+            "cell": config.cell,
+            "model": config.model,
+            "n": config.n,
+            "t": config.t,
+            "executions": config.executions,
+            "seed": config.seed,
+            "epsilon": str(config.epsilon),
+            "crash_probability": config.crash_probability,
+            "step_budget": config.step_budget,
+            "illegal": config.illegal,
+        },
+        "counts": {key: report.counts[key] for key in sorted(report.counts)},
+        "skipped": report.skipped,
+        "violations": [
+            {
+                "index": outcome.index,
+                "seed": outcome.seed,
+                "property": outcome.property,
+                "witness": outcome.witness,
+                "trace": (
+                    None
+                    if outcome.trace is None
+                    else outcome.trace.to_json()
+                ),
+            }
+            for outcome in report.violations
+        ],
+        "hung": [
+            {
+                "index": outcome.index,
+                "seed": outcome.seed,
+                "witness": outcome.witness,
+            }
+            for outcome in report.hung
+        ],
+        "detected": [
+            {
+                "index": outcome.index,
+                "seed": outcome.seed,
+                "witness": outcome.witness,
+            }
+            for outcome in report.detected
+        ],
+        "incidents": [
+            {
+                "index": incident.index,
+                "seed": incident.seed,
+                "error": incident.error,
+                "message": incident.message,
+            }
+            for incident in report.incidents
+        ],
+    }
+
+
+def render_report(report: CampaignReport) -> str:
+    """The human-readable campaign summary."""
+    config = report.config
+    title = (
+        f"chaos campaign: cell={config.cell} model={config.model} "
+        f"n={config.n} t={config.t} seed={config.seed} "
+        f"executions={config.executions}"
+    )
+    rows = [
+        (label, str(report.counts.get(label, 0)))
+        for label in (DECIDED_OK, VIOLATION, HUNG, HARNESS_FAULT_DETECTED)
+    ]
+    rows.append(("incidents", str(len(report.incidents))))
+    if report.skipped:
+        rows.append(("skipped (deadline)", str(report.skipped)))
+    lines = [render_rows(title, rows, ("classification", "count"))]
+    for outcome in report.violations:
+        lines.append(
+            f"violation @ execution {outcome.index} (seed {outcome.seed}): "
+            f"{outcome.property}: {outcome.witness}"
+        )
+    for outcome in report.hung:
+        lines.append(
+            f"hung @ execution {outcome.index} (seed {outcome.seed}): "
+            f"{outcome.witness}"
+        )
+    for incident in report.incidents:
+        lines.append(
+            f"incident @ execution {incident.index} "
+            f"(seed {incident.seed}): {incident.error}: {incident.message}"
+        )
+    lines.append(
+        f"elapsed: {report.elapsed:.2f}s"
+        + (
+            f", peak RSS: {report.peak_rss_kb} kB"
+            if report.peak_rss_kb is not None
+            else ""
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Deliberately broken or pathological algorithms for harness validation.
+
+A chaos harness that only ever reports ``DECIDED_OK`` proves nothing; the
+fixtures here give it targets it *must* flag:
+
+* :class:`TooFewRoundsAA` — the halving algorithm run one round short.
+  Claim 3's invariant ("entering round ``r`` the spread is at most
+  ``2·ε_r``") fails at round 1, and adversarial schedules drive the final
+  spread far above ε — while the fully synchronous schedule still
+  converges, so shrinking keeps at least one genuinely adversarial round.
+* :class:`IISConsensusAttempt` — consensus attempted in plain IIS, which
+  Corollary 1 proves impossible: the adversary separates a solo process
+  from the rest and agreement breaks.
+* :class:`StubbornAlgorithm` — declares an absurd round count; only the
+  campaign's step budget / deadline guard terminates it (``HUNG``).
+* :class:`ExplodingAlgorithm` — raises a :class:`ValueError` at a chosen
+  round, exercising the campaign's error isolation (one raising execution
+  must become an incident record, not kill the campaign).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+from fractions import Fraction
+from typing import Optional
+
+from repro.algorithms.approximate_agreement import HalvingAA, Rational
+from repro.core.lower_bounds import ceil_log
+from repro.errors import RuntimeModelError
+from repro.runtime.algorithm import RoundAlgorithm
+
+__all__ = [
+    "TooFewRoundsAA",
+    "IISConsensusAttempt",
+    "StubbornAlgorithm",
+    "ExplodingAlgorithm",
+]
+
+
+class TooFewRoundsAA(HalvingAA):
+    """Halving ε-AA with one round too few (violates ε under adversaries)."""
+
+    name = "halving-AA-too-few-rounds"
+
+    def __init__(self, epsilon: Rational) -> None:
+        tight = ceil_log(2, 1 / Fraction(epsilon))
+        if tight < 2:
+            raise RuntimeModelError(
+                "ε must need at least two rounds for the broken fixture"
+            )
+        super().__init__(epsilon, rounds=tight - 1)
+
+
+class IISConsensusAttempt(RoundAlgorithm):
+    """Adopt-the-minimum "consensus" in plain IIS — impossible (Corollary 1).
+
+    Each round every process adopts the minimum value it saw; after
+    ``rounds`` rounds it decides its current value.  Synchronous runs
+    agree (everyone adopts the global minimum), but whenever the adversary
+    keeps the minimum's holder hidden from some process for every round,
+    the decisions differ — the operational face of consensus not being
+    wait-free solvable in IIS.
+    """
+
+    name = "iis-consensus-attempt"
+
+    def __init__(self, rounds: int = 2) -> None:
+        if rounds < 1:
+            raise RuntimeModelError("at least one round is required")
+        self.rounds = rounds
+
+    def initial_state(self, process: int, input_value: Hashable) -> Hashable:
+        return input_value
+
+    def step(
+        self,
+        process: int,
+        state: Hashable,
+        seen_states: Mapping[int, Hashable],
+        box_output: Optional[Hashable],
+        round_index: int,
+    ) -> Hashable:
+        return min(seen_states.values())
+
+    def decide(self, process: int, state: Hashable) -> Hashable:
+        return state
+
+
+class StubbornAlgorithm(RoundAlgorithm):
+    """Never converges: runs an absurd number of no-op rounds.
+
+    Used to validate the ``HUNG`` classification — only the campaign's
+    step budget or wall-clock deadline stops it.
+    """
+
+    name = "stubborn"
+    rounds = 10**9
+
+    def initial_state(self, process: int, input_value: Hashable) -> Hashable:
+        return input_value
+
+    def step(
+        self,
+        process: int,
+        state: Hashable,
+        seen_states: Mapping[int, Hashable],
+        box_output: Optional[Hashable],
+        round_index: int,
+    ) -> Hashable:
+        return state
+
+    def decide(self, process: int, state: Hashable) -> Hashable:
+        return state
+
+
+class ExplodingAlgorithm(RoundAlgorithm):
+    """Raises ``ValueError`` at a chosen round (error-isolation fixture)."""
+
+    name = "exploding"
+    rounds = 3
+
+    def __init__(self, explode_at: int = 2) -> None:
+        self._explode_at = explode_at
+
+    def initial_state(self, process: int, input_value: Hashable) -> Hashable:
+        return input_value
+
+    def step(
+        self,
+        process: int,
+        state: Hashable,
+        seen_states: Mapping[int, Hashable],
+        box_output: Optional[Hashable],
+        round_index: int,
+    ) -> Hashable:
+        if round_index >= self._explode_at:
+            raise ValueError(
+                f"deliberate fixture explosion at round {round_index}"
+            )
+        return state
+
+    def decide(self, process: int, state: Hashable) -> Hashable:
+        return state

@@ -34,7 +34,11 @@ from repro.runtime.adversary import (
     FixedMatrixAdversary,
     all_schedule_sequences,
 )
-from repro.runtime.iterated import IteratedExecutor, ExecutionResult
+from repro.runtime.iterated import (
+    IteratedExecutor,
+    ExecutionResult,
+    RoundRecord,
+)
 from repro.runtime.noniterated import NonIteratedExecutor, NonIteratedResult
 from repro.runtime.lowlevel import (
     random_collect_round,
@@ -58,6 +62,7 @@ __all__ = [
     "all_schedule_sequences",
     "IteratedExecutor",
     "ExecutionResult",
+    "RoundRecord",
     "NonIteratedExecutor",
     "NonIteratedResult",
     "random_collect_round",

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from itertools import product
-from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import RuntimeModelError
 from repro.models.schedules import (

@@ -15,7 +15,8 @@ state, and ``step`` receives the states of every process it saw.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Hashable, Mapping, Optional
+from collections.abc import Hashable, Mapping
+from typing import Any, Optional
 
 from repro.core.solvability import DecisionMap
 from repro.errors import RuntimeModelError

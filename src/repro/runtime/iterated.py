@@ -8,14 +8,25 @@ real register writes/snapshots and threads the algorithm's state.
 
 Crashed processes simply stop taking steps — the wait-free survivors still
 finish their ``t`` rounds and decide, which is the whole point of the model.
+
+Fault injection: the executor accepts an optional
+:class:`~repro.faults.injectors.FaultInjector` (duck-typed — anything with
+the same hooks works).  The injector can kill processes *mid-round*
+(between their write and their snapshot), substitute a faulty register
+array, or override the black box's output assignment.  Every deviation
+from the model that the injector produces — a lost write, a snapshot
+inconsistent with the realized schedule, a non-admissible box assignment —
+is detected by the executor's cross-checks and raised as
+:class:`~repro.errors.FaultInjectionError`, never silently absorbed.
 """
 
 from __future__ import annotations
 
+from collections.abc import Hashable, Mapping
 from dataclasses import dataclass, field
-from typing import Hashable, Mapping, Optional
+from typing import Optional
 
-from repro.errors import RuntimeModelError
+from repro.errors import FaultInjectionError, RuntimeModelError
 from repro.models.schedules import OneRoundSchedule
 from repro.objects.base import BlackBox
 from repro.runtime.adversary import Adversary, FullSyncAdversary
@@ -27,13 +38,26 @@ __all__ = ["IteratedExecutor", "ExecutionResult", "RoundRecord"]
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """What happened in one round: schedule, box outputs, per-process views."""
+    """What happened in one round: schedule, box outputs, per-process views.
+
+    ``blocks`` holds the temporal blocks of immediate-snapshot schedules,
+    or the matrix groups for general snapshot/collect schedules (in which
+    case ``schedule_views`` carries the matching view sets ``P_s`` so the
+    matrix can be reconstructed).  ``box_choice`` is the index of the
+    realized assignment among the box's admissible options, and
+    ``mid_crashed`` lists processes killed between their write and their
+    snapshot — both feed the replayable fault traces of
+    :mod:`repro.faults`.
+    """
 
     round_index: int
     active: tuple[int, ...]
     blocks: tuple[tuple[int, ...], ...]
     views: Mapping[int, tuple[int, ...]]
     box_outputs: Mapping[int, Hashable]
+    schedule_views: Optional[tuple[tuple[int, ...], ...]] = None
+    box_choice: Optional[int] = None
+    mid_crashed: tuple[int, ...] = ()
 
 
 @dataclass
@@ -45,8 +69,8 @@ class ExecutionResult:
     decisions:
         Output value per surviving process.
     crashed:
-        Processes the adversary killed, with the round before which they
-        died.
+        Processes the adversary killed, with the round before (or, for
+        mid-round crashes, during) which they died.
     trace:
         One :class:`RoundRecord` per round, for audit and debugging.
     """
@@ -69,10 +93,15 @@ class IteratedExecutor:
         Optional black box (fresh copy per round, per Algorithm 2).  When
         provided, the adversary chooses among the box's admissible output
         assignments for the realized schedule.
+    injector:
+        Optional fault injector (see the module docstring).
     """
 
-    def __init__(self, box: Optional[BlackBox] = None) -> None:
+    def __init__(
+        self, box: Optional[BlackBox] = None, injector=None
+    ) -> None:
         self._box = box
+        self._injector = injector
 
     def run(
         self,
@@ -82,6 +111,7 @@ class IteratedExecutor:
     ) -> ExecutionResult:
         """Execute the algorithm once under the given adversary."""
         scheduler = adversary or FullSyncAdversary()
+        injector = self._injector
         active = frozenset(inputs)
         if not active:
             raise RuntimeModelError("at least one process must participate")
@@ -108,12 +138,24 @@ class IteratedExecutor:
                     f"adversary schedule covers {sorted(schedule.participants)}"
                     f", expected the active set {sorted(active)}"
                 )
-            box_outputs = self._run_box(
+            dying: frozenset = frozenset()
+            if injector is not None:
+                dying = (
+                    frozenset(
+                        injector.mid_round_crashes(round_index, schedule)
+                    )
+                    & active
+                )
+                if dying >= active:
+                    raise RuntimeModelError(
+                        "the injector may not crash every process mid-round"
+                    )
+            box_outputs, box_choice = self._run_box(
                 round_index, schedule, states, algorithm, scheduler
             )
-            views = self._run_round(schedule, states)
+            views = self._run_round(round_index, schedule, states, dying)
             new_states = {}
-            for process in active:
+            for process in active - dying:
                 seen_states = {j: states[j] for j in views[process]}
                 new_states[process] = algorithm.step(
                     process,
@@ -123,15 +165,22 @@ class IteratedExecutor:
                     round_index,
                 )
             states.update(new_states)
+            for process in dying:
+                crashed[process] = round_index
+            active = active - dying
             if schedule.is_immediate_snapshot():
                 blocks = tuple(
                     tuple(sorted(block)) for block in schedule.blocks()
                 )
+                schedule_views: Optional[tuple[tuple[int, ...], ...]] = None
             else:
                 # Snapshot/collect schedules have no temporal block
-                # decomposition; record the matrix groups instead.
+                # decomposition; record the matrix groups and view sets.
                 blocks = tuple(
                     tuple(sorted(group)) for group in schedule.groups
+                )
+                schedule_views = tuple(
+                    tuple(sorted(view)) for view in schedule.views
                 )
             trace.append(
                 RoundRecord(
@@ -142,6 +191,9 @@ class IteratedExecutor:
                         p: tuple(sorted(view)) for p, view in views.items()
                     },
                     box_outputs=dict(box_outputs),
+                    schedule_views=schedule_views,
+                    box_choice=box_choice,
+                    mid_crashed=tuple(sorted(dying)),
                 )
             )
 
@@ -154,20 +206,29 @@ class IteratedExecutor:
     # ------------------------------------------------------------------
     # Round internals
     # ------------------------------------------------------------------
+    def _array(self, round_index: int, ids: tuple[int, ...]) -> RegisterArray:
+        if self._injector is not None:
+            return self._injector.register_array(round_index, ids)
+        return RegisterArray(ids)
+
     def _run_round(
         self,
+        round_index: int,
         schedule: OneRoundSchedule,
         states: Mapping[int, object],
+        dying: frozenset,
     ) -> dict[int, frozenset]:
         """Materialize the schedule through a real register array.
 
         Immediate-snapshot schedules run block by block (write together,
         snapshot together); general snapshot/collect schedules read the
         declared view sets directly — their realizability is guaranteed by
-        the matrix conditions of Appendix A.3.4.
+        the matrix conditions of Appendix A.3.4.  Processes in ``dying``
+        write but never snapshot (they crash mid-round), so their writes
+        remain visible to the survivors while they themselves get no view.
         """
         active = tuple(sorted(schedule.participants))
-        array = RegisterArray(active)
+        array = self._array(round_index, active)
         views: dict[int, frozenset] = {}
         if schedule.is_immediate_snapshot():
             for block in schedule.blocks():
@@ -175,16 +236,27 @@ class IteratedExecutor:
                     array.write(process, states[process])
                 content = frozenset(array.snapshot())
                 for process in block:
-                    views[process] = content
+                    if process not in dying:
+                        views[process] = content
         else:
             for process in active:
                 array.write(process, states[process])
-            views = dict(schedule.view_map())
+            missing = frozenset(active) - frozenset(array.written())
+            if missing:
+                raise FaultInjectionError(
+                    f"round {round_index}: writes by processes "
+                    f"{sorted(missing)} were lost (register fault detected)"
+                )
+            views = {
+                process: view
+                for process, view in schedule.view_map().items()
+                if process not in dying
+            }
         # Cross-check against the schedule's declared views.
         declared = schedule.view_map()
         for process, view in views.items():
             if view != declared[process]:
-                raise RuntimeModelError(
+                raise FaultInjectionError(
                     f"register execution produced view {sorted(view)} for "
                     f"process {process}, schedule declared "
                     f"{sorted(declared[process])}"
@@ -198,9 +270,9 @@ class IteratedExecutor:
         states: Mapping[int, object],
         algorithm: RoundAlgorithm,
         scheduler: Adversary,
-    ) -> dict[int, Hashable]:
+    ) -> tuple[dict[int, Hashable], Optional[int]]:
         if self._box is None:
-            return {}
+            return {}, None
         box_inputs = {
             process: algorithm.box_input(
                 process, states[process], round_index
@@ -213,4 +285,17 @@ class IteratedExecutor:
                 f"box {self._box.name} produced no admissible assignment"
             )
         chosen = scheduler.choose_assignment(round_index, schedule, options)
-        return dict(chosen)
+        if self._injector is not None:
+            chosen = self._injector.choose_assignment(
+                round_index, schedule, options, chosen
+            )
+        chosen = dict(chosen)
+        try:
+            choice = options.index(chosen)
+        except ValueError:
+            raise FaultInjectionError(
+                f"round {round_index}: box {self._box.name} realized the "
+                f"assignment {chosen}, which is not admissible for the "
+                "schedule (consistency fault detected)"
+            ) from None
+        return chosen, choice

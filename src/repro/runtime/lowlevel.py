@@ -17,7 +17,7 @@ property tests tie the two layers together.
 from __future__ import annotations
 
 import random
-from typing import Hashable, Mapping, Sequence
+from collections.abc import Hashable, Mapping, Sequence
 
 from repro.errors import RuntimeModelError
 from repro.runtime.registers import RegisterArray

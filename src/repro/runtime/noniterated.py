@@ -34,10 +34,10 @@ restores it.
 from __future__ import annotations
 
 import random
+from collections.abc import Hashable, Mapping
 from dataclasses import dataclass, field
-from typing import Hashable, Mapping
 
-from repro.errors import RuntimeModelError
+from repro.errors import FaultInjectionError, RuntimeModelError
 from repro.runtime.algorithm import RoundAlgorithm
 from repro.runtime.registers import RegisterArray
 
@@ -86,11 +86,22 @@ class NonIteratedExecutor:
         before anyone starts ``r+1``).  Phases align, but collects may
         still return *previous-phase* values of processes that have not
         written the current phase yet — the residual non-iterated effect.
+    injector:
+        Optional fault injector; its ``register_array`` hook supplies the
+        (single, reused) register array.  A lost write is detected by the
+        writer's own re-read — the register is single-writer, so reading
+        back anything but the value just written proves the fault.
     """
 
-    def __init__(self, seed: int = 0, synchronized: bool = False) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        synchronized: bool = False,
+        injector=None,
+    ) -> None:
         self._rng = random.Random(seed)
         self._synchronized = synchronized
+        self._injector = injector
 
     def run(
         self,
@@ -101,7 +112,10 @@ class NonIteratedExecutor:
         if not inputs:
             raise RuntimeModelError("at least one process must participate")
         ids = tuple(sorted(inputs))
-        array = RegisterArray(ids)
+        if self._injector is not None:
+            array = self._injector.register_array(0, ids)
+        else:
+            array = RegisterArray(ids)
         states: dict[int, Hashable] = {
             p: algorithm.initial_state(p, inputs[p]) for p in ids
         }
@@ -131,7 +145,15 @@ class NonIteratedExecutor:
             process = self._rng.choice(candidates)
             if not pending_reads[process] and not observed[process]:
                 # Start of a phase: write (phase, state), queue the reads.
-                array.write(process, (phase[process] + 1, states[process]))
+                written = (phase[process] + 1, states[process])
+                array.write(process, written)
+                if array.read(process) != written:
+                    # SWMR: only this process writes its register, so a
+                    # mismatched re-read proves the write was dropped.
+                    raise FaultInjectionError(
+                        f"phase {phase[process] + 1}: write by process "
+                        f"{process} was lost (register fault detected)"
+                    )
                 reads = list(ids)
                 self._rng.shuffle(reads)
                 pending_reads[process] = reads

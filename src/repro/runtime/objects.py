@@ -6,15 +6,26 @@ linearizable implementations — the kind a real system would run.  Every
 behavior they produce is admissible for the corresponding combinatorial box
 (tested in ``tests/runtime/``), which is exactly the soundness direction
 lower bounds need.
+
+Fault-injection hooks: each object accepts an optional ``fault_hook``
+callable ``(object_name, process, response) -> response`` interposed at the
+linearization point.  The hook may tamper with the response (the chaos
+harness uses this to model a byzantine or broken object); the object's own
+consistency guards then detect the tampering — two test&set winners, or a
+consensus object contradicting its earlier decision — and raise
+:class:`~repro.errors.FaultInjectionError` instead of returning garbage.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Optional
+from collections.abc import Callable, Hashable
+from typing import Optional
 
-from repro.errors import RuntimeModelError
+from repro.errors import FaultInjectionError, RuntimeModelError
 
 __all__ = ["LinearizableTestAndSet", "LinearizableConsensus"]
+
+FaultHook = Callable[[str, int, Hashable], Hashable]
 
 
 class LinearizableTestAndSet:
@@ -24,8 +35,10 @@ class LinearizableTestAndSet:
     chosen real-time order.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fault_hook: Optional[FaultHook] = None) -> None:
         self._winner: Optional[int] = None
+        self._fault_hook = fault_hook
+        self._wins_returned = 0
 
     @property
     def winner(self) -> Optional[int]:
@@ -36,12 +49,25 @@ class LinearizableTestAndSet:
         """Return 1 to the first caller, 0 to everyone after."""
         if self._winner is None:
             self._winner = process
-            return 1
-        return 0
+            response = 1
+        else:
+            response = 0
+        if self._fault_hook is not None:
+            response = self._fault_hook("test&set", process, response)
+        if response == 1:
+            self._wins_returned += 1
+            if self._wins_returned > 1:
+                raise FaultInjectionError(
+                    f"test&set returned 1 to process {process} after "
+                    "already crowning a winner — non-linearizable "
+                    "behavior detected"
+                )
+        return response
 
     def reset(self) -> None:
         """Forget the winner (fresh copy per round, per Algorithm 2)."""
         self._winner = None
+        self._wins_returned = 0
 
 
 class LinearizableConsensus:
@@ -53,9 +79,11 @@ class LinearizableConsensus:
     :mod:`repro.objects.binary_consensus` admits.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fault_hook: Optional[FaultHook] = None) -> None:
         self._decided: bool = False
         self._value: Optional[Hashable] = None
+        self._fault_hook = fault_hook
+        self._returned: Optional[Hashable] = None
 
     @property
     def decided_value(self) -> Optional[Hashable]:
@@ -71,9 +99,21 @@ class LinearizableConsensus:
         if not self._decided:
             self._decided = True
             self._value = value
-        return self._value
+        response = self._value
+        if self._fault_hook is not None:
+            response = self._fault_hook("consensus", process, response)
+        if self._returned is None:
+            self._returned = response
+        elif response != self._returned:
+            raise FaultInjectionError(
+                f"consensus object answered {response!r} to process "
+                f"{process} after answering {self._returned!r} earlier — "
+                "agreement violation detected"
+            )
+        return response
 
     def reset(self) -> None:
         """Forget the decision (fresh copy per round)."""
         self._decided = False
         self._value = None
+        self._returned = None

@@ -29,7 +29,7 @@ class TestAuditScopes:
     def test_all_experiments_exit_zero(self, capsys):
         assert main(["check", "--all"]) == 0
         out = capsys.readouterr().out
-        assert "22 experiments" in out
+        assert "23 experiments" in out
 
     def test_bare_check_defaults_to_all(self, capsys):
         assert main(["check"]) == 0

@@ -48,8 +48,10 @@ def forge_schedule(groups, views):
 
 
 class TestRegistry:
-    def test_all_nine_rules_registered(self):
-        assert sorted(RULES) == [f"AUD00{i}" for i in range(1, 10)]
+    def test_all_ten_rules_registered(self):
+        assert sorted(RULES) == [
+            f"AUD00{i}" for i in range(1, 10)
+        ] + ["AUD010"]
 
     def test_rules_partition_by_kind(self):
         for kind in ("complex", "carrier", "schedule", "task", "model"):
@@ -323,4 +325,57 @@ class TestTaskAndClosureRules:
         target = AuditTarget(
             "closure", "fixture/real-closure", closure, {"base_task": base}
         )
+        assert fired_rules([target]) == set()
+
+
+class TestFaultsConfigRule:
+    @staticmethod
+    def _target(config):
+        return AuditTarget("faults-config", "fixture/chaos-config", config)
+
+    def test_aud010_fires_on_unknown_cell(self):
+        from repro.faults.campaign import CampaignConfig
+
+        target = self._target(CampaignConfig(cell="nonsense"))
+        findings = run_rules([target])
+        assert {f.rule_id for f in findings} == {"AUD010"}
+        assert "unknown chaos cell" in findings[0].message
+
+    def test_aud010_fires_on_bad_probability(self):
+        from dataclasses import replace
+
+        from repro.faults.campaign import CampaignConfig
+
+        config = replace(CampaignConfig(), crash_probability=1.5)
+        assert "AUD010" in fired_rules([self._target(config)])
+
+    def test_aud010_fires_on_unsupported_model(self):
+        from repro.faults.campaign import CampaignConfig
+
+        # Black-box cells are IIS-only: matrix schedules have no blocks.
+        config = CampaignConfig(cell="consensus", model="collect")
+        assert "AUD010" in fired_rules([self._target(config)])
+
+    def test_aud010_fires_on_total_crash_budget(self):
+        from repro.faults.campaign import CampaignConfig
+
+        config = CampaignConfig(cell="aa", n=3, t=3)
+        assert "AUD010" in fired_rules([self._target(config)])
+
+    def test_aud010_fires_on_ungated_illegal_injector(self):
+        from repro.faults.campaign import CampaignConfig
+
+        config = CampaignConfig(cell="aa", illegal="lost-write")
+        findings = [
+            f
+            for f in run_rules([self._target(config)])
+            if f.rule_id == "AUD010"
+        ]
+        assert findings
+        assert "allow_illegal" in findings[0].message
+
+    def test_sound_config_passes(self):
+        from repro.faults.campaign import CampaignConfig
+
+        target = self._target(CampaignConfig(cell="aa", n=3, t=1))
         assert fired_rules([target]) == set()

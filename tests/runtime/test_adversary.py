@@ -118,3 +118,53 @@ class TestExhaustiveSequences:
             for blocks in sequence:
                 flattened = sorted(p for block in blocks for p in block)
                 assert flattened == [1, 2]
+
+    def test_two_process_two_round_enumeration_is_exhaustive(self):
+        # Fubini(2)² = 9 pairwise-distinct sequences, covering the full
+        # Cartesian product of the three one-round block schedules.
+        sequences = list(all_schedule_sequences([1, 2], 2))
+        assert len(sequences) == len(set(sequences)) == 9
+        per_round = {
+            tuple(frozenset(block) for block in blocks)
+            for sequence in sequences
+            for blocks in sequence
+        }
+        solo1 = (frozenset({1}), frozenset({2}))
+        solo2 = (frozenset({2}), frozenset({1}))
+        sync = (frozenset({1, 2}),)
+        assert per_round == {solo1, solo2, sync}
+        # Every (round-1, round-2) combination appears exactly once.
+        combos = {
+            tuple(
+                tuple(frozenset(block) for block in blocks)
+                for blocks in sequence
+            )
+            for sequence in sequences
+        }
+        assert len(combos) == 9
+
+    def test_enumeration_realizes_every_view_profile(self):
+        # Driving the executor over all 9 sequences must hit 9 distinct
+        # two-round view profiles — the protocol complex has 3² facets
+        # for n = 2, so none of them may collapse.
+        from fractions import Fraction
+
+        from repro.algorithms import HalvingAA
+        from repro.runtime import IteratedExecutor
+
+        inputs = {1: Fraction(0), 2: Fraction(1)}
+        profiles = set()
+        for sequence in all_schedule_sequences([1, 2], 2):
+            adversary = FixedScheduleAdversary(
+                [[sorted(block) for block in blocks] for blocks in sequence]
+            )
+            result = IteratedExecutor().run(
+                HalvingAA(Fraction(1, 4)), inputs, adversary
+            )
+            profiles.add(
+                tuple(
+                    tuple(sorted(record.views.items()))
+                    for record in result.trace
+                )
+            )
+        assert len(profiles) == 9

@@ -97,6 +97,95 @@ class TestScheduleValidation:
             IteratedExecutor().run(HalvingAA(F(1, 2)), INPUTS, BadAdversary())
 
 
+class TestCrashSemantics:
+    """Pin down what 'crashing at round r' means, pre- and mid-round."""
+
+    class _CrashTwoAtTwo(FullSyncAdversary):
+        def crashes(self, round_index, active):
+            return frozenset({2}) if round_index == 2 else frozenset()
+
+    def test_pre_round_crash_removes_victim_from_the_round(self):
+        result = IteratedExecutor().run(
+            HalvingAA(F(1, 4)), INPUTS, self._CrashTwoAtTwo()
+        )
+        second = result.trace[1]
+        scheduled = {p for block in second.blocks for p in block}
+        assert scheduled == {1, 3}
+        assert 2 not in second.views
+        assert result.crashed == {2: 2}
+
+    def test_crashed_process_absent_from_all_later_rounds(self):
+        result = IteratedExecutor().run(
+            HalvingAA(F(1, 8)), INPUTS, self._CrashTwoAtTwo()
+        )
+        for record in result.trace[1:]:
+            assert all(2 not in block for block in record.blocks)
+            assert 2 not in record.views
+
+    def test_survivors_decide_without_the_victim(self):
+        result = IteratedExecutor().run(
+            HalvingAA(F(1, 4)), INPUTS, self._CrashTwoAtTwo()
+        )
+        assert sorted(result.decisions) == [1, 3]
+        values = list(result.decisions.values())
+        assert max(values) - min(values) <= F(1, 4)
+
+    def test_first_round_crash_input_never_seen(self):
+        class CrashOneImmediately(FullSyncAdversary):
+            def crashes(self, round_index, active):
+                return frozenset({1}) if round_index == 1 else frozenset()
+
+        result = IteratedExecutor().run(
+            HalvingAA(F(1, 4)), INPUTS, CrashOneImmediately()
+        )
+        # Victim died before writing anything: survivors converge inside
+        # the surviving inputs' range.
+        values = list(result.decisions.values())
+        assert min(values) >= F(1, 2)
+        assert result.crashed == {1: 1}
+
+
+class TestMidRoundCrashSemantics:
+    """Mid-round victims write (survivors see them) but never snapshot."""
+
+    class _MidCrashTwo:
+        legal = True
+
+        def mid_round_crashes(self, round_index, schedule):
+            return frozenset({2}) if round_index == 1 else frozenset()
+
+        def register_array(self, round_index, ids):
+            from repro.runtime.registers import RegisterArray
+
+            return RegisterArray(ids)
+
+        def choose_assignment(self, round_index, schedule, options, chosen):
+            return chosen
+
+    def test_victim_write_visible_but_victim_has_no_view(self):
+        result = IteratedExecutor(injector=self._MidCrashTwo()).run(
+            HalvingAA(F(1, 4)), INPUTS, FullSyncAdversary()
+        )
+        first = result.trace[0]
+        assert first.mid_crashed == (2,)
+        # The victim never snapshots, so it gets no view...
+        assert 2 not in first.views
+        # ...but its write is visible to the synchronous survivors.
+        assert 2 in first.views[1]
+        assert result.crashed == {2: 1}
+        assert sorted(result.decisions) == [1, 3]
+
+    def test_injector_may_not_kill_every_participant(self):
+        class KillEveryone(self._MidCrashTwo):
+            def mid_round_crashes(self, round_index, schedule):
+                return schedule.participants
+
+        with pytest.raises(RuntimeModelError):
+            IteratedExecutor(injector=KillEveryone()).run(
+                HalvingAA(F(1, 4)), INPUTS, FullSyncAdversary()
+            )
+
+
 class TestBoxIntegration:
     def test_box_outputs_recorded_in_trace(self):
         executor = IteratedExecutor(box=TestAndSetBox())

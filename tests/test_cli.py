@@ -151,6 +151,134 @@ class TestRunCommand:
         assert "decisions" in out
 
 
+class TestRunAdversaryFlag:
+    def test_matrix_adversary_runs_seeded(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "halving",
+                    "--inputs",
+                    "0,1/2,1",
+                    "--seed",
+                    "7",
+                    "--adversary",
+                    "snapshot",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "decisions" in out
+
+    def test_matrix_adversary_is_deterministic(self, capsys):
+        argv = [
+            "run", "halving", "--inputs", "0,1/2,1",
+            "--seed", "3", "--adversary", "collect",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_box_algorithms_reject_matrix_adversaries(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "tas-consensus",
+                    "--inputs",
+                    "0,1",
+                    "--adversary",
+                    "snapshot",
+                ]
+            )
+
+    def test_crash_rejected_with_matrix_adversary(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "halving",
+                    "--inputs",
+                    "0,1",
+                    "--adversary",
+                    "collect",
+                    "--crash",
+                    "0.2",
+                ]
+            )
+
+
+class TestChaosCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        argv = [
+            "chaos", "--algorithm", "aa", "--model", "iis",
+            "-n", "3", "--executions", "30", "--seed", "0",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "DECIDED_OK" in out
+        assert "chaos campaign" in out
+
+    def test_json_report_is_deterministic(self, capsys):
+        import json
+
+        argv = [
+            "chaos", "--algorithm", "aa", "--executions", "40",
+            "--seed", "0", "--json",
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert first["counts"]["DECIDED_OK"] == 40
+
+    def test_broken_cell_reports_but_exits_zero(self, capsys):
+        argv = [
+            "chaos", "--algorithm", "consensus-broken",
+            "-t", "0", "--executions", "100", "--seed", "0",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+
+    def test_illegal_injection_requires_allow_flag(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "chaos", "--algorithm", "aa",
+                    "--inject-illegal", "lost-write",
+                    "--executions", "5",
+                ]
+            )
+
+    def test_replay_and_shrink_round_trip(self, capsys, tmp_path):
+        import json
+
+        from repro.faults import CampaignConfig, run_campaign
+
+        report = run_campaign(
+            CampaignConfig(
+                cell="consensus-broken", executions=200, seed=0, t=0
+            )
+        )
+        trace_file = tmp_path / "trace.json"
+        trace_file.write_text(report.violations[0].trace.to_json())
+        argv = [
+            "chaos", "--replay", str(trace_file), "--shrink", "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["classification"] == "VIOLATION"
+        assert payload["property"] == "agreement"
+
+    def test_replay_missing_file_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--replay", "/nonexistent/trace.json"])
+
+
 class TestExperimentCommand:
     def test_list_shows_all_ids(self, capsys):
         assert main(["experiment"]) == 0
@@ -174,3 +302,25 @@ class TestExperimentCommand:
 
         with pytest.raises(ReproError):
             main(["experiment", "E99"])
+
+    def test_failing_experiment_exits_nonzero_with_cause(
+        self, capsys, monkeypatch
+    ):
+        from repro.experiments import EXPERIMENTS
+
+        entry = EXPERIMENTS["E1"]
+
+        def boom():
+            raise KeyError("missing artifact")
+
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "E1",
+            entry.__class__(
+                entry.identifier, entry.artifact, entry.summary, boom
+            ),
+        )
+        assert main(["experiment", "E1"]) == 1
+        err = capsys.readouterr().err
+        assert "experiment E1 failed" in err
+        assert "KeyError" in err

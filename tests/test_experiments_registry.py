@@ -1,15 +1,15 @@
-"""Tests for the experiments registry (E1–E22)."""
+"""Tests for the experiments registry (E1–E23)."""
 
 import pytest
 
-from repro.errors import ReproError
+from repro.errors import ExperimentError, ReproError
 from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
 
 
 class TestRegistryStructure:
-    def test_twenty_two_experiments(self):
-        assert len(EXPERIMENTS) == 22
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 23)}
+    def test_twenty_three_experiments(self):
+        assert len(EXPERIMENTS) == 23
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 24)}
 
     def test_entries_are_complete(self):
         for identifier, entry in EXPERIMENTS.items():
@@ -24,6 +24,26 @@ class TestRegistryStructure:
     def test_unknown_id_raises(self):
         with pytest.raises(ReproError):
             get_experiment("E99")
+
+    def test_run_experiment_wraps_failures(self, monkeypatch):
+        # A runner blowing up must surface as ExperimentError carrying
+        # the experiment id and the original cause, chained for debugging.
+        def boom():
+            raise ValueError("synthetic failure")
+
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "E1",
+            EXPERIMENTS["E1"].__class__(
+                "E1", EXPERIMENTS["E1"].artifact,
+                EXPERIMENTS["E1"].summary, boom,
+            ),
+        )
+        with pytest.raises(ExperimentError) as excinfo:
+            run_experiment("E1")
+        assert excinfo.value.experiment_id == "E1"
+        assert "synthetic failure" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ValueError)
 
     def test_ids_match_design_doc(self):
         # DESIGN.md §4 must list exactly the registered experiments.
