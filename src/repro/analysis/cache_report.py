@@ -64,8 +64,13 @@ def cache_stats_rows(
             entry.name: (entry.hits, entry.misses)
             for entry in all_counters()
         }
+    # stats.get with a zero default: a delta dict may mention a counter
+    # group without tallies (e.g. assembled by hand, or filtered), and a
+    # fresh process — telemetry never enabled, no cache touched — has no
+    # groups at all.  Both must render, not raise.
     return [
-        CacheStatsRow(name, *stats[name]) for name in sorted(stats)
+        CacheStatsRow(name, *stats.get(name, (0, 0)))
+        for name in sorted(stats)
     ]
 
 
@@ -73,5 +78,13 @@ def render_cache_report(
     stats: Optional[dict[str, tuple[int, int]]] = None,
     title: str = "Cache effectiveness (hits / misses = constructions)",
 ) -> str:
-    """Render the counters as a fixed-width table."""
-    return render_table(title, cache_stats_rows(stats), headers=_HEADERS)
+    """Render the counters as a fixed-width table.
+
+    Renders cleanly — headers only, no division by zero — when no
+    counter group has been touched (or telemetry was never enabled).
+    """
+    rows = cache_stats_rows(stats)
+    table = render_table(title, rows, headers=_HEADERS)
+    if not rows:
+        table += "\n(no cache activity recorded)"
+    return table

@@ -34,6 +34,7 @@ from repro.checks.audit import (
     audit_all,
     audit_experiments,
     lint_report,
+    trace_report,
 )
 from repro.checks.findings import (
     Finding,
@@ -71,6 +72,7 @@ __all__ = [
     "audit_all",
     "audit_experiments",
     "lint_report",
+    "trace_report",
     "render_text",
     "render_json",
 ]

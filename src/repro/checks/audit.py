@@ -18,7 +18,13 @@ from repro.checks.rules import AuditTarget, run_rules
 from repro.checks.targets import targets_for_all, targets_for_experiment
 from repro.experiments.registry import EXPERIMENTS
 
-__all__ = ["CheckReport", "audit_experiments", "audit_all", "lint_report"]
+__all__ = [
+    "CheckReport",
+    "audit_experiments",
+    "audit_all",
+    "lint_report",
+    "trace_report",
+]
 
 
 @dataclass(frozen=True)
@@ -102,4 +108,48 @@ def lint_report(paths: Iterable[str]) -> CheckReport:
         scope=f"lint[{', '.join(resolved)}]",
         findings=tuple(findings),
         files_linted=files,
+    )
+
+
+def trace_report(paths: Iterable[str]) -> CheckReport:
+    """Audit telemetry trace artifacts (AUD011) from files on disk.
+
+    Unreadable or non-JSON files become ``AUD011`` findings rather than
+    raising, so one bad artifact in a batch does not mask the others.
+    """
+    import json
+
+    resolved = list(paths)
+    findings: list[Finding] = []
+    targets: list[AuditTarget] = []
+    for path in resolved:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.loads(handle.read())
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    "AUD011",
+                    Severity.ERROR,
+                    path,
+                    f"cannot read trace artifact: {exc}",
+                )
+            )
+            continue
+        except ValueError as exc:
+            findings.append(
+                Finding(
+                    "AUD011",
+                    Severity.ERROR,
+                    path,
+                    f"trace artifact is not JSON: {exc}",
+                )
+            )
+            continue
+        targets.append(AuditTarget("trace", path, payload))
+    findings.extend(run_rules(targets))
+    return CheckReport(
+        scope=f"trace[{', '.join(resolved)}]",
+        findings=tuple(findings),
+        targets_audited=len(targets),
     )

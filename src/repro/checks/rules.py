@@ -39,6 +39,10 @@ AUD010    faults-    chaos campaign configuration soundness: known cell,
           config     supported model, probabilities in range, crash
                      budget ``0 ≤ t < n``, illegal injectors gated behind
                      ``allow_illegal``
+AUD011    trace      telemetry trace artifact well-formedness: every
+                     span closed with numeric ``start ≤ end``, children
+                     nested within their parent's interval, attributes
+                     JSON-serializable, metric deltas numeric
 ========  =========  ====================================================
 
 Each rule applies to one *kind* of :class:`AuditTarget`; the driver in
@@ -623,3 +627,195 @@ def check_faults_config(target: AuditTarget) -> Iterator[Finding]:
                 "without allow_illegal: model-breaking faults must be "
                 "an explicit opt-in",
             )
+
+
+def _audit_span_node(
+    node: Any,
+    location: str,
+    path: str,
+    parent_interval: Optional[tuple[float, float]],
+) -> Iterator[Finding]:
+    """Recursively validate one span node of a trace artifact."""
+    import json as _json
+
+    if not isinstance(node, dict):
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            path,
+            f"{location}: span node is {type(node).__name__}, not an "
+            "object",
+        )
+        return
+    name = node.get("name")
+    if not isinstance(name, str) or not name:
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            path,
+            f"{location}: span has no non-empty string 'name'",
+        )
+        name = "?"
+    where = f"{location}[{name}]"
+    start = node.get("start")
+    end = node.get("end")
+    numeric = isinstance(start, (int, float)) and isinstance(
+        end, (int, float)
+    )
+    if end is None:
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            path,
+            f"{where}: span was never closed (end is null) — the "
+            "traced region did not finish",
+        )
+    elif not numeric:
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            path,
+            f"{where}: start/end must be numeric seconds, got "
+            f"{start!r}/{end!r}",
+        )
+    elif start > end:
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            path,
+            f"{where}: start {start} exceeds end {end} (negative "
+            "duration)",
+        )
+    elif parent_interval is not None and (
+        start < parent_interval[0] or end > parent_interval[1]
+    ):
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            path,
+            f"{where}: child interval [{start}, {end}] escapes its "
+            f"parent's [{parent_interval[0]}, {parent_interval[1]}]",
+        )
+    status = node.get("status")
+    if status not in ("ok", "error"):
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            path,
+            f"{where}: status must be 'ok' or 'error', got {status!r}",
+        )
+    attributes = node.get("attributes", {})
+    if not isinstance(attributes, dict):
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            path,
+            f"{where}: attributes must be an object",
+        )
+    else:
+        for key, value in attributes.items():
+            try:
+                _json.dumps(value)
+            except (TypeError, ValueError):
+                yield Finding(
+                    "AUD011",
+                    Severity.ERROR,
+                    path,
+                    f"{where}: attribute {key!r} is not "
+                    f"JSON-serializable ({type(value).__name__})",
+                )
+    metrics = node.get("metrics", {})
+    if not isinstance(metrics, dict):
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            path,
+            f"{where}: metrics must be an object",
+        )
+    else:
+        for key, value in metrics.items():
+            if not isinstance(value, (int, float)) or isinstance(
+                value, bool
+            ):
+                yield Finding(
+                    "AUD011",
+                    Severity.ERROR,
+                    path,
+                    f"{where}: metric {key!r} must be numeric, got "
+                    f"{type(value).__name__}",
+                )
+    children = node.get("children", [])
+    if not isinstance(children, list):
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            path,
+            f"{where}: children must be a list",
+        )
+        return
+    own_interval = (
+        (float(start), float(end)) if numeric and start <= end else None
+    )
+    for position, child in enumerate(children):
+        yield from _audit_span_node(
+            child, f"{where}.children[{position}]", path, own_interval
+        )
+
+
+@audit_rule(
+    "AUD011", "trace", "telemetry trace artifacts are well-formed"
+)
+def check_trace_artifact(target: AuditTarget) -> Iterator[Finding]:
+    """Well-formedness of a finished ``repro-trace`` artifact.
+
+    The exporters produce valid artifacts by construction (attributes
+    are coerced at record time, open spans refuse to export); this rule
+    re-checks the contract on the *serialized* artifact, so foreign or
+    hand-edited traces — and regressions in the exporters themselves —
+    are caught before a dashboard or ``repro trace summarize`` consumes
+    them: every span closed, ``start ≤ end``, children nested within
+    their parent's interval, attribute values JSON-serializable, metric
+    deltas numeric.
+    """
+    from repro.telemetry.export import TRACE_FORMAT, TRACE_VERSION
+
+    trace = target.obj
+    if not isinstance(trace, dict):
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            target.path,
+            f"trace artifact is {type(trace).__name__}, not an object",
+        )
+        return
+    if trace.get("format") != TRACE_FORMAT:
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            target.path,
+            f"unknown trace format {trace.get('format')!r} (expected "
+            f"{TRACE_FORMAT!r})",
+        )
+        return
+    if trace.get("version") != TRACE_VERSION:
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            target.path,
+            f"unsupported trace version {trace.get('version')!r} "
+            f"(expected {TRACE_VERSION})",
+        )
+        return
+    spans = trace.get("spans")
+    if not isinstance(spans, list):
+        yield Finding(
+            "AUD011",
+            Severity.ERROR,
+            target.path,
+            "trace artifact has no 'spans' list",
+        )
+        return
+    for position, root in enumerate(spans):
+        yield from _audit_span_node(
+            root, f"spans[{position}]", target.path, None
+        )

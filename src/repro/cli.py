@@ -12,6 +12,14 @@ Exposes the library's headline computations without writing Python::
     repro chaos --algorithm aa --model iis -n 3 --executions 2000 --seed 0
     repro chaos --replay trace.json --shrink
 
+The ``run``, ``experiment``, and ``chaos`` subcommands accept
+``--trace PATH [--trace-format json|chrome|text]`` to record a telemetry
+span tree of the invocation (see docs/OBSERVABILITY.md)::
+
+    repro experiment E9 --trace e9.trace.json
+    repro trace summarize e9.trace.json --top 10
+    repro check --trace e9.trace.json     # AUD011 artifact audit
+
 Also available as ``python -m repro``.
 """
 
@@ -261,6 +269,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         parse_severity,
         render_json,
         render_text,
+        trace_report,
     )
 
     try:
@@ -271,6 +280,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     reports = []
     if args.lint:
         reports.append(lint_report(args.lint))
+    if args.trace_paths:
+        reports.append(trace_report(args.trace_paths))
     if args.all:
         reports.append(audit_all())
     elif args.ids:
@@ -316,6 +327,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(pformat(data))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_trace
+    from repro.telemetry import render_text as render_trace_text
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            trace = load_trace(handle.read())
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {args.path!r}: {exc}")
+    except ReproError as exc:
+        raise SystemExit(f"invalid trace {args.path!r}: {exc}")
+    print(render_trace_text(trace, top=args.top))
     return 0
 
 
@@ -392,6 +418,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace``/``--trace-format`` options."""
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a telemetry span tree of this invocation to PATH",
+    )
+    group.add_argument(
+        "--trace-format",
+        default="json",
+        choices=["json", "chrome", "text"],
+        help="trace artifact format: canonical span tree (json), "
+        "chrome://tracing / Perfetto events (chrome), or the top-N "
+        "self-time table (text); default: json",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -427,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="list or run the paper's experiments (E1–E23)",
     )
     p.add_argument("id", nargs="?", default=None)
+    _add_trace_arguments(p)
 
     p = sub.add_parser(
         "check",
@@ -469,6 +515,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when a finding reaches this severity "
         "(info, warning, error; default: error)",
     )
+    p.add_argument(
+        "--trace",
+        dest="trace_paths",
+        nargs="+",
+        metavar="PATH",
+        help="audit recorded telemetry trace artifacts (AUD011)",
+    )
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect recorded telemetry trace artifacts",
+        description=(
+            "Work with trace artifacts recorded via --trace on the run/"
+            "experiment/chaos subcommands."
+        ),
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser(
+        "summarize",
+        help="print the top-N self-time table of a recorded trace",
+    )
+    ps.add_argument("path", metavar="PATH")
+    ps.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="number of span names to show (default: 15)",
+    )
 
     p = sub.add_parser("run", help="execute an algorithm under an adversary")
     p.add_argument(
@@ -486,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="schedule source: seeded immediate-snapshot blocks (random), "
         "or seeded matrix schedules of the weaker models",
     )
+    _add_trace_arguments(p)
 
     p = sub.add_parser(
         "chaos",
@@ -551,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="acknowledge that --inject-illegal makes executions invalid",
     )
+    _add_trace_arguments(p)
 
     return parser
 
@@ -564,14 +640,46 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "check": _cmd_check,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
 }
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected command, recording a trace when asked to.
+
+    ``--trace`` turns the whole invocation into one traced region: the
+    tracer is installed before the command runs, uninstalled afterwards
+    (even on error), and the artifact is written once the command
+    returns — including non-zero returns, so a failing experiment still
+    leaves a trace to inspect.
+    """
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return _COMMANDS[args.command](args)
+
+    from repro.telemetry import Tracer, disable, enable, write_trace
+
+    tracer = Tracer()
+    enable(tracer)
+    try:
+        code = _COMMANDS[args.command](args)
+    finally:
+        disable()
+    try:
+        write_trace(trace_path, tracer, args.trace_format)
+    except OSError as exc:
+        print(
+            f"cannot write trace {trace_path!r}: {exc}", file=sys.stderr
+        )
+        return 1
+    return code
 
 
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        return _dispatch(args)
     except BrokenPipeError:
         # Output was piped into a consumer that closed early (`| head`).
         import os

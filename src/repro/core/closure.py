@@ -34,6 +34,7 @@ from repro.models.protocol import ProtocolOperator
 from repro.objects.augmented import AugmentedModel
 from repro.objects.beta import beta_input_function
 from repro.tasks.task import Task
+from repro.telemetry import span
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
 
@@ -131,17 +132,26 @@ class ClosureComputer:
         # paper's remark after Definition 2.
         if tau in allowed:
             return True
-        the_local_task = local_task(self._task, sigma, tau)
-        for _, operator in self._candidate_operators(tau):
-            problem = build_solvability_problem(
-                list(the_local_task.input_complex),
-                the_local_task.delta,
-                lambda face: operator.of_simplex(face, 1),
-                rounds=1,
-            )
-            if problem.solve() is not None:
-                return True
-        return False
+        with span(
+            "closure/decide",
+            task=self._task.name,
+            model=self._model.name,
+            participants=len(tau.ids),
+        ) as decision_span:
+            the_local_task = local_task(self._task, sigma, tau)
+            member = False
+            for _, operator in self._candidate_operators(tau):
+                problem = build_solvability_problem(
+                    list(the_local_task.input_complex),
+                    the_local_task.delta,
+                    lambda face: operator.of_simplex(face, 1),
+                    rounds=1,
+                )
+                if problem.solve() is not None:
+                    member = True
+                    break
+            decision_span.set_attribute("member", member)
+            return member
 
     def _candidate_operators(
         self, tau: Simplex
@@ -179,16 +189,22 @@ class ClosureComputer:
     # ------------------------------------------------------------------
     def legal_outputs(self, sigma: Simplex) -> list[Simplex]:
         """All chromatic sets ``τ ∈ Δ'(σ)`` with ``ID(τ) = ID(σ)``, sorted."""
-        allowed = self._task.delta(sigma)
-        per_color = [
-            allowed.vertices_of_color(color) for color in sorted(sigma.ids)
-        ]
-        found = []
-        for combo in product(*per_color):
-            tau = Simplex(combo)
-            if self.contains(sigma, tau):
-                found.append(tau)
-        return sorted(found, key=lambda s: s._sort_key())
+        with span(
+            "closure/legal-outputs",
+            task=self._task.name,
+            model=self._model.name,
+        ):
+            allowed = self._task.delta(sigma)
+            per_color = [
+                allowed.vertices_of_color(color)
+                for color in sorted(sigma.ids)
+            ]
+            found = []
+            for combo in product(*per_color):
+                tau = Simplex(combo)
+                if self.contains(sigma, tau):
+                    found.append(tau)
+            return sorted(found, key=lambda s: s._sort_key())
 
     def delta_prime(self, sigma: Simplex) -> SimplicialComplex:
         """``Δ'(σ)`` as a complex (the legal ``τ`` sets and their faces)."""
@@ -215,10 +231,16 @@ class ClosureComputer:
             if input_simplices is not None
             else list(self._task.input_complex)
         )
-        output_facets = []
-        for sigma in pool:
-            output_facets.extend(self.delta_prime(sigma).facets)
-        output_complex = SimplicialComplex(output_facets)
+        with span(
+            "closure/as-task",
+            task=self._task.name,
+            model=self._model.name,
+            inputs=len(pool),
+        ):
+            output_facets = []
+            for sigma in pool:
+                output_facets.extend(self.delta_prime(sigma).facets)
+            output_complex = SimplicialComplex(output_facets)
         label = name or f"CL_{self._model.name}({self._task.name})"
         return Task(
             label,

@@ -19,6 +19,7 @@ from repro.core.closure import ClosureComputer
 from repro.core.solvability import is_solvable
 from repro.models.base import ComputationModel
 from repro.tasks.task import Task
+from repro.telemetry import span
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
 
@@ -42,11 +43,17 @@ def is_fixed_point(
         if input_simplices is not None
         else list(task.input_complex)
     )
-    for sigma in pool:
-        closed: SimplicialComplex = computer.delta_prime(sigma)
-        if closed.simplices != task.delta(sigma).simplices:
-            return False
-    return True
+    with span(
+        "core/fixed-point-check",
+        task=task.name,
+        model=model.name,
+        inputs=len(pool),
+    ):
+        for sigma in pool:
+            closed: SimplicialComplex = computer.delta_prime(sigma)
+            if closed.simplices != task.delta(sigma).simplices:
+                return False
+        return True
 
 
 @dataclass
@@ -107,15 +114,24 @@ def impossibility_from_fixed_point(
         if input_simplices is not None
         else list(task.input_complex)
     )
-    counterexamples: list[Simplex] = []
-    for sigma in pool:
-        if computer.delta_prime(sigma).simplices != task.delta(sigma).simplices:
-            counterexamples.append(sigma)
-    zero_round = is_solvable(task, model, 0, input_simplices=pool)
-    return FixedPointReport(
-        task_name=task.name,
-        model_name=model.name,
-        fixed_point=not counterexamples,
-        zero_round_solvable=zero_round,
-        counterexamples=counterexamples,
-    )
+    with span(
+        "core/fixed-point",
+        task=task.name,
+        model=model.name,
+        inputs=len(pool),
+    ) as report_span:
+        counterexamples: list[Simplex] = []
+        for sigma in pool:
+            closed = computer.delta_prime(sigma).simplices
+            if closed != task.delta(sigma).simplices:
+                counterexamples.append(sigma)
+        zero_round = is_solvable(task, model, 0, input_simplices=pool)
+        report = FixedPointReport(
+            task_name=task.name,
+            model_name=model.name,
+            fixed_point=not counterexamples,
+            zero_round_solvable=zero_round,
+            counterexamples=counterexamples,
+        )
+        report_span.set_attribute("unsolvable", report.unsolvable)
+        return report

@@ -34,6 +34,7 @@ from repro.core.solvability import is_solvable
 from repro.errors import SolvabilityError
 from repro.models.base import ComputationModel
 from repro.tasks.task import Task
+from repro.telemetry import span
 
 __all__ = [
     "ceil_log",
@@ -81,15 +82,28 @@ def iterated_closure_lower_bound(
     This materializes each closure over the full input complex; keep the
     instances small (it is exact, not clever).
     """
-    current = task
-    bound = 0
-    for _ in range(max_rounds):
-        if is_solvable(current, model, 0):
-            return bound
-        bound += 1
-        computer = ClosureComputer(current, model, quantify_beta=quantify_beta)
-        current = computer.as_task()
-    return bound
+    with span(
+        "core/lower-bound",
+        task=task.name,
+        model=model.name,
+        max_rounds=max_rounds,
+    ) as bound_span:
+        current = task
+        bound = 0
+        for _ in range(max_rounds):
+            # One span per closure iteration: round r tests 0-round
+            # solvability of the r-fold closure and, if unsolved,
+            # materializes the next closure.
+            with span("closure/iterate", round=bound):
+                if is_solvable(current, model, 0):
+                    break
+                bound += 1
+                computer = ClosureComputer(
+                    current, model, quantify_beta=quantify_beta
+                )
+                current = computer.as_task()
+        bound_span.set_attribute("bound", bound)
+        return bound
 
 
 def aa_lower_bound_iis(n: int, epsilon: Rational) -> int:

@@ -35,6 +35,7 @@ from repro.errors import SolvabilityError
 from repro.models.base import ComputationModel
 from repro.models.protocol import ProtocolOperator
 from repro.tasks.task import Task
+from repro.telemetry import span
 from repro.topology.complex import SimplicialComplex
 from repro.topology.maps import SimplicialMap
 from repro.topology.simplex import Simplex
@@ -186,6 +187,23 @@ class SolvabilityProblem:
         is exceeded a :class:`SolvabilityError` is raised (used by the same
         benchmarks to quantify the thrashing without waiting it out).
         """
+        with span(
+            "solvability/solve",
+            vertices=len(self.candidates),
+            constraints=len(self.constraints),
+            rounds=self.rounds,
+        ) as solve_span:
+            result = self._solve(use_propagation, use_components, node_limit)
+            solve_span.set_attribute("nodes", self.last_search_nodes)
+            solve_span.set_attribute("solvable", result is not None)
+            return result
+
+    def _solve(
+        self,
+        use_propagation: bool,
+        use_components: bool,
+        node_limit: Optional[int],
+    ) -> Optional[DecisionMap]:
         self.last_search_nodes = 0
         if any(not domain for domain in self.candidates.values()):
             return None

@@ -30,6 +30,7 @@ from repro.errors import SolvabilityError
 from repro.models.base import ComputationModel
 from repro.models.protocol import ProtocolOperator
 from repro.tasks.task import Task
+from repro.telemetry import span
 from repro.topology.simplex import Simplex
 from repro.topology.vertex import Vertex
 
@@ -136,21 +137,29 @@ def verify_speedup_theorem(
     rounds by deciding closure membership of every image configuration.
     """
     rounds = decision_map.rounds
-    operator = ProtocolOperator(model)
-    original_valid = _solves(task, decision_map, operator, rounds)
-
-    faster = speedup_decision_map(task, model, decision_map, operator)
-    closure = ClosureComputer(task, model)
-    violations: list[tuple[Simplex, Simplex, Simplex]] = []
-    for sigma in task.input_complex:
-        protocol = operator.of_simplex(sigma, rounds - 1)
-        for facet in protocol.facets:
-            tau = faster.output_simplex(facet)
-            if not closure.contains(sigma, tau):
-                violations.append((sigma, facet, tau))
-    return SpeedupReport(
+    with span(
+        "core/speedup-verify",
+        task=task.name,
+        model=model.name,
         rounds=rounds,
-        original_valid=original_valid,
-        sped_up_valid=not violations,
-        violations=violations,
-    )
+    ) as verify_span:
+        operator = ProtocolOperator(model)
+        original_valid = _solves(task, decision_map, operator, rounds)
+
+        faster = speedup_decision_map(task, model, decision_map, operator)
+        closure = ClosureComputer(task, model)
+        violations: list[tuple[Simplex, Simplex, Simplex]] = []
+        for sigma in task.input_complex:
+            protocol = operator.of_simplex(sigma, rounds - 1)
+            for facet in protocol.facets:
+                tau = faster.output_simplex(facet)
+                if not closure.contains(sigma, tau):
+                    violations.append((sigma, facet, tau))
+        report = SpeedupReport(
+            rounds=rounds,
+            original_valid=original_valid,
+            sped_up_valid=not violations,
+            violations=violations,
+        )
+        verify_span.set_attribute("holds", report.holds)
+        return report

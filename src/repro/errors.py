@@ -20,6 +20,7 @@ __all__ = [
     "FaultInjectionError",
     "ExecutionBudgetExceeded",
     "ExperimentError",
+    "TelemetryError",
 ]
 
 
@@ -105,3 +106,13 @@ class ExperimentError(ReproError, RuntimeError):
             f"experiment {experiment_id} failed: "
             f"{type(cause).__name__}: {cause}"
         )
+
+
+class TelemetryError(ReproError, RuntimeError):
+    """The tracing layer was driven through an invalid state transition.
+
+    Raised on unbalanced span exits (closing a span that is not the
+    innermost open one) and on malformed trace artifacts handed to the
+    exporters — both indicate a harness bug, never a property of the
+    computation being traced.
+    """

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import ExperimentError, ReproError
+from repro.telemetry import span
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
 
@@ -198,9 +199,16 @@ def run_experiment(identifier: str) -> Any:
     cause instead of a context-free traceback.
     """
     experiment = get_experiment(identifier)
-    try:
-        return experiment.run()
-    except ExperimentError:
-        raise
-    except Exception as exc:
-        raise ExperimentError(experiment.identifier, exc) from exc
+    # The root span of a traced experiment run: everything the
+    # reproduction touches (closure, solvability, protocol builds) nests
+    # under it, so `repro trace summarize` attributes the whole run.
+    with span(
+        f"experiment/{experiment.identifier}",
+        artifact=experiment.artifact,
+    ):
+        try:
+            return experiment.run()
+        except ExperimentError:
+            raise
+        except Exception as exc:
+            raise ExperimentError(experiment.identifier, exc) from exc

@@ -86,6 +86,7 @@ from repro.runtime.adversary import (
 )
 from repro.runtime.algorithm import RoundAlgorithm
 from repro.runtime.iterated import ExecutionResult, IteratedExecutor
+from repro.telemetry import span
 
 __all__ = [
     "CampaignConfig",
@@ -503,6 +504,30 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     campaign_deadline_at = (
         started + config.deadline if config.deadline is not None else None
     )
+    with span(
+        "chaos/campaign",
+        cell=config.cell,
+        model=config.model,
+        n=config.n,
+        t=config.t,
+        executions=config.executions,
+        seed=config.seed,
+    ) as campaign_span:
+        _run_trials(config, spec, report, campaign_deadline_at)
+        campaign_span.set_attribute("clean", report.clean)
+        campaign_span.set_attribute("incidents", len(report.incidents))
+    report.elapsed = time.monotonic() - started
+    report.peak_rss_kb = _peak_rss_kb()
+    return report
+
+
+def _run_trials(
+    config: CampaignConfig,
+    spec: CellSpec,
+    report: CampaignReport,
+    campaign_deadline_at: Optional[float],
+) -> None:
+    """The campaign loop: one classified, span-wrapped trial per index."""
     for index in range(config.executions):
         if (
             campaign_deadline_at is not None
@@ -519,30 +544,41 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
             else None
         )
         _EXECUTIONS.built()
-        try:
-            classification, violation, result = classify_execution(
-                algorithm=spec.build(config.n, config.epsilon),
-                inputs=inputs,
-                adversary=_make_adversary(config.model, seed),
-                injector=_make_injector(config, seed, spec),
-                box=spec.make_box() if spec.make_box is not None else None,
-                oracle=spec.oracle(config.n, config.epsilon),
-                step_budget=config.step_budget,
-                deadline_at=exec_deadline_at,
-            )
-        except Exception as exc:
-            # Error isolation: one raising execution never kills the
-            # campaign; it becomes a structured incident instead.
-            _INCIDENTS.built()
-            report.incidents.append(
-                CampaignIncident(
-                    index=index,
-                    seed=seed,
-                    error=type(exc).__name__,
-                    message=str(exc),
+        # One span per trial, carrying the oracle's verdict (or
+        # "INCIDENT") as an attribute; the trial span stays open across
+        # classification so executor/oracle work nests under it.
+        with span("chaos/trial", index=index, seed=seed) as trial_span:
+            try:
+                classification, violation, result = classify_execution(
+                    algorithm=spec.build(config.n, config.epsilon),
+                    inputs=inputs,
+                    adversary=_make_adversary(config.model, seed),
+                    injector=_make_injector(config, seed, spec),
+                    box=(
+                        spec.make_box()
+                        if spec.make_box is not None
+                        else None
+                    ),
+                    oracle=spec.oracle(config.n, config.epsilon),
+                    step_budget=config.step_budget,
+                    deadline_at=exec_deadline_at,
                 )
-            )
-            continue
+            except Exception as exc:
+                # Error isolation: one raising execution never kills the
+                # campaign; it becomes a structured incident instead.
+                _INCIDENTS.built()
+                trial_span.set_attribute("verdict", "INCIDENT")
+                trial_span.set_attribute("error", type(exc).__name__)
+                report.incidents.append(
+                    CampaignIncident(
+                        index=index,
+                        seed=seed,
+                        error=type(exc).__name__,
+                        message=str(exc),
+                    )
+                )
+                continue
+            trial_span.set_attribute("verdict", classification)
         report.counts[classification] += 1
         if classification == VIOLATION:
             _VIOLATIONS.built()
@@ -586,9 +622,6 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
                         witness=violation.witness,
                     )
                 )
-    report.elapsed = time.monotonic() - started
-    report.peak_rss_kb = _peak_rss_kb()
-    return report
 
 
 def _peak_rss_kb() -> Optional[int]:

@@ -1,25 +1,28 @@
-"""Process-wide cache and construction counters for the hot paths.
+"""Compatibility shim over :mod:`repro.telemetry.metrics` (PR-1 API).
 
-The combinatorial substrate (one-round complexes, view maps, iterated
-protocol complexes, closure membership) is memoized at several layers; this
-module provides the shared, dependency-free counters those layers report
-into, so benchmarks and the :mod:`repro.analysis` cache report can verify
-that the memoization actually fires.
+The original process-wide cache/construction counters now live in the
+:class:`~repro.telemetry.metrics.MetricsRegistry` of the telemetry
+subsystem, where the tracer snapshots them to attach per-span metric
+deltas.  This module keeps the PR-1 call sites and reports working
+unchanged:
 
-Counters are process-global and keyed by name, so independent instances of
-the same model (or operator) aggregate into one line — exactly what a sweep
-that constructs many short-lived operators needs.  The recording methods are
-single attribute increments; fetch the counter once at import (or first
-use) and keep a reference on the hot path.
+* :func:`counter` returns the registry-resident
+  :class:`~repro.telemetry.metrics.CacheCounter` under that name —
+  hit/miss recording is still a single attribute increment, so the
+  hot-path guidance (fetch once at import, keep a reference; lint rule
+  RPR003) is unchanged;
+* the snapshot/delta helpers operate on the same
+  ``{name: (hits, misses)}`` shape as before, so
+  :mod:`repro.analysis.cache_report` and the perf harnesses keep
+  rendering identical tables.
 
-For a memoizing layer, every ``miss`` is one materialization of the cached
-object, so ``constructions`` is an alias of ``misses``; layers that build
-unconditionally (no cache in front) record via :meth:`CacheCounter.built`
-and report zero hits.
+New code should prefer :func:`repro.telemetry.default_registry`, which
+also offers counters, gauges, and histograms.
 """
 
 from __future__ import annotations
 
+from repro.telemetry.metrics import CacheCounter, default_registry
 
 __all__ = [
     "CacheCounter",
@@ -31,83 +34,24 @@ __all__ = [
 ]
 
 
-class CacheCounter:
-    """Hit/miss tallies for one named cache (or construction site)."""
-
-    __slots__ = ("name", "hits", "misses")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.hits = 0
-        self.misses = 0
-
-    def hit(self) -> None:
-        """Record a lookup served from the cache."""
-        self.hits += 1
-
-    def miss(self) -> None:
-        """Record a lookup that had to materialize the object."""
-        self.misses += 1
-
-    #: Construction sites without a cache record every build as a miss.
-    built = miss
-
-    @property
-    def calls(self) -> int:
-        """Total lookups (hits + misses)."""
-        return self.hits + self.misses
-
-    @property
-    def constructions(self) -> int:
-        """Materializations — for a memoized layer, exactly the misses."""
-        return self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when unused)."""
-        calls = self.calls
-        return self.hits / calls if calls else 0.0
-
-    def reset(self) -> None:
-        """Zero the tallies (the counter stays registered)."""
-        self.hits = 0
-        self.misses = 0
-
-    def __repr__(self) -> str:
-        return (
-            f"CacheCounter({self.name!r}, hits={self.hits}, "
-            f"misses={self.misses})"
-        )
-
-
-_REGISTRY: dict[str, CacheCounter] = {}
-
-
 def counter(name: str) -> CacheCounter:
-    """The process-wide counter registered under ``name`` (created lazily)."""
-    found = _REGISTRY.get(name)
-    if found is None:
-        found = _REGISTRY[name] = CacheCounter(name)
-    return found
+    """The process-wide cache counter registered under ``name``."""
+    return default_registry().cache(name)
 
 
 def all_counters() -> list[CacheCounter]:
-    """Every registered counter, sorted by name."""
-    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+    """Every registered cache counter, sorted by name."""
+    return default_registry().caches()
 
 
 def reset_counters() -> None:
-    """Zero every registered counter."""
-    for entry in _REGISTRY.values():
-        entry.reset()
+    """Zero every registered cache counter."""
+    default_registry().reset_caches()
 
 
 def counters_snapshot() -> dict[str, tuple[int, int]]:
     """An immutable ``{name: (hits, misses)}`` view of the registry."""
-    return {
-        name: (entry.hits, entry.misses)
-        for name, entry in _REGISTRY.items()
-    }
+    return default_registry().cache_snapshot()
 
 
 def counters_delta(

@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 from typing import Hashable, Iterable
 
 from repro.instrumentation import counter
+from repro.telemetry import span
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
 from repro.topology.vertex import Vertex
@@ -59,7 +60,15 @@ class ComputationModel(ABC):
         found = cache.get(sigma)
         if found is None:
             self._one_round_stats.miss()
-            found = cache[sigma] = self._build_one_round_complex(sigma)
+            # The span is opened only on a miss: cache hits stay a bare
+            # dict lookup, and with telemetry disabled the miss path pays
+            # one no-op handle.
+            with span(
+                "model/one-round-build",
+                model=self.name,
+                participants=len(sigma.ids),
+            ):
+                found = cache[sigma] = self._build_one_round_complex(sigma)
         else:
             self._one_round_stats.hit()
         return found

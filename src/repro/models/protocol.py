@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.instrumentation import counter
 from repro.models.base import ComputationModel
+from repro.telemetry import span
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
 
@@ -54,8 +55,15 @@ class ProtocolOperator:
             if rounds == 0:
                 found = SimplicialComplex.from_simplex(sigma)
             else:
-                previous = self.of_simplex(sigma, rounds - 1)
-                found = self._one_round_of_complex(previous)
+                # Span only on a miss; the recursion below nests one span
+                # per expanded round under this one.
+                with span(
+                    "protocol/of-simplex",
+                    model=self._model.name,
+                    rounds=rounds,
+                ):
+                    previous = self.of_simplex(sigma, rounds - 1)
+                    found = self._one_round_of_complex(previous)
             self._simplex_cache[key] = found
         else:
             _OF_SIMPLEX_STATS.hit()

@@ -36,3 +36,24 @@ class TestReport:
         sample.hit()
         text = render_cache_report()
         assert "test-cache-report.lifetime" in text
+
+    def test_empty_stats_render_cleanly(self):
+        # No counter group at all (telemetry never enabled, no cache
+        # touched): the table must render headers-only, not raise.
+        text = render_cache_report({}, title="empty")
+        assert "empty" in text
+        assert "hit rate" in text
+        assert "no cache activity recorded" in text
+
+    def test_untouched_group_renders_as_zero(self):
+        rows = cache_stats_rows({"idle-group": (0, 0)})
+        assert len(rows) == 1
+        assert rows[0].cells() == ("idle-group", "0", "0", "n/a")
+
+    def test_fresh_registry_renders(self):
+        # Same empty-path guarantee through the registry default.
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        text = render_cache_report(registry.cache_snapshot())
+        assert "no cache activity recorded" in text

@@ -48,10 +48,10 @@ def forge_schedule(groups, views):
 
 
 class TestRegistry:
-    def test_all_ten_rules_registered(self):
+    def test_all_eleven_rules_registered(self):
         assert sorted(RULES) == [
             f"AUD00{i}" for i in range(1, 10)
-        ] + ["AUD010"]
+        ] + ["AUD010", "AUD011"]
 
     def test_rules_partition_by_kind(self):
         for kind in ("complex", "carrier", "schedule", "task", "model"):

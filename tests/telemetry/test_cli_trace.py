@@ -1,0 +1,111 @@
+"""CLI round-trip: --trace artifacts through summarize and check."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import is_enabled
+
+
+class TestExperimentTrace:
+    def test_roundtrip_through_summarize(self, tmp_path, capsys):
+        artifact = tmp_path / "e9.trace.json"
+        assert main(["experiment", "E9", "--trace", str(artifact)]) == 0
+        assert not is_enabled()  # the tracer was uninstalled again
+
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        assert payload["format"] == "repro-trace"
+        assert payload["spans"][0]["name"] == "experiment/E9"
+
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "experiment/E9" in out
+        assert "self ms" in out
+
+    def test_chrome_format(self, tmp_path):
+        artifact = tmp_path / "e9.chrome.json"
+        assert (
+            main(
+                [
+                    "experiment",
+                    "E9",
+                    "--trace",
+                    str(artifact),
+                    "--trace-format",
+                    "chrome",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        events = payload["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+
+    def test_run_command_traced(self, tmp_path):
+        artifact = tmp_path / "run.trace.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "halving",
+                    "--inputs",
+                    "0,1",
+                    "--trace",
+                    str(artifact),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        assert payload["format"] == "repro-trace"
+
+
+class TestCheckTrace:
+    def test_valid_artifact_is_clean(self, tmp_path, capsys):
+        artifact = tmp_path / "trace.json"
+        assert main(["experiment", "E9", "--trace", str(artifact)]) == 0
+        capsys.readouterr()
+        assert main(["check", "--trace", str(artifact)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_malformed_artifact_fails(self, tmp_path, capsys):
+        artifact = tmp_path / "bad.json"
+        artifact.write_text(
+            json.dumps(
+                {
+                    "format": "repro-trace",
+                    "version": 1,
+                    "spans": [
+                        {
+                            "name": "open",
+                            "start": 0.0,
+                            "end": None,
+                            "status": "ok",
+                            "attributes": {},
+                            "metrics": {},
+                            "children": [],
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert main(["check", "--trace", str(artifact)]) == 1
+        assert "AUD011" in capsys.readouterr().out
+
+
+class TestSummarizeErrors:
+    def test_missing_file_exits(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["trace", "summarize", "/nonexistent/trace.json"])
+
+    def test_chrome_artifact_rejected_with_hint(self, tmp_path):
+        artifact = tmp_path / "chrome.json"
+        artifact.write_text(
+            json.dumps({"traceEvents": []}), encoding="utf-8"
+        )
+        with pytest.raises(SystemExit, match="Chrome"):
+            main(["trace", "summarize", str(artifact)])

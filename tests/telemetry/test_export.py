@@ -1,0 +1,140 @@
+"""Tests for the trace exporters: JSON tree, Chrome events, text table."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    ManualClock,
+    MetricsRegistry,
+    Tracer,
+    chrome_events,
+    load_trace,
+    render_chrome,
+    render_json,
+    render_text,
+    self_time_table,
+    trace_tree,
+)
+
+
+def recorded_tracer():
+    """A deterministic two-level trace: outer [0,3] with child [1,2]."""
+    tracer = Tracer(
+        clock=ManualClock(tick=1.0), registry=MetricsRegistry()
+    )
+    with tracer.span("outer", phase="demo"):
+        with tracer.span("inner", round=1):
+            tracer.registry.cache("memo").miss()
+    return tracer
+
+
+class TestJsonTree:
+    def test_schema(self):
+        tree = trace_tree(recorded_tracer())
+        assert tree["format"] == "repro-trace"
+        assert tree["version"] == 1
+        (outer,) = tree["spans"]
+        assert outer["name"] == "outer"
+        assert outer["status"] == "ok"
+        assert outer["attributes"] == {"phase": "demo"}
+        (inner,) = outer["children"]
+        assert inner["attributes"] == {"round": 1}
+        assert inner["metrics"] == {"cache:memo:misses": 1}
+
+    def test_render_is_deterministic_json(self):
+        tracer = recorded_tracer()
+        text = render_json(tracer)
+        assert text == render_json(trace_tree(tracer))
+        assert json.loads(text)["format"] == "repro-trace"
+
+    def test_open_span_refuses_export(self):
+        tracer = Tracer(
+            clock=ManualClock(tick=1.0), registry=MetricsRegistry()
+        )
+        entry = tracer.span("open")
+        entry.__enter__()
+        with pytest.raises(TelemetryError):
+            trace_tree(tracer)
+
+
+class TestChromeEvents:
+    def test_event_schema(self):
+        payload = chrome_events(recorded_tracer())
+        events = payload["traceEvents"]
+        assert payload["displayTimeUnit"] == "ms"
+        assert [event["name"] for event in events] == ["outer", "inner"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["pid"] == 1 and event["tid"] == 1
+        outer, inner = events
+        # ManualClock ticks 1 s per reading; timestamps are microseconds.
+        assert outer["dur"] == pytest.approx(3_000_000.0)
+        assert inner["dur"] == pytest.approx(1_000_000.0)
+        assert inner["ts"] > outer["ts"]
+
+    def test_args_carry_attributes_and_metrics(self):
+        payload = chrome_events(recorded_tracer())
+        inner = payload["traceEvents"][1]
+        assert inner["args"]["round"] == 1
+        assert inner["args"]["metric:cache:memo:misses"] == 1
+
+    def test_render_chrome_is_json(self):
+        parsed = json.loads(render_chrome(recorded_tracer()))
+        assert "traceEvents" in parsed
+
+
+class TestSelfTime:
+    def test_self_excludes_children(self):
+        rows = {
+            name: (count, total, self_)
+            for name, count, total, self_ in self_time_table(
+                recorded_tracer()
+            )
+        }
+        # outer spans [t, t+3] with inner [t+1, t+2]: 2 s self of 3 s.
+        assert rows["outer"] == (1, 3.0, 2.0)
+        assert rows["inner"] == (1, 1.0, 1.0)
+
+    def test_render_text_table(self):
+        text = render_text(recorded_tracer())
+        assert "trace summary" in text
+        assert "self ms" in text
+        assert "outer" in text and "inner" in text
+
+    def test_top_truncation(self):
+        text = render_text(recorded_tracer(), top=1)
+        assert "(+ 1 more span names)" in text
+
+
+class TestLoadTrace:
+    def test_roundtrip(self):
+        tracer = recorded_tracer()
+        loaded = load_trace(render_json(tracer))
+        assert loaded == trace_tree(tracer)
+
+    def test_rejects_non_json(self):
+        with pytest.raises(TelemetryError, match="not JSON"):
+            load_trace("not json at all")
+
+    def test_rejects_chrome_artifact_with_hint(self):
+        with pytest.raises(TelemetryError, match="Chrome"):
+            load_trace(render_chrome(recorded_tracer()))
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(TelemetryError, match="unknown trace format"):
+            load_trace(json.dumps({"format": "other", "spans": []}))
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(TelemetryError, match="version"):
+            load_trace(
+                json.dumps(
+                    {"format": "repro-trace", "version": 99, "spans": []}
+                )
+            )
+
+    def test_rejects_missing_spans(self):
+        with pytest.raises(TelemetryError, match="spans"):
+            load_trace(json.dumps({"format": "repro-trace", "version": 1}))
