@@ -35,6 +35,7 @@ import json
 import pathlib
 import sys
 import time
+from datetime import datetime, timezone
 from typing import Callable
 
 from repro.experiments.performance import reproduce_cache_effectiveness
@@ -109,6 +110,14 @@ def run(repeats: int = 7) -> dict:
         (disabled - baseline) / baseline * 100.0 if baseline else 0.0
     )
     return {
+        # Standard BENCH_<name>.json keys (see benchmarks/conftest.py).
+        "name": "telemetry",
+        "workers": 1,
+        "wall_s": disabled,
+        "facets": None,
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
         "benchmark": "telemetry-disabled-overhead",
         "workload": "E22 reproduce_cache_effectiveness",
         "repeats": repeats,

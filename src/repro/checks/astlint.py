@@ -20,12 +20,13 @@ RPR003    ``repro.instrumentation.counter`` is a registry lookup;
           path
 RPR004    no bare ``except:`` anywhere, and no silent ``except …:
           pass`` in the solver hot paths (``repro.core``,
-          ``repro.models``, ``repro.topology``) — swallowed errors there
-          turn invariant violations into wrong theorems
-RPR005    public functions in ``repro.core``, ``repro.models``, and
-          ``repro.topology`` must carry complete type annotations
-          (every parameter and the return type), keeping the mypy gate
-          and ``py.typed`` honest
+          ``repro.models``, ``repro.topology``, ``repro.parallel``) —
+          swallowed errors there turn invariant violations into wrong
+          theorems
+RPR005    public functions in ``repro.core``, ``repro.models``,
+          ``repro.topology``, and ``repro.parallel`` must carry
+          complete type annotations (every parameter and the return
+          type), keeping the mypy gate and ``py.typed`` honest
 ========  ============================================================
 
 Suppression: append ``# norpr: RPR003`` (comma-separate several ids, or
@@ -68,20 +69,24 @@ _PROTECTED_ATTRS: dict[str, str] = {
     "_faces_cache": "repro.topology.complex",
     "_vertices_cache": "repro.topology.complex",
     "_vertices": "repro.topology.simplex",
-    "_by_color": "repro.topology.simplex",
     "_color": "repro.topology.vertex",
 }
 
 #: Attributes so specific to the value objects that even ``self.<attr>``
 #: assignments are flagged outside the owning module.
 _ALWAYS_PROTECTED: frozenset[str] = frozenset(
-    {"_facets", "_faces_cache", "_vertices_cache", "_by_color"}
+    {"_facets", "_faces_cache", "_vertices_cache"}
 )
 
 #: Packages whose exception handling and annotations are held to the
 #: strictest standard (the proof-machine hot paths).
 _HOT_PACKAGES: frozenset[tuple[str, str]] = frozenset(
-    {("repro", "core"), ("repro", "models"), ("repro", "topology")}
+    {
+        ("repro", "core"),
+        ("repro", "models"),
+        ("repro", "topology"),
+        ("repro", "parallel"),
+    }
 )
 
 #: Methods of SimplicialComplex whose return value is already an

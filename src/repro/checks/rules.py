@@ -43,6 +43,10 @@ AUD011    trace      telemetry trace artifact well-formedness: every
                      span closed with numeric ``start ≤ end``, children
                      nested within their parent's interval, attributes
                      JSON-serializable, metric deltas numeric
+AUD012    parallel   process-pool coherence: the parallel merged
+                     protocol complex equals the serial operator's
+                     output, and sampled facets survive a wire-codec
+                     round trip unchanged
 ========  =========  ====================================================
 
 Each rule applies to one *kind* of :class:`AuditTarget`; the driver in
@@ -819,3 +823,62 @@ def check_trace_artifact(target: AuditTarget) -> Iterator[Finding]:
         yield from _audit_span_node(
             root, f"spans[{position}]", target.path, None
         )
+
+
+# ----------------------------------------------------------------------
+# Parallel engine rules
+# ----------------------------------------------------------------------
+@audit_rule(
+    "AUD012", "parallel", "parallel expansion matches the serial operator"
+)
+def check_parallel_coherence(target: AuditTarget) -> Iterator[Finding]:
+    """Cross-check the process-pool fan-out against the serial operator.
+
+    The parallel engine promises bit-identical results at every worker
+    count.  This probe expands the sample simplex twice from cold
+    caches — once through a fresh serial operator, once through
+    :func:`repro.parallel.expansion.parallel_of_complex` on a pool —
+    and requires the merged facet sets to agree exactly.  A sampled
+    facet subset is then pushed through the wire codec and must come
+    back unchanged: the merge is only trustworthy if the encoding that
+    carried it across process boundaries is faithful.
+    """
+    from repro.models.protocol import ProtocolOperator
+    from repro.parallel.expansion import cold_model, parallel_of_complex
+    from repro.topology.wire import decode_simplex, encode_simplex
+
+    model: ComputationModel = target.obj
+    sigma: Simplex = target.extras["sample"]
+    rounds: int = target.extras.get("rounds", 2)
+    workers: int = target.extras.get("workers", 2)
+    base = SimplicialComplex.from_simplex(sigma)
+    serial = ProtocolOperator(cold_model(model)).of_complex(
+        base, rounds, workers=1
+    )
+    merged = parallel_of_complex(
+        ProtocolOperator(cold_model(model)), base, rounds, workers
+    )
+    if merged.facets != serial.facets:
+        missing = len(serial.facets - merged.facets)
+        spurious = len(merged.facets - serial.facets)
+        yield Finding(
+            "AUD012",
+            Severity.ERROR,
+            f"{target.path}/P^{rounds}",
+            f"parallel merge diverges from the serial operator: "
+            f"{missing} facet(s) missing and {spurious} spurious "
+            f"(serial has {len(serial.facets)}, parallel "
+            f"{len(merged.facets)})",
+        )
+        return
+    sample_size: int = target.extras.get("codec_sample", 8)
+    for facet in merged.sorted_facets()[:sample_size]:
+        round_tripped = decode_simplex(encode_simplex(facet))
+        if round_tripped != facet:
+            yield Finding(
+                "AUD012",
+                Severity.ERROR,
+                f"{target.path}/codec[{facet!r}]",
+                f"wire codec round trip altered a facet: "
+                f"{facet!r} became {round_tripped!r}",
+            )

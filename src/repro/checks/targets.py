@@ -286,6 +286,30 @@ def _group_faults_configs() -> list[AuditTarget]:
     return targets
 
 
+def _group_parallel_engine() -> list[AuditTarget]:
+    """Parallel-vs-serial coherence probes (rule AUD012).
+
+    One probe per fan-out-bearing model family, each carrying a sample
+    simplex plus the rounds/worker counts the rule should exercise.  The
+    n=3 IIS probe covers the exact configuration the benchmarks time;
+    the snapshot probe keeps a second one-round structure honest.
+    """
+    return [
+        AuditTarget(
+            "parallel",
+            "parallel/IIS[n=3]",
+            ImmediateSnapshotModel(),
+            {"sample": _sample(3), "rounds": 2, "workers": 2},
+        ),
+        AuditTarget(
+            "parallel",
+            "parallel/snapshot[n=2]",
+            SnapshotModel(),
+            {"sample": _sample(2), "rounds": 2, "workers": 2},
+        ),
+    ]
+
+
 def _group_closure_aa() -> list[AuditTarget]:
     return _closure_targets(
         "closure/CL_IIS(1/2-AA[n=2])",
@@ -309,6 +333,7 @@ TARGET_GROUPS: dict[str, Callable[[], list[AuditTarget]]] = {
     "closure-consensus": _group_closure_consensus,
     "closure-aa": _group_closure_aa,
     "faults-configs": _group_faults_configs,
+    "parallel-engine": _group_parallel_engine,
 }
 
 #: Which groups each experiment depends on.  Kept exhaustive on purpose —
@@ -333,11 +358,11 @@ _EXPERIMENT_GROUPS: dict[str, tuple[str, ...]] = {
     "E16": ("schedules-n2", "schedules-n3", "models-n3"),
     "E17": ("tasks-kset", "models-n3"),
     "E18": ("tasks-consensus", "models-n3"),
-    "E19": ("models-n3", "schedules-n3"),
+    "E19": ("models-n3", "schedules-n3", "parallel-engine"),
     "E20": ("models-affine", "tasks-consensus"),
     "E21": ("models-n2", "schedules-n2"),
     "E22": ("models-n3",),
-    "E23": ("faults-configs", "schedules-n3"),
+    "E23": ("faults-configs", "schedules-n3", "parallel-engine"),
 }
 
 

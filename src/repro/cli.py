@@ -418,6 +418,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--workers`` option (parallel execution)."""
+    group = parser.add_argument_group("parallelism")
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool workers for protocol expansion, solvability "
+        "search, and chaos trials (default: $REPRO_WORKERS or 1; "
+        "results are identical at every worker count)",
+    )
+
+
 def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the shared ``--trace``/``--trace-format`` options."""
     group = parser.add_argument_group("telemetry")
@@ -472,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="list or run the paper's experiments (E1–E23)",
     )
     p.add_argument("id", nargs="?", default=None)
+    _add_workers_argument(p)
     _add_trace_arguments(p)
 
     p = sub.add_parser(
@@ -560,6 +575,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="schedule source: seeded immediate-snapshot blocks (random), "
         "or seeded matrix schedules of the weaker models",
     )
+    _add_workers_argument(p)
     _add_trace_arguments(p)
 
     p = sub.add_parser(
@@ -626,6 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="acknowledge that --inject-illegal makes executions invalid",
     )
+    _add_workers_argument(p)
     _add_trace_arguments(p)
 
     return parser
@@ -653,6 +670,23 @@ def _dispatch(args: argparse.Namespace) -> int:
     returns — including non-zero returns, so a failing experiment still
     leaves a trace to inspect.
     """
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        # The flag becomes the process-wide default so every library
+        # call of this invocation inherits it (see repro.parallel.pool).
+        from repro.parallel.pool import set_default_workers
+
+        set_default_workers(workers)
+    try:
+        return _dispatch_traced(args)
+    finally:
+        if workers is not None:
+            from repro.parallel.pool import set_default_workers
+
+            set_default_workers(None)
+
+
+def _dispatch_traced(args: argparse.Namespace) -> int:
     trace_path = getattr(args, "trace", None)
     if trace_path is None:
         return _COMMANDS[args.command](args)

@@ -198,12 +198,29 @@ class SolvabilityProblem:
             solve_span.set_attribute("solvable", result is not None)
             return result
 
-    def _solve(
+    def prepare_search(
         self,
-        use_propagation: bool,
-        use_components: bool,
-        node_limit: Optional[int],
-    ) -> Optional[DecisionMap]:
+        use_propagation: bool = True,
+        use_components: bool = True,
+    ) -> Optional[
+        tuple[
+            dict[Vertex, list[Vertex]],
+            dict[Vertex, Vertex],
+            list[list[Vertex]],
+        ]
+    ]:
+        """Run every pre-search stage; ``None`` refutes the instance.
+
+        The stages shared by the serial and parallel engines: the
+        empty-domain check, constraint indexing, pairwise
+        arc-consistency propagation, up-front assignment of forced
+        (singleton-domain) vertices, the pinned-pair constraint
+        precheck, and the connected-component decomposition.  Returns
+        ``(domains, assignment, components)`` ready for per-component
+        backtracking — each component is independent of the others
+        given the forced assignment, which is exactly what the parallel
+        engine fans out.
+        """
         self.last_search_nodes = 0
         if any(not domain for domain in self.candidates.values()):
             return None
@@ -242,6 +259,34 @@ class SolvabilityProblem:
             if use_components
             else ([sorted(free, key=lambda v: v._sort_key())] if free else [])
         )
+        return domains, assignment, components
+
+    def search_component(
+        self,
+        component: list[Vertex],
+        domains: dict[Vertex, list[Vertex]],
+        assignment: dict[Vertex, Vertex],
+        node_limit: Optional[int] = None,
+    ) -> bool:
+        """Backtrack one component over state from :meth:`prepare_search`.
+
+        Extends ``assignment`` in place with images for the component's
+        vertices; ``True`` iff the component is satisfiable.
+        """
+        return self._search_component(
+            component, domains, assignment, node_limit
+        )
+
+    def _solve(
+        self,
+        use_propagation: bool,
+        use_components: bool,
+        node_limit: Optional[int],
+    ) -> Optional[DecisionMap]:
+        prepared = self.prepare_search(use_propagation, use_components)
+        if prepared is None:
+            return None
+        domains, assignment, components = prepared
         for component in components:
             if not self._search_component(
                 component, domains, assignment, node_limit
@@ -455,6 +500,7 @@ def find_decision_map(
     rounds: int,
     input_simplices: Optional[Iterable[Simplex]] = None,
     operator: Optional[ProtocolOperator] = None,
+    workers: Optional[int] = None,
 ) -> Optional[DecisionMap]:
     """Search for a ``rounds``-round decision map solving ``task`` in ``model``.
 
@@ -467,6 +513,12 @@ def find_decision_map(
         instance is unsolvable, so is the full task.
     operator:
         Reuse a memoized :class:`ProtocolOperator` across calls.
+    workers:
+        With more than one (resolved) worker, protocol expansion and the
+        independent constraint components are searched concurrently (the
+        components with early cancel on the first refuted one).  The
+        verdict — and the returned map, if any — are identical to the
+        serial search.
     """
     if rounds < 0:
         raise SolvabilityError("rounds must be non-negative")
@@ -476,6 +528,16 @@ def find_decision_map(
         if input_simplices is not None
         else list(task.input_complex)
     )
+    # Imported lazily: repro.parallel imports this module at load time.
+    from repro.parallel.pool import resolve_workers
+
+    resolved = resolve_workers(workers)
+    if resolved > 1:
+        from repro.parallel.solving import parallel_find_decision_map
+
+        return parallel_find_decision_map(
+            task, op, rounds, list(simplices), resolved
+        )
     problem = build_solvability_problem(
         simplices,
         task.delta,
@@ -491,9 +553,10 @@ def is_solvable(
     rounds: int,
     input_simplices: Optional[Iterable[Simplex]] = None,
     operator: Optional[ProtocolOperator] = None,
+    workers: Optional[int] = None,
 ) -> bool:
     """``True`` iff a ``rounds``-round algorithm solves the task instance."""
-    return (
-        find_decision_map(task, model, rounds, input_simplices, operator)
-        is not None
+    found = find_decision_map(
+        task, model, rounds, input_simplices, operator, workers
     )
+    return found is not None

@@ -96,7 +96,10 @@ __all__ = [
     "CellSpec",
     "CELLS",
     "ILLEGAL_MODES",
+    "TrialRecord",
     "run_campaign",
+    "run_trial",
+    "fold_record",
     "classify_execution",
     "replay_trace",
     "render_report",
@@ -487,10 +490,23 @@ def classify_execution(
     return DECIDED_OK, None, result
 
 
-def run_campaign(config: CampaignConfig) -> CampaignReport:
-    """Run the whole campaign; never raises on a misbehaving execution."""
+def run_campaign(
+    config: CampaignConfig, workers: Optional[int] = None
+) -> CampaignReport:
+    """Run the whole campaign; never raises on a misbehaving execution.
+
+    With more than one (resolved) worker the trials are sharded across
+    the process pool (:mod:`repro.parallel.chaos`); per-trial seeds
+    derive from ``(campaign seed, index)`` alone and shards fold back in
+    ascending index order, so the report — including its JSON rendering
+    — is byte-identical to a serial run.
+    """
     config.validate()
     spec = get_cell(config.cell)
+    # Imported lazily: repro.parallel imports this module at load time.
+    from repro.parallel.pool import resolve_workers
+
+    resolved = resolve_workers(workers)
     report = CampaignReport(
         config=config,
         counts={
@@ -512,13 +528,176 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         t=config.t,
         executions=config.executions,
         seed=config.seed,
+        workers=resolved,
     ) as campaign_span:
-        _run_trials(config, spec, report, campaign_deadline_at)
+        if resolved > 1:
+            from repro.parallel.chaos import run_campaign_sharded
+
+            run_campaign_sharded(
+                config, report, campaign_deadline_at, resolved
+            )
+        else:
+            _run_trials(config, spec, report, campaign_deadline_at)
         campaign_span.set_attribute("clean", report.clean)
         campaign_span.set_attribute("incidents", len(report.incidents))
     report.elapsed = time.monotonic() - started
     report.peak_rss_kb = _peak_rss_kb()
     return report
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Everything one trial produced, before report folding.
+
+    The per-trial unit of work shared by the serial loop and the
+    parallel shard runner: :func:`run_trial` produces records,
+    :func:`fold_record` accumulates them into a report.  Incident
+    records carry ``error``/``message`` and an empty classification.
+    """
+
+    index: int
+    seed: int
+    classification: str = ""
+    property: str = ""
+    witness: str = ""
+    trace: Optional[FaultTrace] = None
+    error: str = ""
+    message: str = ""
+
+    # NB: no helper @property here — the ``property`` *field* shadows
+    # the builtin inside this class body.  A record is an incident iff
+    # ``error`` is non-empty.
+
+
+def run_trial(
+    config: CampaignConfig, spec: CellSpec, index: int
+) -> TrialRecord:
+    """Run and classify the trial at ``index``; never raises.
+
+    Fully determined by ``(config, index)``: the RNG seeds derive from
+    the campaign seed and the index alone, so any trial can be re-run
+    in isolation — or on any pool worker — with an identical outcome.
+    """
+    seed = derive_seed(config.seed, index)
+    rng = random.Random(seed)
+    inputs = spec.sample_inputs(config.n, config.epsilon, rng)
+    exec_deadline_at = (
+        time.monotonic() + config.exec_deadline
+        if config.exec_deadline is not None
+        else None
+    )
+    # One span per trial, carrying the oracle's verdict (or
+    # "INCIDENT") as an attribute; the trial span stays open across
+    # classification so executor/oracle work nests under it.
+    with span("chaos/trial", index=index, seed=seed) as trial_span:
+        try:
+            classification, violation, result = classify_execution(
+                algorithm=spec.build(config.n, config.epsilon),
+                inputs=inputs,
+                adversary=_make_adversary(config.model, seed),
+                injector=_make_injector(config, seed, spec),
+                box=(
+                    spec.make_box()
+                    if spec.make_box is not None
+                    else None
+                ),
+                oracle=spec.oracle(config.n, config.epsilon),
+                step_budget=config.step_budget,
+                deadline_at=exec_deadline_at,
+            )
+        except Exception as exc:
+            # Error isolation: one raising execution never kills the
+            # campaign; it becomes a structured incident instead.
+            trial_span.set_attribute("verdict", "INCIDENT")
+            trial_span.set_attribute("error", type(exc).__name__)
+            return TrialRecord(
+                index=index,
+                seed=seed,
+                error=type(exc).__name__,
+                message=str(exc),
+            )
+        trial_span.set_attribute("verdict", classification)
+    if classification == VIOLATION:
+        assert violation is not None and result is not None
+        return TrialRecord(
+            index=index,
+            seed=seed,
+            classification=classification,
+            property=violation.property,
+            witness=violation.witness,
+            trace=FaultTrace.from_execution(result, inputs, spec.key),
+        )
+    if classification in (HUNG, HARNESS_FAULT_DETECTED):
+        assert violation is not None
+        return TrialRecord(
+            index=index,
+            seed=seed,
+            classification=classification,
+            property=violation.property,
+            witness=violation.witness,
+        )
+    return TrialRecord(index=index, seed=seed, classification=classification)
+
+
+def fold_record(report: CampaignReport, record: TrialRecord) -> None:
+    """Accumulate one trial record into the report (parent-side only).
+
+    All counter bumps happen here — not in :func:`run_trial` — so the
+    process-wide tallies land in the parent process whether the trial
+    ran inline or on a pool worker.  Records must be folded in ascending
+    index order for reports to be independent of the worker count (the
+    kept-outcome lists truncate at ``_MAX_KEPT``).
+    """
+    _EXECUTIONS.built()
+    if record.error:
+        _INCIDENTS.built()
+        report.incidents.append(
+            CampaignIncident(
+                index=record.index,
+                seed=record.seed,
+                error=record.error,
+                message=record.message,
+            )
+        )
+        return
+    report.counts[record.classification] += 1
+    if record.classification == VIOLATION:
+        _VIOLATIONS.built()
+        if len(report.violations) < _MAX_KEPT:
+            report.violations.append(
+                ExecutionOutcome(
+                    index=record.index,
+                    seed=record.seed,
+                    classification=record.classification,
+                    property=record.property,
+                    witness=record.witness,
+                    trace=record.trace,
+                )
+            )
+    elif record.classification == HUNG:
+        _HUNG.built()
+        if len(report.hung) < _MAX_KEPT:
+            report.hung.append(
+                ExecutionOutcome(
+                    index=record.index,
+                    seed=record.seed,
+                    classification=record.classification,
+                    property=record.property,
+                    witness=record.witness,
+                )
+            )
+    elif record.classification == HARNESS_FAULT_DETECTED:
+        _DETECTED.built()
+        if len(report.detected) < _MAX_KEPT:
+            report.detected.append(
+                ExecutionOutcome(
+                    index=record.index,
+                    seed=record.seed,
+                    classification=record.classification,
+                    property=record.property,
+                    witness=record.witness,
+                )
+            )
 
 
 def _run_trials(
@@ -527,7 +706,7 @@ def _run_trials(
     report: CampaignReport,
     campaign_deadline_at: Optional[float],
 ) -> None:
-    """The campaign loop: one classified, span-wrapped trial per index."""
+    """The serial campaign loop: run and fold one trial per index."""
     for index in range(config.executions):
         if (
             campaign_deadline_at is not None
@@ -535,93 +714,7 @@ def _run_trials(
         ):
             report.skipped = config.executions - index
             break
-        seed = derive_seed(config.seed, index)
-        rng = random.Random(seed)
-        inputs = spec.sample_inputs(config.n, config.epsilon, rng)
-        exec_deadline_at = (
-            time.monotonic() + config.exec_deadline
-            if config.exec_deadline is not None
-            else None
-        )
-        _EXECUTIONS.built()
-        # One span per trial, carrying the oracle's verdict (or
-        # "INCIDENT") as an attribute; the trial span stays open across
-        # classification so executor/oracle work nests under it.
-        with span("chaos/trial", index=index, seed=seed) as trial_span:
-            try:
-                classification, violation, result = classify_execution(
-                    algorithm=spec.build(config.n, config.epsilon),
-                    inputs=inputs,
-                    adversary=_make_adversary(config.model, seed),
-                    injector=_make_injector(config, seed, spec),
-                    box=(
-                        spec.make_box()
-                        if spec.make_box is not None
-                        else None
-                    ),
-                    oracle=spec.oracle(config.n, config.epsilon),
-                    step_budget=config.step_budget,
-                    deadline_at=exec_deadline_at,
-                )
-            except Exception as exc:
-                # Error isolation: one raising execution never kills the
-                # campaign; it becomes a structured incident instead.
-                _INCIDENTS.built()
-                trial_span.set_attribute("verdict", "INCIDENT")
-                trial_span.set_attribute("error", type(exc).__name__)
-                report.incidents.append(
-                    CampaignIncident(
-                        index=index,
-                        seed=seed,
-                        error=type(exc).__name__,
-                        message=str(exc),
-                    )
-                )
-                continue
-            trial_span.set_attribute("verdict", classification)
-        report.counts[classification] += 1
-        if classification == VIOLATION:
-            _VIOLATIONS.built()
-            if len(report.violations) < _MAX_KEPT:
-                assert violation is not None and result is not None
-                report.violations.append(
-                    ExecutionOutcome(
-                        index=index,
-                        seed=seed,
-                        classification=classification,
-                        property=violation.property,
-                        witness=violation.witness,
-                        trace=FaultTrace.from_execution(
-                            result, inputs, spec.key
-                        ),
-                    )
-                )
-        elif classification == HUNG:
-            _HUNG.built()
-            if len(report.hung) < _MAX_KEPT:
-                assert violation is not None
-                report.hung.append(
-                    ExecutionOutcome(
-                        index=index,
-                        seed=seed,
-                        classification=classification,
-                        property=violation.property,
-                        witness=violation.witness,
-                    )
-                )
-        elif classification == HARNESS_FAULT_DETECTED:
-            _DETECTED.built()
-            if len(report.detected) < _MAX_KEPT:
-                assert violation is not None
-                report.detected.append(
-                    ExecutionOutcome(
-                        index=index,
-                        seed=seed,
-                        classification=classification,
-                        property=violation.property,
-                        witness=violation.witness,
-                    )
-                )
+        fold_record(report, run_trial(config, spec, index))
 
 
 def _peak_rss_kb() -> Optional[int]:

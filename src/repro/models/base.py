@@ -16,7 +16,7 @@ Two layers of abstraction:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Optional
 
 from repro.instrumentation import counter
 from repro.telemetry import span
@@ -72,6 +72,39 @@ class ComputationModel(ABC):
         else:
             self._one_round_stats.hit()
         return found
+
+    def cached_one_round(
+        self, sigma: Simplex
+    ) -> Optional[SimplicialComplex]:
+        """The memoized ``P^(1)(σ)``, or ``None`` if not yet built.
+
+        A pure cache probe: never materializes and never touches the
+        hit/miss tallies.  The parallel engine uses it to ship only the
+        not-yet-expanded simplices to the pool.
+        """
+        cache = getattr(self, "_one_round_cache", None)
+        if cache is None:
+            return None
+        return cache.get(sigma)
+
+    def seed_one_round(
+        self, sigma: Simplex, complex_: SimplicialComplex
+    ) -> None:
+        """Install a known ``P^(1)(σ)`` in the memo.
+
+        The parallel engine folds worker-computed expansions back into
+        the parent's cache through this hook.  The seeded complex must
+        equal what :meth:`_build_one_round_complex` would produce —
+        audit rule AUD012 cross-checks this on sampled simplices.
+        """
+        cache = getattr(self, "_one_round_cache", None)
+        if cache is None:
+            cache = self._one_round_cache = {}
+            # Same per-instance lazy init as one_round_complex above.
+            self._one_round_stats = counter(  # norpr: RPR003
+                f"one-round-complex[{self.name}]"
+            )
+        cache[sigma] = complex_
 
     @abstractmethod
     def _build_one_round_complex(self, sigma: Simplex) -> SimplicialComplex:

@@ -1,0 +1,58 @@
+"""Process-pool parallel execution engine.
+
+The substrate's three embarrassingly-parallel fan-outs — protocol round
+expansion (``Ξ`` per input facet), decision-map search (independent
+connected components), and chaos campaigns (independent seeded trials) —
+all route through one stdlib :mod:`concurrent.futures` pool managed
+here.  Everything stays deterministic by construction:
+
+* ``workers=1`` (the default) is a *serial fallback* that runs the exact
+  pre-engine code paths, so results are bit-identical to the unparallel
+  library;
+* work is sharded deterministically (sorted inputs, contiguous chunks)
+  and results are folded in input order, never completion order;
+* per-trial / per-simplex seeds and memo keys do not depend on the
+  worker count.
+
+Worker counts resolve in priority order: explicit argument, process
+default (:func:`set_default_workers`, set by the CLI ``--workers``
+flag), the ``REPRO_WORKERS`` environment variable, then ``1``.  Inside a
+worker process the resolution is pinned to ``1`` so nested fan-outs
+cannot fork-bomb.
+
+Cross-process payloads use the compact bitmask codec of
+:mod:`repro.topology.wire`.  See ``docs/PARALLELISM.md`` for the engine
+design, the determinism contract, and worker-sizing guidance.
+"""
+
+from repro.parallel.chaos import run_campaign_sharded
+from repro.parallel.expansion import (
+    expand_one_round,
+    materialize_protocol_complexes,
+    parallel_of_complex,
+)
+from repro.parallel.pool import (
+    WORKERS_ENV,
+    MapOutcome,
+    get_default_workers,
+    parallel_map,
+    resolve_workers,
+    set_default_workers,
+    shutdown_pools,
+)
+from repro.parallel.solving import parallel_find_decision_map
+
+__all__ = [
+    "WORKERS_ENV",
+    "MapOutcome",
+    "resolve_workers",
+    "get_default_workers",
+    "set_default_workers",
+    "parallel_map",
+    "shutdown_pools",
+    "expand_one_round",
+    "materialize_protocol_complexes",
+    "parallel_of_complex",
+    "parallel_find_decision_map",
+    "run_campaign_sharded",
+]

@@ -1,0 +1,77 @@
+"""Sharded chaos campaigns: seeded trials across the pool.
+
+Each shard is a contiguous ascending slice of trial indices; a worker
+runs :func:`repro.faults.campaign.run_trial` for its slice — the exact
+per-trial code of the serial loop, with seeds derived from the campaign
+seed and the index alone — and ships the records back.  The parent folds
+shards in payload order, so records arrive in ascending index order and
+the report (kept-outcome truncation included) is byte-identical to a
+serial campaign.
+
+The campaign deadline is enforced at shard granularity: when it passes,
+not-yet-started shards are cancelled and counted as skipped.  Because
+cancellation follows completion order, a deadline-hit parallel campaign
+may skip a different *set* of trials than the serial runner (which
+always skips a suffix) — deadline-bounded runs are best-effort in both
+modes and make no byte-identity promise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    TrialRecord,
+    fold_record,
+    get_cell,
+    run_trial,
+)
+from repro.parallel.pool import chunked, parallel_map
+
+__all__ = ["run_campaign_sharded"]
+
+#: Shards handed out per worker — keeps stragglers (e.g. HUNG trials
+#: burning their whole execution deadline) from idling the other slots.
+_SHARDS_PER_WORKER = 4
+
+ShardPayload = tuple[CampaignConfig, tuple[int, ...]]
+
+
+def _run_shard(payload: ShardPayload) -> tuple[TrialRecord, ...]:
+    config, indices = payload
+    spec = get_cell(config.cell)
+    return tuple(run_trial(config, spec, index) for index in indices)
+
+
+def run_campaign_sharded(
+    config: CampaignConfig,
+    report: CampaignReport,
+    campaign_deadline_at: Optional[float],
+    workers: int,
+) -> None:
+    """Run the campaign's trials on the pool, folding into ``report``.
+
+    Called by :func:`repro.faults.campaign.run_campaign` (which owns
+    validation, the campaign span, and the timing/memory accounting)
+    once the worker count has resolved above one.
+    """
+    shards = chunked(
+        range(config.executions), workers * _SHARDS_PER_WORKER
+    )
+    outcome = parallel_map(
+        _run_shard,
+        [(config, shard) for shard in shards],
+        workers=workers,
+        label="chaos-shard",
+        deadline_at=campaign_deadline_at,
+    )
+    folded = 0
+    for records in outcome.results:
+        if records is None:
+            continue  # shard cancelled by the campaign deadline
+        for record in records:
+            fold_record(report, record)
+            folded += 1
+    report.skipped = config.executions - folded

@@ -1,0 +1,215 @@
+"""Parallel protocol expansion: fan ``Ξ`` out per simplex.
+
+The round operator's cost is the per-simplex calls to
+``model.one_round_complex`` (13 facets per round per triangle in the
+``n = 3`` IIS model, so ``13^t`` growth) — each call independent of the
+others.  The helpers here ship those calls to the pool as wire-encoded
+chunks, decode the results in the parent, and *seed the parent's memo
+caches* with them, so the serial assembly code that follows sees pure
+cache hits and produces exactly the complex the serial operator would.
+
+Workers receive a *cold* copy of the model (memo layers detached) so
+payload pickles stay a few hundred bytes regardless of how much the
+parent has already expanded.
+"""
+
+from __future__ import annotations
+
+from copy import copy
+from repro.models.base import ComputationModel
+from repro.models.protocol import ProtocolOperator
+from repro.parallel.pool import chunked, parallel_map
+from repro.telemetry import span
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.wire import (
+    WireComplex,
+    WireSimplex,
+    decode_complex,
+    decode_simplex,
+    encode_complex,
+    encode_simplex,
+)
+
+__all__ = [
+    "cold_model",
+    "expand_one_round",
+    "materialize_protocol_complexes",
+    "parallel_of_complex",
+]
+
+#: Memo attributes detached from models before pickling (they are
+#: rebuilt lazily in the worker; see ``repro.models.base``).
+_MEMO_ATTRS = (
+    "_one_round_cache",
+    "_one_round_stats",
+    "_view_map_cache",
+    "_view_map_stats",
+)
+
+#: Chunks handed out per worker — small enough to load-balance uneven
+#: expansions, large enough to amortize pickling.
+_CHUNKS_PER_WORKER = 4
+
+
+def _sigma_key(sigma: Simplex) -> tuple:
+    return sigma._sort_key()
+
+
+def cold_model(model: ComputationModel) -> ComputationModel:
+    """A shallow copy of ``model`` with its memo layers detached.
+
+    The copy shares the model's defining parameters but none of the
+    cached complexes, so it pickles small; workers rebuild their own
+    caches lazily.
+    """
+    clone = copy(model)
+    for name in _MEMO_ATTRS:
+        clone.__dict__.pop(name, None)
+    return clone
+
+
+ExpandPayload = tuple[ComputationModel, tuple[WireSimplex, ...]]
+
+
+def _expand_chunk(payload: ExpandPayload) -> tuple[WireComplex, ...]:
+    model, wires = payload
+    return tuple(
+        encode_complex(model.one_round_complex(decode_simplex(wire)))
+        for wire in wires
+    )
+
+
+ProtocolPayload = tuple[ComputationModel, tuple[WireSimplex, ...], int]
+
+
+def _protocol_chunk(payload: ProtocolPayload) -> tuple[WireComplex, ...]:
+    model, wires, rounds = payload
+    operator = ProtocolOperator(model)
+    return tuple(
+        encode_complex(operator.of_simplex(decode_simplex(wire), rounds))
+        for wire in wires
+    )
+
+
+def expand_one_round(
+    model: ComputationModel,
+    base: SimplicialComplex,
+    workers: int,
+) -> SimplicialComplex:
+    """One application of ``Ξ`` to ``base``, fanned out per simplex.
+
+    Equals ``SimplicialComplex`` of the union of
+    ``model.one_round_complex(σ)`` facets over every simplex ``σ`` of
+    ``base`` — the exact serial semantics — with the per-simplex builds
+    sharded over the pool and folded back through the model's memo.
+    """
+    ordered = sorted(base, key=_sigma_key)
+    missing = [
+        sigma
+        for sigma in ordered
+        if model.cached_one_round(sigma) is None
+    ]
+    with span(
+        "parallel/expand-one-round",
+        model=model.name,
+        simplices=len(ordered),
+        missing=len(missing),
+        workers=workers,
+    ):
+        if missing:
+            clone = cold_model(model)
+            chunks = chunked(
+                [encode_simplex(sigma) for sigma in missing],
+                workers * _CHUNKS_PER_WORKER,
+            )
+            outcome = parallel_map(
+                _expand_chunk,
+                [(clone, chunk) for chunk in chunks],
+                workers=workers,
+                label="expand-one-round",
+            )
+            position = 0
+            for encoded in outcome.results:
+                assert encoded is not None  # no early stop requested
+                for wire in encoded:
+                    model.seed_one_round(
+                        missing[position], decode_complex(wire)
+                    )
+                    position += 1
+        pieces: list[Simplex] = []
+        for sigma in ordered:
+            pieces.extend(model.one_round_complex(sigma).facets)
+        return SimplicialComplex(pieces)
+
+
+def materialize_protocol_complexes(
+    operator: ProtocolOperator,
+    sigmas: list[Simplex],
+    rounds: int,
+    workers: int,
+) -> dict[Simplex, SimplicialComplex]:
+    """Compute ``P^(rounds)(σ)`` for many ``σ`` concurrently.
+
+    Each worker runs the full (serial) operator recursion for its chunk
+    of input simplices; results are folded into ``operator``'s memo, so
+    follow-up calls — the solvability constraint builder, audits — are
+    cache hits.  Returns the complete ``σ → P^(rounds)(σ)`` table.
+    """
+    ordered = sorted(set(sigmas), key=_sigma_key)
+    missing = [
+        sigma
+        for sigma in ordered
+        if operator.cached_of_simplex(sigma, rounds) is None
+    ]
+    with span(
+        "parallel/materialize-protocol",
+        model=operator.model.name,
+        rounds=rounds,
+        simplices=len(ordered),
+        missing=len(missing),
+        workers=workers,
+    ):
+        if missing:
+            clone = cold_model(operator.model)
+            chunks = chunked(
+                [encode_simplex(sigma) for sigma in missing],
+                workers * _CHUNKS_PER_WORKER,
+            )
+            outcome = parallel_map(
+                _protocol_chunk,
+                [(clone, chunk, rounds) for chunk in chunks],
+                workers=workers,
+                label="protocol-of-simplex",
+            )
+            position = 0
+            for encoded in outcome.results:
+                assert encoded is not None  # no early stop requested
+                for wire in encoded:
+                    operator.seed_of_simplex(
+                        missing[position], rounds, decode_complex(wire)
+                    )
+                    position += 1
+        return {
+            sigma: operator.of_simplex(sigma, rounds) for sigma in ordered
+        }
+
+
+def parallel_of_complex(
+    operator: ProtocolOperator,
+    base: SimplicialComplex,
+    rounds: int,
+    workers: int,
+) -> SimplicialComplex:
+    """``P^(rounds)`` of a whole complex with per-simplex fan-out.
+
+    Produces exactly ``operator.of_complex(base, rounds)`` — the merge
+    is the same pruning union over the same per-simplex complexes.
+    """
+    table = materialize_protocol_complexes(
+        operator, list(base), rounds, workers
+    )
+    merged: list[Simplex] = []
+    for simplex in base:
+        merged.extend(table[simplex].facets)
+    return SimplicialComplex(merged)

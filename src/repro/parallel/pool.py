@@ -1,0 +1,271 @@
+"""Worker resolution and the shared process pool.
+
+:func:`parallel_map` is the single fan-out primitive every parallel
+code path uses: it submits picklable payloads to a shared
+:class:`~concurrent.futures.ProcessPoolExecutor`, folds results back
+**in payload order** (never completion order — that is the determinism
+contract), and supports early cancellation (``stop_when``) for
+first-failure searches and deadline-bounded campaigns.
+
+Worker accounting is wired into telemetry: the map emits a
+``parallel/map`` span, one ``parallel/worker-{slot}`` child span per
+completed task (slots are assigned to worker pids in order of first
+appearance, so slot numbering is stable for a given pool), and
+utilization metrics (``parallel.tasks``, ``parallel.task-busy-s``,
+``parallel.map-wall-s``) that ``repro trace summarize`` can attribute
+per worker.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, TypeVar
+
+from repro.errors import ReproError
+from repro.telemetry import default_registry, span
+
+__all__ = [
+    "WORKERS_ENV",
+    "MapOutcome",
+    "resolve_workers",
+    "get_default_workers",
+    "set_default_workers",
+    "parallel_map",
+    "shutdown_pools",
+]
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Upper bound on accepted worker counts — a typo guard, not a tuning
+#: knob; the pools this library runs are CPU-bound.
+MAX_WORKERS = 64
+
+_default_workers: Optional[int] = None
+_in_worker = False
+_pools: dict[int, ProcessPoolExecutor] = {}
+
+
+def _check_workers(workers: int) -> int:
+    if not 1 <= workers <= MAX_WORKERS:
+        raise ReproError(
+            f"worker count must be in [1, {MAX_WORKERS}], got {workers}"
+        )
+    return workers
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` to unset).
+
+    The CLI ``--workers`` flag lands here, so library calls made during
+    a ``repro run/experiment/chaos`` invocation inherit the flag without
+    threading it through every signature.
+    """
+    global _default_workers
+    _default_workers = None if workers is None else _check_workers(workers)
+
+
+def get_default_workers() -> Optional[int]:
+    """The process-wide default set via :func:`set_default_workers`."""
+    return _default_workers
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve an effective worker count.
+
+    Priority: explicit argument, then :func:`set_default_workers`, then
+    the ``REPRO_WORKERS`` environment variable, then ``1`` (serial).
+    Inside a pool worker the answer is always ``1`` so nested fan-outs
+    run serially instead of forking grandchild pools.
+    """
+    if _in_worker:
+        return 1
+    if workers is not None:
+        return _check_workers(workers)
+    if _default_workers is not None:
+        return _default_workers
+    raw = os.environ.get(WORKERS_ENV)
+    if raw:
+        try:
+            parsed = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+        return _check_workers(parsed)
+    return 1
+
+
+def _mark_worker() -> None:
+    """Pool initializer: pin nested worker resolution to serial."""
+    global _in_worker
+    _in_worker = True
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor for ``workers`` (created lazily, reused)."""
+    found = _pools.get(workers)
+    if found is None:
+        found = ProcessPoolExecutor(
+            max_workers=workers, initializer=_mark_worker
+        )
+        _pools[workers] = found
+    return found
+
+
+def shutdown_pools() -> None:
+    """Shut down every shared executor (idempotent; used by tests)."""
+    while _pools:
+        _, pool = _pools.popitem()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+@dataclass
+class MapOutcome:
+    """What :func:`parallel_map` produced.
+
+    ``results`` is index-aligned with the input payloads; entries are
+    ``None`` for tasks cancelled by ``stop_when`` or ``deadline_at``.
+    ``worker_slots`` maps worker pids to their stable slot numbers.
+    """
+
+    results: list
+    completed: int = 0
+    stopped_early: bool = False
+    worker_slots: dict = field(default_factory=dict)
+
+
+def _invoke(fn: Callable[[P], R], index: int, payload: P) -> tuple:
+    started = time.perf_counter()
+    result = fn(payload)
+    return index, result, os.getpid(), time.perf_counter() - started
+
+
+def chunked(items: Sequence[P], chunks: int) -> list[tuple[P, ...]]:
+    """Split ``items`` into ``chunks`` contiguous, near-even pieces.
+
+    Empty pieces are dropped, so at most ``min(chunks, len(items))``
+    pieces come back.  Contiguity is what keeps sharded folds in global
+    input order.
+    """
+    if chunks < 1:
+        raise ReproError(f"chunk count must be positive, got {chunks}")
+    total = len(items)
+    pieces: list[tuple[P, ...]] = []
+    start = 0
+    for remaining in range(chunks, 0, -1):
+        size = (total - start + remaining - 1) // remaining
+        if size:
+            pieces.append(tuple(items[start : start + size]))
+            start += size
+    return pieces
+
+
+def parallel_map(
+    fn: Callable[[P], R],
+    payloads: Sequence[P],
+    workers: Optional[int] = None,
+    label: str = "tasks",
+    stop_when: Optional[Callable[[R], bool]] = None,
+    deadline_at: Optional[float] = None,
+) -> MapOutcome:
+    """Run ``fn`` over ``payloads`` on the shared pool, in input order.
+
+    ``fn`` must be a module-level callable and every payload/result must
+    pickle.  Results land in ``MapOutcome.results`` at the index of
+    their payload regardless of completion order.  When ``stop_when``
+    returns true for some result, or ``time.monotonic()`` passes
+    ``deadline_at``, remaining not-yet-started tasks are cancelled and
+    their slots stay ``None`` (in-flight tasks finish and are recorded).
+
+    With one (resolved) worker the map degrades to an in-process loop
+    with identical semantics — no pool, no pickling.
+    """
+    resolved = resolve_workers(workers)
+    results: list = [None] * len(payloads)
+    outcome = MapOutcome(results=results)
+    registry = default_registry()
+    tasks = registry.counter("parallel.tasks")
+    busy = registry.histogram("parallel.task-busy-s")
+    wall = registry.histogram("parallel.map-wall-s")
+    started = time.perf_counter()
+    with span("parallel/map", label=label, workers=resolved) as map_span:
+        if resolved <= 1 or len(payloads) <= 1:
+            for index, payload in enumerate(payloads):
+                if deadline_at is not None and time.monotonic() > deadline_at:
+                    outcome.stopped_early = True
+                    break
+                results[index] = fn(payload)
+                outcome.completed += 1
+                tasks.inc()
+                if stop_when is not None and stop_when(results[index]):
+                    outcome.stopped_early = True
+                    break
+        else:
+            pool = _pool(resolved)
+            pending: set = {
+                pool.submit(_invoke, fn, index, payload)
+                for index, payload in enumerate(payloads)
+            }
+            try:
+                while pending:
+                    done, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    stop = False
+                    for future in done:
+                        index, result, pid, task_busy = future.result()
+                        slot = outcome.worker_slots.setdefault(
+                            pid, len(outcome.worker_slots)
+                        )
+                        results[index] = result
+                        outcome.completed += 1
+                        tasks.inc()
+                        busy.observe(task_busy)
+                        with span(
+                            f"parallel/worker-{slot}",
+                            label=label,
+                            index=index,
+                        ) as task_span:
+                            task_span.set_attribute("busy_s", task_busy)
+                        if stop_when is not None and stop_when(result):
+                            stop = True
+                    past_deadline = (
+                        deadline_at is not None
+                        and time.monotonic() > deadline_at
+                    )
+                    if stop or past_deadline:
+                        outcome.stopped_early = True
+                        for future in pending:
+                            future.cancel()
+                        not_done = wait(pending).done
+                        for future in not_done:
+                            if future.cancelled():
+                                continue
+                            index, result, pid, task_busy = future.result()
+                            results[index] = result
+                            outcome.completed += 1
+                            tasks.inc()
+                            busy.observe(task_busy)
+                        pending = set()
+            finally:
+                for future in pending:
+                    future.cancel()
+        elapsed = time.perf_counter() - started
+        wall.observe(elapsed)
+        map_span.set_attribute("completed", outcome.completed)
+        map_span.set_attribute("stopped_early", outcome.stopped_early)
+        map_span.set_attribute(
+            "worker_count", max(1, len(outcome.worker_slots))
+        )
+    return outcome

@@ -34,6 +34,15 @@ from repro.topology.connectivity import (
     one_skeleton_adjacency,
     shortest_path,
 )
+from repro.topology.wire import (
+    VertexTable,
+    WireComplex,
+    WireSimplex,
+    decode_complex,
+    decode_simplex,
+    encode_complex,
+    encode_simplex,
+)
 
 __all__ = [
     "Vertex",
@@ -54,4 +63,11 @@ __all__ = [
     "is_pseudomanifold",
     "join_complexes",
     "ridge_incidence",
+    "VertexTable",
+    "WireSimplex",
+    "WireComplex",
+    "encode_simplex",
+    "decode_simplex",
+    "encode_complex",
+    "decode_complex",
 ]

@@ -41,12 +41,16 @@ class Simplex:
     a 0-dimensional simplex.  Faces of a simplex are its non-empty subsets.
     """
 
-    __slots__ = ("_vertices", "_by_color", "_hash")
+    __slots__ = ("_vertices", "_hash")
 
     def __init__(self, vertices: Iterable[VertexLike]):
         resolved = [_as_vertex(entry) for entry in vertices]
         if not resolved:
             raise ChromaticityError("a simplex must contain at least one vertex")
+        # The color map is a construction-time scratch value only: storing
+        # it alongside the sorted tuple doubled the per-simplex footprint
+        # at 13^t facet counts, and every color lookup on a ≤n-vertex
+        # simplex is at least as fast as a linear scan of the tuple.
         by_color: dict[int, Vertex] = {}
         for vertex in resolved:
             if vertex.color in by_color:
@@ -60,7 +64,6 @@ class Simplex:
                 by_color[vertex.color] = vertex
         ordered = tuple(sorted(by_color.values(), key=lambda v: v.color))
         self._vertices = ordered
-        self._by_color = by_color
         self._hash = hash(ordered)
 
     # ------------------------------------------------------------------
@@ -87,7 +90,7 @@ class Simplex:
     @property
     def ids(self) -> frozenset:
         """The set ``ID(σ)`` of colors appearing in the simplex."""
-        return frozenset(self._by_color)
+        return frozenset(v.color for v in self._vertices)
 
     @property
     def dim(self) -> int:
@@ -96,11 +99,14 @@ class Simplex:
 
     def value_of(self, color: int) -> Hashable:
         """Return the value carried by the vertex of the given color."""
-        return self._by_color[color].value
+        return self.vertex_of(color).value
 
     def vertex_of(self, color: int) -> Vertex:
         """Return the vertex of the given color."""
-        return self._by_color[color]
+        for vertex in self._vertices:
+            if vertex.color == color:
+                return vertex
+        raise KeyError(color)
 
     def as_mapping(self) -> dict[int, Hashable]:
         """Return the simplex as a ``{color: value}`` dictionary."""
@@ -115,7 +121,10 @@ class Simplex:
     def __contains__(self, vertex: object) -> bool:
         if not isinstance(vertex, Vertex):
             return False
-        return self._by_color.get(vertex.color) == vertex
+        for candidate in self._vertices:
+            if candidate.color == vertex.color:
+                return candidate == vertex
+        return False
 
     # ------------------------------------------------------------------
     # Faces and projections

@@ -34,7 +34,6 @@ def forge_simplex(vertices):
     forged = object.__new__(Simplex)
     ordered = tuple(vertices)
     forged._vertices = ordered
-    forged._by_color = {v.color: v for v in ordered}
     forged._hash = hash(ordered)
     return forged
 
@@ -48,10 +47,10 @@ def forge_schedule(groups, views):
 
 
 class TestRegistry:
-    def test_all_eleven_rules_registered(self):
+    def test_all_twelve_rules_registered(self):
         assert sorted(RULES) == [
             f"AUD00{i}" for i in range(1, 10)
-        ] + ["AUD010", "AUD011"]
+        ] + ["AUD010", "AUD011", "AUD012"]
 
     def test_rules_partition_by_kind(self):
         for kind in ("complex", "carrier", "schedule", "task", "model"):

@@ -1,0 +1,73 @@
+"""The determinism contract: worker count never changes any result.
+
+Covers the three fan-outs at ``workers ∈ {1, 2}`` in the default tier-1
+run; the 4-worker sweeps are marked ``slow`` (they add pool spin-up
+latency without new code paths on small hosts).
+"""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.core import is_solvable
+from repro.faults import CampaignConfig, report_to_json, run_campaign
+from repro.models import ImmediateSnapshotModel
+from repro.models.protocol import ProtocolOperator
+from repro.tasks import approximate_agreement_task
+from repro.topology import Simplex
+
+
+def _triangle():
+    return Simplex((i, f"x{i}") for i in range(1, 4))
+
+
+def _campaign_json(workers):
+    config = CampaignConfig(
+        cell="aa-broken", n=3, t=1, executions=40, seed=7
+    )
+    report = run_campaign(config, workers=workers)
+    return json.dumps(report_to_json(report), sort_keys=True)
+
+
+def _protocol_facets(rounds, workers):
+    operator = ProtocolOperator(ImmediateSnapshotModel())
+    return operator.of_simplex(_triangle(), rounds, workers=workers).facets
+
+
+class TestChaosDeterminism:
+    def test_two_workers_byte_identical(self):
+        assert _campaign_json(2) == _campaign_json(1)
+
+    @pytest.mark.slow
+    def test_four_workers_byte_identical(self):
+        assert _campaign_json(4) == _campaign_json(1)
+
+
+class TestProtocolDeterminism:
+    def test_two_workers_identical_facet_sets(self):
+        # The E1/E19 workload: P^(t) over IIS on the 3-process triangle.
+        assert _protocol_facets(2, 2) == _protocol_facets(2, 1)
+
+    @pytest.mark.slow
+    def test_four_workers_identical_facet_sets(self):
+        assert _protocol_facets(3, 4) == _protocol_facets(3, 1)
+
+
+class TestSolvabilityDeterminism:
+    @pytest.mark.parametrize(
+        "epsilon,m", [(Fraction(1, 2), 2), (Fraction(1, 4), 4)]
+    )
+    def test_verdicts_identical_across_worker_counts(self, epsilon, m):
+        task = approximate_agreement_task([1, 2], epsilon, m)
+        iis = ImmediateSnapshotModel()
+        serial = is_solvable(task, iis, 1, workers=1)
+        assert is_solvable(task, iis, 1, workers=2) == serial
+
+    @pytest.mark.slow
+    def test_four_worker_verdict(self):
+        task = approximate_agreement_task([1, 2], Fraction(1, 2), 2)
+        iis = ImmediateSnapshotModel()
+        assert is_solvable(task, iis, 1, workers=4) == is_solvable(
+            task, iis, 1, workers=1
+        )

@@ -1,0 +1,99 @@
+"""Parallel protocol expansion equals the serial operator exactly."""
+
+from repro.models import ImmediateSnapshotModel, SnapshotModel
+from repro.models.protocol import ProtocolOperator
+from repro.parallel import (
+    expand_one_round,
+    materialize_protocol_complexes,
+    parallel_of_complex,
+)
+from repro.parallel.expansion import cold_model
+from repro.topology import Simplex, SimplicialComplex
+
+
+def _triangle():
+    return Simplex((i, f"x{i}") for i in range(1, 4))
+
+
+def _edge():
+    return Simplex((i, f"x{i}") for i in range(1, 3))
+
+
+class TestColdModel:
+    def test_detaches_memo_layers(self):
+        model = ImmediateSnapshotModel()
+        model.one_round_complex(_edge())  # warm the cache
+        clone = cold_model(model)
+        assert "_one_round_cache" not in clone.__dict__
+        assert model.one_round_complex(_edge()) == clone.one_round_complex(
+            _edge()
+        )
+
+
+class TestExpandOneRound:
+    def test_equals_serial_one_round(self):
+        model = ImmediateSnapshotModel()
+        base = model.one_round_complex(_triangle())  # 13 facets ≥ threshold
+        expanded = expand_one_round(cold_model(model), base, workers=2)
+        serial = SimplicialComplex(
+            [
+                facet
+                for sigma in base
+                for facet in model.one_round_complex(sigma).facets
+            ]
+        )
+        assert expanded == serial
+
+    def test_seeds_the_parent_memo(self):
+        model = cold_model(ImmediateSnapshotModel())
+        base = model.one_round_complex(_triangle())
+        expand_one_round(model, base, workers=2)
+        for sigma in base:
+            assert model.cached_one_round(sigma) is not None
+
+
+class TestMaterializeProtocol:
+    def test_table_matches_serial_operator(self):
+        parallel_operator = ProtocolOperator(ImmediateSnapshotModel())
+        serial_operator = ProtocolOperator(ImmediateSnapshotModel())
+        sigmas = list(SimplicialComplex.from_simplex(_triangle()))
+        table = materialize_protocol_complexes(
+            parallel_operator, sigmas, 2, workers=2
+        )
+        for sigma in sigmas:
+            assert table[sigma] == serial_operator.of_simplex(sigma, 2)
+            assert (
+                parallel_operator.cached_of_simplex(sigma, 2) is not None
+            )
+
+
+class TestOperatorRouting:
+    def test_of_simplex_identical_across_worker_counts(self):
+        serial = ProtocolOperator(ImmediateSnapshotModel()).of_simplex(
+            _triangle(), 2, workers=1
+        )
+        parallel = ProtocolOperator(ImmediateSnapshotModel()).of_simplex(
+            _triangle(), 2, workers=2
+        )
+        assert parallel == serial
+        assert len(parallel.facets) == 13**2
+
+    def test_of_complex_identical_across_worker_counts(self):
+        base = SimplicialComplex.from_simplex(_edge())
+        serial = ProtocolOperator(SnapshotModel()).of_complex(
+            base, 2, workers=1
+        )
+        parallel = ProtocolOperator(SnapshotModel()).of_complex(
+            base, 2, workers=2
+        )
+        assert parallel == serial
+
+    def test_parallel_of_complex_merge(self):
+        base = SimplicialComplex.from_simplex(_triangle())
+        serial = ProtocolOperator(ImmediateSnapshotModel()).of_complex(
+            base, 1, workers=1
+        )
+        merged = parallel_of_complex(
+            ProtocolOperator(ImmediateSnapshotModel()), base, 1, workers=2
+        )
+        assert merged == serial

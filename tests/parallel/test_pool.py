@@ -1,0 +1,146 @@
+"""Worker resolution, chunking, and the parallel_map primitive."""
+
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.parallel import pool as pool_module
+from repro.parallel.pool import (
+    WORKERS_ENV,
+    chunked,
+    get_default_workers,
+    parallel_map,
+    resolve_workers,
+    set_default_workers,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _napping_square(payload):
+    x, nap = payload
+    time.sleep(nap)
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def _clean_default():
+    yield
+    set_default_workers(None)
+
+
+class TestResolveWorkers:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        set_default_workers(3)
+        assert resolve_workers(2) == 2
+
+    def test_process_default_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        set_default_workers(3)
+        assert resolve_workers() == 3
+        assert get_default_workers() == 3
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert resolve_workers() == 4
+
+    def test_inside_worker_pins_serial(self, monkeypatch):
+        monkeypatch.setattr(pool_module, "_in_worker", True)
+        set_default_workers(8)
+        assert resolve_workers(4) == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, 65])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(ReproError):
+            resolve_workers(bad)
+        with pytest.raises(ReproError):
+            set_default_workers(bad)
+
+    def test_malformed_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "two")
+        with pytest.raises(ReproError):
+            resolve_workers()
+
+
+class TestChunked:
+    def test_contiguous_and_complete(self):
+        items = list(range(10))
+        pieces = chunked(items, 3)
+        assert [x for piece in pieces for x in piece] == items
+        assert max(len(p) for p in pieces) - min(
+            len(p) for p in pieces
+        ) <= 1
+
+    def test_drops_empty_pieces(self):
+        assert chunked([1, 2], 5) == [(1,), (2,)]
+        assert chunked([], 3) == []
+
+    def test_rejects_nonpositive_chunk_count(self):
+        with pytest.raises(ReproError):
+            chunked([1], 0)
+
+
+class TestParallelMapSerial:
+    def test_results_in_input_order(self):
+        outcome = parallel_map(_square, [3, 1, 2], workers=1)
+        assert outcome.results == [9, 1, 4]
+        assert outcome.completed == 3
+        assert not outcome.stopped_early
+
+    def test_stop_when_cancels_the_tail(self):
+        outcome = parallel_map(
+            _square, [1, 2, 3, 4], workers=1, stop_when=lambda r: r == 4
+        )
+        assert outcome.results == [1, 4, None, None]
+        assert outcome.stopped_early
+
+    def test_deadline_skips_everything_after_it(self):
+        outcome = parallel_map(
+            _square,
+            [1, 2, 3],
+            workers=1,
+            deadline_at=time.monotonic() - 1.0,
+        )
+        assert outcome.results == [None, None, None]
+        assert outcome.stopped_early
+
+
+class TestParallelMapPool:
+    def test_results_in_input_order(self):
+        payloads = list(range(7))
+        outcome = parallel_map(_square, payloads, workers=2)
+        assert outcome.results == [x * x for x in payloads]
+        assert outcome.completed == len(payloads)
+        assert not outcome.stopped_early
+        assert 1 <= len(outcome.worker_slots) <= 2
+        assert sorted(outcome.worker_slots.values()) == list(
+            range(len(outcome.worker_slots))
+        )
+
+    def test_stop_when_stops_early(self):
+        payloads = [(x, 0.02) for x in range(12)]
+        outcome = parallel_map(
+            _napping_square,
+            payloads,
+            workers=2,
+            stop_when=lambda r: r == 0,
+        )
+        assert outcome.stopped_early
+        assert outcome.results[0] == 0
+        # Whatever did complete landed at the right index.
+        for index, result in enumerate(outcome.results):
+            if result is not None:
+                assert result == index * index
+
+    def test_single_payload_runs_in_process(self):
+        outcome = parallel_map(_square, [5], workers=2)
+        assert outcome.results == [25]
+        assert outcome.worker_slots == {}

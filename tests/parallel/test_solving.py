@@ -1,0 +1,41 @@
+"""Parallel solvability search returns exactly the serial answer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import find_decision_map, is_solvable
+from repro.models import ImmediateSnapshotModel
+from repro.tasks import (
+    approximate_agreement_task,
+    binary_consensus_task,
+)
+
+
+@pytest.fixture
+def iis():
+    return ImmediateSnapshotModel()
+
+
+class TestParallelSolving:
+    def test_solvable_instance_same_map(self, iis):
+        task = approximate_agreement_task([1, 2], Fraction(1, 2), 2)
+        serial = find_decision_map(task, iis, 1, workers=1)
+        parallel = find_decision_map(task, iis, 1, workers=2)
+        assert serial is not None and parallel is not None
+        # Same map, not merely equi-solvable verdicts: the workers skip
+        # re-propagation so their variable order matches the serial
+        # component search exactly.
+        assert parallel.assignment == serial.assignment
+        assert parallel.rounds == serial.rounds
+
+    def test_unsolvable_instance_same_verdict(self, iis):
+        task = binary_consensus_task([1, 2])
+        assert not is_solvable(task, iis, 1, workers=1)
+        assert not is_solvable(task, iis, 1, workers=2)
+
+    def test_zero_round_identity(self, iis):
+        task = approximate_agreement_task([1, 2], Fraction(2, 1), 2)
+        assert is_solvable(task, iis, 0, workers=2) == is_solvable(
+            task, iis, 0, workers=1
+        )

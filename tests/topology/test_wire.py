@@ -1,0 +1,109 @@
+"""Property tests for the wire codec (hypothesis round trips)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ChromaticityError
+from repro.topology import (
+    Simplex,
+    SimplicialComplex,
+    Vertex,
+    VertexTable,
+    decode_complex,
+    decode_simplex,
+    encode_complex,
+    encode_simplex,
+)
+
+colors = st.integers(min_value=1, max_value=5)
+values = st.one_of(
+    st.integers(min_value=-3, max_value=3),
+    st.fractions(
+        min_value=Fraction(0), max_value=Fraction(1), max_denominator=8
+    ),
+    st.text(alphabet="abc", min_size=0, max_size=2),
+)
+
+
+@st.composite
+def simplices(draw, max_colors=4):
+    pool = draw(
+        st.lists(colors, min_size=1, max_size=max_colors, unique=True)
+    )
+    return Simplex((c, draw(values)) for c in pool)
+
+
+@st.composite
+def complexes(draw, max_facets=4):
+    facets = draw(st.lists(simplices(), min_size=1, max_size=max_facets))
+    return SimplicialComplex(facets)
+
+
+class TestSimplexRoundTrip:
+    @given(simplices())
+    def test_round_trip_identity(self, sigma):
+        assert decode_simplex(encode_simplex(sigma)) == sigma
+
+    @given(simplices())
+    def test_encoding_is_canonical(self, sigma):
+        # Same simplex → same wire record → usable as a dedup/memo key.
+        again = Simplex(reversed(sigma.vertices))
+        assert encode_simplex(again) == encode_simplex(sigma)
+        assert hash(encode_simplex(again)) == hash(encode_simplex(sigma))
+
+    @given(simplices(), simplices())
+    def test_distinct_simplices_encode_distinctly(self, a, b):
+        assert (encode_simplex(a) == encode_simplex(b)) == (a == b)
+
+
+class TestComplexRoundTrip:
+    @given(complexes())
+    def test_round_trip_identity(self, complex_):
+        assert decode_complex(encode_complex(complex_)) == complex_
+
+    @given(complexes())
+    def test_encoding_is_canonical(self, complex_):
+        rebuilt = SimplicialComplex(list(complex_.facets))
+        assert encode_complex(rebuilt) == encode_complex(complex_)
+
+    @given(complexes())
+    def test_facet_count(self, complex_):
+        wire = encode_complex(complex_)
+        assert wire.facet_count == len(complex_.facets)
+
+    @given(complexes())
+    def test_checked_decode_matches_trusted_decode(self, complex_):
+        wire = encode_complex(complex_)
+        assert decode_complex(wire, check=True) == decode_complex(wire)
+
+    def test_empty_complex_round_trips(self):
+        empty = SimplicialComplex.empty()
+        wire = encode_complex(empty)
+        assert wire.pairs == () and wire.masks == ()
+        assert decode_complex(wire) == empty
+
+
+class TestVertexTable:
+    @given(st.lists(st.tuples(colors, values), min_size=1, max_size=6))
+    def test_interning_is_idempotent(self, pairs):
+        table = VertexTable()
+        first = [table.add(Vertex(c, v)) for c, v in pairs]
+        second = [table.add(Vertex(c, v)) for c, v in pairs]
+        assert first == second
+        assert len(table) == len({Vertex(c, v) for c, v in pairs})
+
+    @given(simplices())
+    def test_mask_round_trip(self, sigma):
+        table = VertexTable()
+        assert table.decode_mask(table.encode_mask(sigma)) == sigma
+
+    def test_decode_mask_rejects_empty_and_foreign_bits(self):
+        table = VertexTable()
+        table.add(Vertex(1, 0))
+        with pytest.raises(ChromaticityError):
+            table.decode_mask(0)
+        with pytest.raises(ChromaticityError):
+            table.decode_mask(0b10)
