@@ -47,6 +47,11 @@ AUD012    parallel   process-pool coherence: the parallel merged
                      protocol complex equals the serial operator's
                      output, and sampled facets survive a wire-codec
                      round trip unchanged
+AUD013    complex    bitmask-core parity: pruning, containment,
+                     ``proj``/``star``/``skeleton``, ``union``/
+                     ``intersection`` and the f-vector computed through
+                     the mask index equal the retained object-set
+                     reference algorithms on the live complex
 ========  =========  ====================================================
 
 Each rule applies to one *kind* of :class:`AuditTarget`; the driver in
@@ -73,6 +78,7 @@ from repro.tasks.task import Task
 from repro.topology.carrier import CarrierMap
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
 
 __all__ = [
     "AuditTarget",
@@ -227,6 +233,136 @@ def check_facet_maximality(target: AuditTarget) -> Iterator[Finding]:
                     "(from_maximal contract violated)",
                 )
                 break
+
+
+@audit_rule(
+    "AUD013",
+    "complex",
+    "bitmask core agrees with the object-set reference",
+)
+def check_bitmask_reference_parity(
+    target: AuditTarget,
+) -> Iterator[Finding]:
+    """Cross-check the mask index against the retained seed algorithms.
+
+    The bitmask-native core answers pruning, membership, projection,
+    star, skeleton, union, intersection, and f-vector queries through
+    integer masks; :mod:`repro.topology.reference` keeps the seed
+    object-set implementations.  This probe runs both on the live
+    complex and requires identical answers — a divergence means the mask
+    index (or a trusted constructor feeding it) is corrupt even though
+    every individual facet looks healthy.
+
+    Malformed families (non-``Simplex`` facets, repeated or non-integer
+    colors) are AUD001's findings and are skipped here; oversized
+    complexes are audited on a deterministic 64-facet subfamily so the
+    reference side stays affordable.
+    """
+    from repro.topology import reference
+
+    complex_: SimplicialComplex = target.obj
+    facets = list(complex_.facets)
+    if not facets:
+        return
+    for facet in facets:
+        if not isinstance(facet, Simplex):
+            return
+        colors = [v.color for v in facet.vertices]
+        if any(not isinstance(c, int) for c in colors):
+            return
+        if len(set(colors)) != len(colors):
+            return
+
+    def mismatch(operation: str, detail: str) -> Finding:
+        return Finding(
+            "AUD013",
+            Severity.ERROR,
+            target.path,
+            f"bitmask/{operation} disagrees with the object-set "
+            f"reference: {detail}",
+        )
+
+    ordered = sorted(facets, key=lambda s: s._sort_key())
+    if len(ordered) > 64:
+        # A subfamily of an inclusion-maximal family is still maximal.
+        ordered = ordered[:64]
+        live = SimplicialComplex.from_maximal(ordered)
+    else:
+        live = complex_
+    family = frozenset(ordered)
+
+    candidates = [face for facet in ordered for face in facet.faces()]
+    repruned = SimplicialComplex(candidates).facets
+    expected = reference.prune_reference(candidates)
+    if repruned != expected:
+        yield mismatch(
+            "prune",
+            f"{len(repruned)} facets vs {len(expected)} from the "
+            "reference pruning pass",
+        )
+
+    for facet in ordered[:8]:
+        for face in facet.faces():
+            if (face in live) != reference.contains_reference(
+                family, face
+            ):
+                yield mismatch(
+                    "contains", f"membership of {face!r} diverges"
+                )
+                break
+        vertex = facet.vertices[0]
+        absent = Vertex(vertex.color, ("aud013-absent", vertex.value))
+        probe = Simplex(
+            (absent,) + facet.vertices[1:]
+        )
+        if (probe in live) != reference.contains_reference(family, probe):
+            yield mismatch(
+                "contains", f"membership of absent {probe!r} diverges"
+            )
+
+    colors = sorted(live.ids)
+    for keep in (colors[:1], colors[1:], colors):
+        if not keep:
+            continue
+        if live.proj(keep).facets != reference.proj_reference(
+            family, keep
+        ):
+            yield mismatch("proj", f"projection onto {keep} diverges")
+
+    star_vertex = ordered[0].vertices[0]
+    if live.star(star_vertex).facets != reference.star_reference(
+        family, star_vertex
+    ):
+        yield mismatch("star", f"star of {star_vertex!r} diverges")
+
+    k = live.dim - 1
+    if live.skeleton(k).facets != reference.skeleton_reference(family, k):
+        yield mismatch("skeleton", f"{k}-skeleton diverges")
+
+    left, right = ordered[::2], ordered[1::2]
+    if left and right:
+        left_complex = SimplicialComplex.from_maximal(left)
+        right_complex = SimplicialComplex.from_maximal(right)
+        if left_complex.union(
+            right_complex
+        ).facets != reference.union_reference(left, right):
+            yield mismatch("union", "facet-half union diverges")
+        small_left, small_right = left[:6], right[:6]
+        if SimplicialComplex.from_maximal(small_left).intersection(
+            SimplicialComplex.from_maximal(small_right)
+        ).facets != reference.intersection_reference(
+            small_left, small_right
+        ):
+            yield mismatch(
+                "intersection", "facet-half intersection diverges"
+            )
+
+    if live.f_vector() != reference.f_vector_reference(family):
+        yield mismatch(
+            "f-vector",
+            f"{live.f_vector()} vs "
+            f"{reference.f_vector_reference(family)}",
+        )
 
 
 # ----------------------------------------------------------------------
@@ -446,7 +582,10 @@ def check_memo_coherence(target: AuditTarget) -> Iterator[Finding]:
     """
     model: ComputationModel = target.obj
     one_round_cache = getattr(model, "_one_round_cache", None) or {}
-    for sigma, cached in list(one_round_cache.items()):
+    # Cache keys are opaque (table_id, mask) int pairs; the values keep
+    # the input simplex alongside the complex precisely so this probe
+    # can rebuild without reverse-engineering masks.
+    for sigma, cached in list(one_round_cache.values()):
         fresh = model._build_one_round_complex(sigma)
         if cached != fresh:
             yield Finding(

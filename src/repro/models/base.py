@@ -18,10 +18,12 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Hashable, Iterable, Optional
 
+from repro.errors import ChromaticityError
 from repro.instrumentation import counter
 from repro.telemetry import span
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
+from repro.topology.table import VertexTable
 from repro.topology.vertex import Vertex
 from repro.topology.views import View
 
@@ -46,7 +48,11 @@ class ComputationModel(ABC):
         :class:`~repro.models.protocol.ProtocolOperator` iteration and every
         ``σ`` of a solvability sweep over the same model instance shares
         one materialization; subclasses implement the actual enumeration in
-        :meth:`_build_one_round_complex`.
+        :meth:`_build_one_round_complex`.  Entries are keyed by
+        ``(table_id, mask)`` int pairs over a per-instance growable
+        :class:`~repro.topology.table.VertexTable` (values keep ``σ``
+        alongside the complex so audits can rebuild), which avoids
+        re-hashing simplex objects on the hot lookup path.
         """
         cache = getattr(self, "_one_round_cache", None)
         if cache is None:
@@ -57,7 +63,7 @@ class ComputationModel(ABC):
             self._one_round_stats = counter(  # norpr: RPR003
                 f"one-round-complex[{self.name}]"
             )
-        found = cache.get(sigma)
+        found = cache.get(self._memo_key(sigma))
         if found is None:
             self._one_round_stats.miss()
             # The span is opened only on a miss: cache hits stay a bare
@@ -68,24 +74,47 @@ class ComputationModel(ABC):
                 model=self.name,
                 participants=len(sigma.ids),
             ):
-                found = cache[sigma] = self._build_one_round_complex(sigma)
-        else:
-            self._one_round_stats.hit()
-        return found
+                built = self._build_one_round_complex(sigma)
+                cache[self._memo_key(sigma)] = (sigma, built)
+            return built
+        self._one_round_stats.hit()
+        return found[1]
+
+    def _memo_key(self, sigma: Simplex) -> tuple[int, int]:
+        """The ``(table_id, mask)`` memo key of ``σ``, interning as needed.
+
+        The table is per-model-instance and growable; masks from it are
+        only meaningful paired with its ``table_id``, which is what makes
+        the int pairs unambiguous even across detach/reattach cycles
+        (:func:`~repro.parallel.expansion.cold_model` drops the table
+        together with the caches it keys).
+        """
+        table = getattr(self, "_memo_table", None)
+        if table is None:
+            table = self._memo_table = VertexTable()
+        return (table.table_id, table.encode_mask_interning(sigma))
 
     def cached_one_round(
         self, sigma: Simplex
     ) -> Optional[SimplicialComplex]:
         """The memoized ``P^(1)(σ)``, or ``None`` if not yet built.
 
-        A pure cache probe: never materializes and never touches the
-        hit/miss tallies.  The parallel engine uses it to ship only the
-        not-yet-expanded simplices to the pool.
+        A pure cache probe: never materializes, never touches the
+        hit/miss tallies, and never grows the memo table (a vertex the
+        table has not seen cannot appear in any cached key).  The
+        parallel engine uses it to ship only the not-yet-expanded
+        simplices to the pool.
         """
         cache = getattr(self, "_one_round_cache", None)
-        if cache is None:
+        table = getattr(self, "_memo_table", None)
+        if cache is None or table is None:
             return None
-        return cache.get(sigma)
+        try:
+            mask = table.encode_mask(sigma)
+        except ChromaticityError:
+            return None
+        found = cache.get((table.table_id, mask))
+        return None if found is None else found[1]
 
     def seed_one_round(
         self, sigma: Simplex, complex_: SimplicialComplex
@@ -104,7 +133,7 @@ class ComputationModel(ABC):
             self._one_round_stats = counter(  # norpr: RPR003
                 f"one-round-complex[{self.name}]"
             )
-        cache[sigma] = complex_
+        cache[self._memo_key(sigma)] = (sigma, complex_)
 
     @abstractmethod
     def _build_one_round_complex(self, sigma: Simplex) -> SimplicialComplex:

@@ -18,11 +18,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.errors import ChromaticityError
 from repro.instrumentation import counter
 from repro.models.base import ComputationModel
 from repro.telemetry import span
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
+from repro.topology.table import VertexTable
 
 __all__ = ["ProtocolOperator"]
 
@@ -53,7 +55,21 @@ class ProtocolOperator:
 
     def __init__(self, model: ComputationModel) -> None:
         self._model = model
-        self._simplex_cache: dict[tuple[Simplex, int], SimplicialComplex] = {}
+        # Memo keys are ``(table_id, mask, rounds)`` int triples over a
+        # per-operator growable table — the hot of_simplex probe never
+        # hashes a Simplex object (see ``repro.topology.table``).
+        self._memo_table = VertexTable()
+        self._simplex_cache: dict[
+            tuple[int, int, int], SimplicialComplex
+        ] = {}
+
+    def _memo_key(self, sigma: Simplex, rounds: int) -> tuple[int, int, int]:
+        table = self._memo_table
+        return (
+            table.table_id,
+            table.encode_mask_interning(sigma),
+            rounds,
+        )
 
     @property
     def model(self) -> ComputationModel:
@@ -73,7 +89,7 @@ class ProtocolOperator:
         per-round fan-out (see :meth:`_one_round_of_complex`); the result
         and the memo contents do not depend on it.
         """
-        key = (sigma, rounds)
+        key = self._memo_key(sigma, rounds)
         found = self._simplex_cache.get(key)
         if found is None:
             _OF_SIMPLEX_STATS.miss()
@@ -99,10 +115,18 @@ class ProtocolOperator:
     ) -> Optional[SimplicialComplex]:
         """The memoized ``P^(rounds)(σ)``, or ``None`` if not yet built.
 
-        A pure cache probe (no materialization, no tally updates), used
-        by the parallel engine to ship only missing work to the pool.
+        A pure cache probe (no materialization, no tally updates, no
+        memo-table growth), used by the parallel engine to ship only
+        missing work to the pool.
         """
-        return self._simplex_cache.get((sigma, rounds))
+        try:
+            mask = self._memo_table.encode_mask(sigma)
+        except ChromaticityError:
+            # A vertex the table has not seen cannot be in any key.
+            return None
+        return self._simplex_cache.get(
+            (self._memo_table.table_id, mask, rounds)
+        )
 
     def seed_of_simplex(
         self,
@@ -116,7 +140,7 @@ class ProtocolOperator:
         compute — audit rule AUD012 cross-checks parallel merges
         against serial expansion on sampled simplices.
         """
-        self._simplex_cache[(sigma, rounds)] = complex_
+        self._simplex_cache[self._memo_key(sigma, rounds)] = complex_
 
     def of_complex(
         self,

@@ -42,6 +42,7 @@ __all__ = [
 #: rebuilt lazily in the worker; see ``repro.models.base``).
 _MEMO_ATTRS = (
     "_one_round_cache",
+    "_memo_table",
     "_one_round_stats",
     "_view_map_cache",
     "_view_map_stats",

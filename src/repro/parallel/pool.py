@@ -151,6 +151,37 @@ def _invoke(fn: Callable[[P], R], index: int, payload: P) -> tuple:
     return index, result, os.getpid(), time.perf_counter() - started
 
 
+def _record_completion(
+    outcome: MapOutcome,
+    results: list,
+    tasks,
+    busy,
+    label: str,
+    index: int,
+    result,
+    pid: int,
+    task_busy: float,
+) -> None:
+    """Fold one finished pool task into the outcome and telemetry.
+
+    Used by the main completion loop *and* the post-cancel drain, so a
+    task that finishes while the map is shutting down gets exactly the
+    same accounting (worker slot, ``parallel/worker-{slot}`` span,
+    task counter, busy histogram) as one reaped mid-flight.
+    """
+    slot = outcome.worker_slots.setdefault(pid, len(outcome.worker_slots))
+    results[index] = result
+    outcome.completed += 1
+    tasks.inc()
+    busy.observe(task_busy)
+    with span(
+        f"parallel/worker-{slot}",
+        label=label,
+        index=index,
+    ) as task_span:
+        task_span.set_attribute("busy_s", task_busy)
+
+
 def chunked(items: Sequence[P], chunks: int) -> list[tuple[P, ...]]:
     """Split ``items`` into ``chunks`` contiguous, near-even pieces.
 
@@ -205,9 +236,15 @@ def parallel_map(
                 if deadline_at is not None and time.monotonic() > deadline_at:
                     outcome.stopped_early = True
                     break
+                task_started = time.perf_counter()
                 results[index] = fn(payload)
                 outcome.completed += 1
                 tasks.inc()
+                # Same busy accounting as the pool path, so serial and
+                # parallel runs of one workload report comparable
+                # utilization; worker slots/spans stay pool-only (there
+                # is no worker process to attribute them to).
+                busy.observe(time.perf_counter() - task_started)
                 if stop_when is not None and stop_when(results[index]):
                     outcome.stopped_early = True
                     break
@@ -225,19 +262,17 @@ def parallel_map(
                     stop = False
                     for future in done:
                         index, result, pid, task_busy = future.result()
-                        slot = outcome.worker_slots.setdefault(
-                            pid, len(outcome.worker_slots)
+                        _record_completion(
+                            outcome,
+                            results,
+                            tasks,
+                            busy,
+                            label,
+                            index,
+                            result,
+                            pid,
+                            task_busy,
                         )
-                        results[index] = result
-                        outcome.completed += 1
-                        tasks.inc()
-                        busy.observe(task_busy)
-                        with span(
-                            f"parallel/worker-{slot}",
-                            label=label,
-                            index=index,
-                        ) as task_span:
-                            task_span.set_attribute("busy_s", task_busy)
                         if stop_when is not None and stop_when(result):
                             stop = True
                     past_deadline = (
@@ -253,10 +288,17 @@ def parallel_map(
                             if future.cancelled():
                                 continue
                             index, result, pid, task_busy = future.result()
-                            results[index] = result
-                            outcome.completed += 1
-                            tasks.inc()
-                            busy.observe(task_busy)
+                            _record_completion(
+                                outcome,
+                                results,
+                                tasks,
+                                busy,
+                                label,
+                                index,
+                                result,
+                                pid,
+                                task_busy,
+                            )
                         pending = set()
             finally:
                 for future in pending:

@@ -78,11 +78,14 @@ def _encode_component(
             families.append(
                 tuple(
                     sorted(
-                        table.encode_mask(simplex) for simplex in allowed
+                        table.encode_mask_interning(simplex)
+                        for simplex in allowed
                     )
                 )
             )
-        constraints.append((table.encode_mask(facet), family_id))
+        constraints.append(
+            (table.encode_mask_interning(facet), family_id)
+        )
     encoded_candidates = tuple(
         (
             table.add(vertex),

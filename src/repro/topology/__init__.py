@@ -34,8 +34,13 @@ from repro.topology.connectivity import (
     one_skeleton_adjacency,
     shortest_path,
 )
-from repro.topology.wire import (
+from repro.topology.table import (
     VertexTable,
+    iter_bits,
+    iter_submasks,
+    popcount,
+)
+from repro.topology.wire import (
     WireComplex,
     WireSimplex,
     decode_complex,
@@ -64,6 +69,9 @@ __all__ = [
     "join_complexes",
     "ridge_incidence",
     "VertexTable",
+    "iter_bits",
+    "iter_submasks",
+    "popcount",
     "WireSimplex",
     "WireComplex",
     "encode_simplex",

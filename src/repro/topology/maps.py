@@ -12,11 +12,16 @@ agreement checks against carrier maps.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Optional
 
 from repro.errors import ChromaticityError, SimplicialityError
-from repro.topology.complex import SimplicialComplex
+from repro.topology.complex import (
+    SimplicialComplex,
+    _prune_masks,
+    _remap_mask,
+)
 from repro.topology.simplex import Simplex
+from repro.topology.table import VertexTable
 from repro.topology.vertex import Vertex
 
 __all__ = ["SimplicialMap"]
@@ -116,10 +121,50 @@ class SimplicialMap:
         return Simplex(self._vertex_map[v] for v in simplex.vertices)
 
     def apply_complex(self, complex_: SimplicialComplex) -> SimplicialComplex:
-        """The image complex ``f(K)`` of a subcomplex of the source."""
+        """The image complex ``f(K)`` of a subcomplex of the source.
+
+        When the map is chromatic on ``complex_`` and every image vertex
+        belongs to the target's vertex table, the image is computed at
+        the mask level: each facet mask is translated bit-by-bit into
+        the target table and the results pruned bitwise, without ever
+        materializing an image ``Simplex``.  Maps that fall outside that
+        contract (extra vertices, color changes — only reachable with
+        ``check=False``) take the object path with seed semantics.
+        """
+        translated = self._mask_translation(complex_)
+        if translated is not None:
+            table, bit_map = translated
+            _, masks = complex_._ensure_index()
+            images = {_remap_mask(mask, bit_map) for mask in masks}
+            return SimplicialComplex._from_masks(
+                table, _prune_masks(images)
+            )
         return SimplicialComplex(
             self.apply_simplex(facet) for facet in complex_.facets
         )
+
+    def _mask_translation(
+        self, complex_: SimplicialComplex
+    ) -> Optional[tuple[VertexTable, list[int]]]:
+        """A source-bit → target-bit map for ``complex_``, if one exists.
+
+        Returns ``None`` when some vertex is unmapped, some image is not
+        interned in the target, or the map is not color-preserving on
+        ``complex_`` — the callers then fall back to object semantics.
+        """
+        source_table, _ = complex_._ensure_index()
+        target_table, _ = self._target._ensure_index()
+        vertex_map = self._vertex_map
+        bit_map: list[int] = []
+        for vertex in source_table.vertices:
+            image = vertex_map.get(vertex)
+            if image is None or image.color != vertex.color:
+                return None
+            try:
+                bit_map.append(1 << target_table.index_of(image))
+            except KeyError:
+                return None
+        return target_table, bit_map
 
     def image(self) -> SimplicialComplex:
         """The image of the whole source complex."""

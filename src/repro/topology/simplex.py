@@ -41,7 +41,7 @@ class Simplex:
     a 0-dimensional simplex.  Faces of a simplex are its non-empty subsets.
     """
 
-    __slots__ = ("_vertices", "_hash")
+    __slots__ = ("_vertices", "_hash", "_skey")
 
     def __init__(self, vertices: Iterable[VertexLike]):
         resolved = [_as_vertex(entry) for entry in vertices]
@@ -78,6 +78,23 @@ class Simplex:
     def single(cls, color: int, value: Hashable) -> "Simplex":
         """Build the 0-dimensional simplex ``{(color, value)}``."""
         return cls([Vertex(color, value)])
+
+    @classmethod
+    def _from_color_sorted(
+        cls, ordered: tuple[Vertex, ...]
+    ) -> "Simplex":
+        """Trusted fast path: wrap a color-sorted chromatic vertex tuple.
+
+        Skips the chromaticity pass of ``__init__``.  The caller promises
+        the tuple is non-empty, sorted by color, and free of repeated
+        colors — the bitmask core's lazy materialization produces exactly
+        those (set bits of a canonical vertex table enumerate vertices in
+        color order).
+        """
+        self = object.__new__(cls)
+        self._vertices = ordered
+        self._hash = hash(ordered)
+        return self
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -187,7 +204,14 @@ class Simplex:
     # Value-object plumbing
     # ------------------------------------------------------------------
     def _sort_key(self) -> tuple:
-        return tuple(v._sort_key() for v in self._vertices)
+        # Cached lazily; the slot stays unset until first use so forged
+        # test objects built via ``object.__new__`` keep working.
+        try:
+            return self._skey
+        except AttributeError:
+            key = tuple(v._sort_key() for v in self._vertices)
+            self._skey = key
+            return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Simplex):

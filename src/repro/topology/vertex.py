@@ -72,7 +72,7 @@ class Vertex:
         (possibly paired with a black-box output).
     """
 
-    __slots__ = ("_color", "_value", "_hash")
+    __slots__ = ("_color", "_value", "_hash", "_skey")
 
     def __init__(self, color: int, value: Hashable):
         if not isinstance(color, int):
@@ -100,7 +100,15 @@ class Vertex:
         return (self._color, self._value)
 
     def _sort_key(self) -> tuple:
-        return (self._color, value_sort_key(self._value))
+        # Cached on first use: canonical vertex-table construction sorts
+        # the same vertices over and over, and the structural key of a
+        # deep View payload is the expensive part.
+        try:
+            return self._skey
+        except AttributeError:
+            key = (self._color, value_sort_key(self._value))
+            self._skey = key
+            return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Vertex):

@@ -41,7 +41,7 @@ class View:
         distinct.
     """
 
-    __slots__ = ("_items", "_index", "_hash")
+    __slots__ = ("_items", "_index", "_hash", "_skey")
 
     def __init__(self, pairs: PairsLike):
         if isinstance(pairs, Mapping):
@@ -130,18 +130,34 @@ class View:
         This is the containment ``V_j ⊆ V_i`` used in the definition of the
         standard chromatic subdivision.
         """
-        return all(
-            color in other._index and other._index[color] == value
-            for color, value in self._items
-        )
+        if len(self._items) > len(other._items):
+            return False
+        other_index = other._index
+        for color, value in self._items:
+            try:
+                if other_index[color] != value:
+                    return False
+            except KeyError:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Value-object plumbing
     # ------------------------------------------------------------------
     def _sort_key(self) -> tuple:
-        return tuple(
-            (color, value_sort_key(value)) for color, value in self._items
-        )
+        # Views nest (a round-t view holds round-(t-1) views), so the
+        # structural key is recursive and worth caching: sorting the
+        # vertex table of a 13^t-facet protocol complex touches each
+        # distinct view many times.
+        try:
+            return self._skey
+        except AttributeError:
+            key = tuple(
+                (color, value_sort_key(value))
+                for color, value in self._items
+            )
+            self._skey = key
+            return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, View):

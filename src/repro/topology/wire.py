@@ -7,9 +7,16 @@ shared :class:`~repro.topology.vertex.Vertex` (and its nested
 :class:`~repro.topology.views.View` payload) once per facet that contains
 it — at ``13^t`` facets the redundancy dominates the payload.  The codec
 instead interns the distinct ``(color, value)`` pairs once in a
-:class:`VertexTable` and encodes each simplex as an integer *bitmask*
-over the table, so a complex crosses the process boundary as one pair
-table plus one ``int`` per facet.
+:class:`~repro.topology.table.VertexTable` and encodes each simplex as an
+integer *bitmask* over the table, so a complex crosses the process
+boundary as one pair table plus one ``int`` per facet.
+
+Since the bitmask-native core, this representation is also the complex's
+*in-memory* index: :func:`encode_complex` just re-reads the canonical
+``(table, masks)`` pair the complex already maintains (a near-no-op),
+and the trusted :func:`decode_complex` path hands the masks straight
+back to a lazily-materializing complex without rebuilding one vertex
+object.
 
 The encoding is canonical: the table lists vertices in their
 deterministic sort order and facet masks are emitted sorted, so equal
@@ -22,17 +29,17 @@ wire form double as a compact, hashable *key* for the memoization layer
 ``tests/topology/test_wire.py``): the facets of a
 :class:`~repro.topology.complex.SimplicialComplex` are inclusion-maximal
 by construction, masks preserve exactly that family, and decoding goes
-through the trusted ``from_maximal`` fast path.
+through the trusted mask-level fast path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Optional
+from typing import Hashable, Optional
 
-from repro.errors import ChromaticityError
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
+from repro.topology.table import VertexTable
 from repro.topology.vertex import Vertex
 
 __all__ = [
@@ -44,80 +51,6 @@ __all__ = [
     "encode_complex",
     "decode_complex",
 ]
-
-
-class VertexTable:
-    """An interned table of ``(color, value)`` pairs with stable indices.
-
-    The table assigns each distinct vertex a small integer index; simplex
-    bitmasks are built over those indices.  Encoding and decoding sides
-    must share the same pair tuple (the encoder embeds it in the wire
-    record).
-    """
-
-    __slots__ = ("_pairs", "_index", "_vertices")
-
-    def __init__(
-        self, pairs: Iterable[tuple[int, Hashable]] = ()
-    ) -> None:
-        self._pairs: list[tuple[int, Hashable]] = []
-        self._index: dict[Vertex, int] = {}
-        self._vertices: list[Vertex] = []
-        for color, value in pairs:
-            self.add(Vertex(color, value))
-
-    def add(self, vertex: Vertex) -> int:
-        """Intern a vertex, returning its (new or existing) index."""
-        found = self._index.get(vertex)
-        if found is None:
-            found = len(self._pairs)
-            self._index[vertex] = found
-            self._pairs.append(vertex.as_pair())
-            self._vertices.append(vertex)
-        return found
-
-    def index_of(self, vertex: Vertex) -> int:
-        """The index of an interned vertex (:class:`KeyError` if absent)."""
-        return self._index[vertex]
-
-    def vertex_at(self, index: int) -> Vertex:
-        """The vertex interned at ``index``."""
-        return self._vertices[index]
-
-    @property
-    def pairs(self) -> tuple[tuple[int, Hashable], ...]:
-        """The interned ``(color, value)`` pairs, in index order."""
-        return tuple(self._pairs)
-
-    def __len__(self) -> int:
-        return len(self._pairs)
-
-    def encode_mask(self, simplex: Simplex) -> int:
-        """The bitmask of a simplex over this table (vertices interned)."""
-        mask = 0
-        for vertex in simplex.vertices:
-            mask |= 1 << self.add(vertex)
-        return mask
-
-    def decode_mask(self, mask: int) -> Simplex:
-        """Rebuild the simplex whose vertices are the set bits of ``mask``."""
-        if mask <= 0:
-            raise ChromaticityError(
-                f"simplex bitmask must be positive, got {mask}"
-            )
-        vertices = []
-        index = 0
-        while mask:
-            if mask & 1:
-                if index >= len(self._vertices):
-                    raise ChromaticityError(
-                        f"bitmask bit {index} exceeds the vertex table "
-                        f"({len(self._vertices)} entries)"
-                    )
-                vertices.append(self._vertices[index])
-            mask >>= 1
-            index += 1
-        return Simplex(vertices)
 
 
 @dataclass(frozen=True)
@@ -163,17 +96,14 @@ def decode_simplex(wire: WireSimplex) -> Simplex:
 def encode_complex(complex_: SimplicialComplex) -> WireComplex:
     """Encode a complex canonically as a pair table plus facet bitmasks.
 
-    The table lists ``complex_.sorted_vertices()`` (deterministic), and
-    the mask tuple is sorted, so equal complexes yield equal records.
-    The empty complex encodes to empty tuples.
+    The complex's own mask index *is* the canonical representation (the
+    table lists the vertices in deterministic sort order and the mask
+    tuple is stored sorted), so encoding only re-reads it — the historic
+    re-interning pass is gone.  The empty complex encodes to empty
+    tuples.
     """
-    table = VertexTable()
-    for vertex in complex_.sorted_vertices():
-        table.add(vertex)
-    masks = sorted(
-        table.encode_mask(facet) for facet in complex_.facets
-    )
-    return WireComplex(table.pairs, tuple(masks))
+    table, masks = complex_._ensure_index()
+    return WireComplex(table.pairs, masks)
 
 
 def decode_complex(
@@ -182,16 +112,27 @@ def decode_complex(
     """Rebuild a complex from its wire form.
 
     Records produced by :func:`encode_complex` carry the facets of a
-    real complex, which are inclusion-maximal by construction; decoding
-    therefore takes the trusted ``from_maximal`` path.  Pass
-    ``check=True`` for foreign records (hand-built masks): the decoder
-    then routes through the pruning constructor, which tolerates — and
-    prunes — non-maximal families.
+    real complex — inclusion-maximal masks over a canonically sorted
+    table — so decoding takes the trusted mask-level path: the table is
+    interned process-wide and facet ``Simplex`` objects materialize only
+    if an API boundary asks for them.  Pass ``check=True`` for foreign
+    records (hand-built masks): the decoder then materializes every
+    facet and routes through the pruning constructor, which tolerates —
+    and prunes — non-maximal families.
     """
-    table = VertexTable(wire.pairs)
-    facets = [table.decode_mask(mask) for mask in wire.masks]
+    table = VertexTable.interned(wire.pairs)
     if check:
-        return SimplicialComplex(facets)
-    if not facets:
+        return SimplicialComplex(
+            [table.decode_mask(mask) for mask in wire.masks]
+        )
+    if not wire.masks:
         return SimplicialComplex.empty()
-    return SimplicialComplex.from_maximal(facets)
+    # Bounds-check the masks (decode_mask would have); the mask-level
+    # constructor then narrows/validates table order itself.
+    full = table.full_mask
+    for mask in wire.masks:
+        if mask <= 0 or mask & ~full:
+            return SimplicialComplex(
+                [table.decode_mask(mask) for mask in wire.masks]
+            )
+    return SimplicialComplex._from_masks(table, wire.masks)

@@ -47,10 +47,10 @@ def forge_schedule(groups, views):
 
 
 class TestRegistry:
-    def test_all_twelve_rules_registered(self):
+    def test_all_thirteen_rules_registered(self):
         assert sorted(RULES) == [
             f"AUD00{i}" for i in range(1, 10)
-        ] + ["AUD010", "AUD011", "AUD012"]
+        ] + ["AUD010", "AUD011", "AUD012", "AUD013"]
 
     def test_rules_partition_by_kind(self):
         for kind in ("complex", "carrier", "schedule", "task", "model"):
@@ -97,6 +97,31 @@ class TestComplexRules:
         assert fired_rules(
             [AuditTarget("complex", "fixture/ok", complex_)]
         ) == set()
+
+    def test_aud013_fires_on_corrupt_face_mask_memo(self):
+        sigma = Simplex([(1, "a"), (2, "b")])
+        tau = Simplex([(1, "a"), (3, "c")])
+        complex_ = SimplicialComplex([sigma, tau])
+        _, masks = complex_._ensure_index()
+        # Corrupt the memoized face-mask set the way an aliasing bug
+        # would: membership and the f-vector now disagree with the
+        # stored facets, which only the reference cross-check can see.
+        complex_._face_masks = {masks[0]}
+        target = AuditTarget("complex", "fixture/corrupt-index", complex_)
+        findings = [
+            f for f in run_rules([target]) if f.rule_id == "AUD013"
+        ]
+        assert findings
+        assert any("contains" in f.message for f in findings)
+        assert all(f.severity is Severity.ERROR for f in findings)
+
+    def test_aud013_skips_malformed_families(self):
+        # Non-chromatic facets are AUD001's finding; the parity probe
+        # must not crash (or double-report) on them.
+        broken = forge_simplex([Vertex(1, "a"), Vertex(1, "b")])
+        complex_ = SimplicialComplex.from_maximal([broken])
+        target = AuditTarget("complex", "fixture/aud001-turf", complex_)
+        assert "AUD013" not in fired_rules([target])
 
 
 class TestCarrierRules:
@@ -250,8 +275,8 @@ class TestModelRules:
         sigma = Simplex([(1, "a"), (2, "b")])
         model.one_round_complex(sigma)  # warm the memo honestly
         # Poison the cache the way an accidental in-place mutation would.
-        model._one_round_cache[sigma] = SimplicialComplex.from_simplex(
-            sigma
+        model.seed_one_round(
+            sigma, SimplicialComplex.from_simplex(sigma)
         )
         target = AuditTarget("model", "fixture/stale-memo", model, {})
         findings = run_rules([target])

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ReproError
 from repro.parallel import pool as pool_module
+from repro.telemetry import default_registry, tracing
 from repro.parallel.pool import (
     WORKERS_ENV,
     chunked,
@@ -144,3 +145,56 @@ class TestParallelMapPool:
         outcome = parallel_map(_square, [5], workers=2)
         assert outcome.results == [25]
         assert outcome.worker_slots == {}
+
+
+def _worker_span_indexes(tracer):
+    def walk(spans):
+        for entry in spans:
+            yield entry
+            yield from walk(entry.children)
+
+    return sorted(
+        entry.attributes["index"]
+        for entry in walk(tracer.roots)
+        if entry.name.startswith("parallel/worker-")
+    )
+
+
+class TestParallelMapAccounting:
+    def test_serial_path_observes_busy_histogram(self):
+        # Regression: the serial loop incremented parallel.tasks but
+        # never observed parallel.task-busy-s, so serial and pool runs
+        # of one workload reported incomparable utilization.
+        busy = default_registry().histogram("parallel.task-busy-s")
+        tasks = default_registry().counter("parallel.tasks")
+        busy_before, tasks_before = busy.count, tasks.value
+        parallel_map(_square, [1, 2, 3], workers=1)
+        assert tasks.value - tasks_before == 3
+        assert busy.count - busy_before == 3
+
+    def test_drained_tasks_get_full_worker_accounting(self):
+        # Regression: futures reaped on the early-stop drain path were
+        # folded into results but skipped the worker-slot assignment and
+        # the parallel/worker-* span, so traces under-reported exactly
+        # the tasks that raced a cancellation.
+        payloads = [(0, 0.0), (1, 0.3), (2, 0.3), (3, 0.3)]
+        with tracing() as tracer:
+            outcome = parallel_map(
+                _napping_square,
+                payloads,
+                workers=2,
+                stop_when=lambda r: r == 0,
+            )
+        assert outcome.stopped_early
+        # The executor prefetches work, so at least one napping task is
+        # already in flight when the stop lands and must be drained.
+        assert outcome.completed >= 2
+        completed_indexes = sorted(
+            index
+            for index, result in enumerate(outcome.results)
+            if result is not None
+        )
+        assert _worker_span_indexes(tracer) == completed_indexes
+        assert sorted(outcome.worker_slots.values()) == list(
+            range(len(outcome.worker_slots))
+        )

@@ -1,0 +1,182 @@
+"""Bitmask core vs object-set reference on randomized complexes.
+
+Every property here pits a mask-native :class:`SimplicialComplex`
+operation against its retained seed implementation from
+:mod:`repro.topology.reference` on hypothesis-generated chromatic
+complexes — the same parity contract audit rule AUD013 enforces on live
+experiment targets, but over a much wilder input distribution.  A second
+group of tests pins the lazy-materialization contract of wire-born
+complexes: queries must be answerable without rebuilding ``Simplex``
+objects.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import (
+    Simplex,
+    SimplicialComplex,
+    Vertex,
+    decode_complex,
+    encode_complex,
+)
+from repro.topology import reference
+
+colors = st.integers(min_value=1, max_value=5)
+values = st.one_of(
+    st.integers(min_value=-3, max_value=3),
+    st.fractions(
+        min_value=Fraction(0), max_value=Fraction(1), max_denominator=8
+    ),
+    st.text(alphabet="abc", min_size=0, max_size=2),
+)
+
+
+@st.composite
+def simplices(draw, max_colors=4):
+    pool = draw(
+        st.lists(colors, min_size=1, max_size=max_colors, unique=True)
+    )
+    return Simplex((c, draw(values)) for c in pool)
+
+
+@st.composite
+def families(draw, max_size=6):
+    return draw(st.lists(simplices(), min_size=1, max_size=max_size))
+
+
+class TestPruningParity:
+    @given(families())
+    def test_init_prunes_like_the_reference(self, family):
+        assert SimplicialComplex(family).facets == (
+            reference.prune_reference(family)
+        )
+
+    @given(families())
+    def test_pruning_all_faces_reproduces_the_facets(self, family):
+        complex_ = SimplicialComplex(family)
+        candidates = [
+            face for facet in complex_.facets for face in facet.faces()
+        ]
+        assert SimplicialComplex(candidates) == complex_
+
+
+class TestQueryParity:
+    @given(families())
+    def test_contains_present_faces(self, family):
+        complex_ = SimplicialComplex(family)
+        for face in reference.faces_reference(complex_.facets):
+            assert face in complex_
+
+    @given(families(), simplices())
+    def test_contains_arbitrary_probe(self, family, probe):
+        complex_ = SimplicialComplex(family)
+        assert (probe in complex_) == reference.contains_reference(
+            complex_.facets, probe
+        )
+
+    @given(families())
+    def test_simplices_and_len(self, family):
+        complex_ = SimplicialComplex(family)
+        faces = reference.faces_reference(complex_.facets)
+        assert complex_.simplices == faces
+        assert len(complex_) == len(faces)
+
+    @given(families(), st.sets(colors, max_size=3))
+    def test_proj(self, family, keep):
+        complex_ = SimplicialComplex(family)
+        assert complex_.proj(keep).facets == reference.proj_reference(
+            complex_.facets, keep
+        )
+
+    @given(families())
+    def test_star_of_every_vertex(self, family):
+        complex_ = SimplicialComplex(family)
+        for vertex in complex_.vertices:
+            assert complex_.star(vertex).facets == (
+                reference.star_reference(complex_.facets, vertex)
+            )
+
+    @given(families())
+    def test_star_of_a_foreign_vertex_is_empty(self, family):
+        complex_ = SimplicialComplex(family)
+        foreign = Vertex(1, ("bitmask-core", "absent"))
+        assert complex_.star(foreign).is_empty()
+
+    @given(families(), st.integers(min_value=-1, max_value=4))
+    def test_skeleton(self, family, k):
+        complex_ = SimplicialComplex(family)
+        assert complex_.skeleton(k).facets == (
+            reference.skeleton_reference(complex_.facets, k)
+        )
+
+    @given(families(), families())
+    def test_union(self, left, right):
+        a, b = SimplicialComplex(left), SimplicialComplex(right)
+        assert a.union(b).facets == reference.union_reference(
+            a.facets, b.facets
+        )
+
+    @given(families(), families())
+    def test_intersection(self, left, right):
+        a, b = SimplicialComplex(left), SimplicialComplex(right)
+        assert a.intersection(b).facets == (
+            reference.intersection_reference(a.facets, b.facets)
+        )
+
+    @given(families())
+    def test_f_vector(self, family):
+        complex_ = SimplicialComplex(family)
+        assert complex_.f_vector() == reference.f_vector_reference(
+            complex_.facets
+        )
+
+
+class TestLazyMaterialization:
+    """Wire-born complexes answer queries without rebuilding facets."""
+
+    @given(families())
+    def test_wire_born_complex_defers_facet_objects(self, family):
+        original = SimplicialComplex(family)
+        reborn = decode_complex(encode_complex(original))
+        assert reborn._facets is None  # not materialized at decode time
+        # Mask-level queries must not force materialization …
+        assert reborn.facet_count == original.facet_count
+        assert len(reborn) == len(original)
+        assert reborn.dim == original.dim
+        assert reborn == original
+        assert hash(reborn) == hash(original)
+        assert reborn._facets is None
+        # … while the facets property materializes on demand.
+        assert reborn.facets == original.facets
+
+    @given(families(), families())
+    def test_mask_level_operations_stay_lazy(self, left, right):
+        a = decode_complex(
+            encode_complex(SimplicialComplex(left))
+        )
+        b = decode_complex(
+            encode_complex(SimplicialComplex(right))
+        )
+        merged = a.union(b)
+        projected = a.proj(sorted(a.ids)[:1])
+        assert a._facets is None and b._facets is None
+        assert merged._facets is None or merged.is_empty()
+        assert projected._facets is None or projected.is_empty()
+
+    @given(families())
+    def test_reencoding_uses_the_existing_index(self, family):
+        original = SimplicialComplex(family)
+        wire = encode_complex(original)
+        reborn = decode_complex(wire)
+        assert encode_complex(reborn) == wire
+        assert reborn._facets is None  # encoding is a pure index read
+
+    @given(families())
+    def test_equal_complexes_share_one_interned_table(self, family):
+        first = SimplicialComplex(family)
+        second = SimplicialComplex(list(first.facets))
+        assert first._ensure_index()[0] is second._ensure_index()[0]
+        assert first._ensure_index()[1] == second._ensure_index()[1]

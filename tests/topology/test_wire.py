@@ -98,7 +98,32 @@ class TestVertexTable:
     @given(simplices())
     def test_mask_round_trip(self, sigma):
         table = VertexTable()
-        assert table.decode_mask(table.encode_mask(sigma)) == sigma
+        assert (
+            table.decode_mask(table.encode_mask_interning(sigma)) == sigma
+        )
+
+    @given(simplices())
+    def test_encode_mask_is_strict(self, sigma):
+        # Regression: encode_mask used to silently intern unknown
+        # vertices, so masks depended on encounter order.  It must now
+        # reject vertices the table does not hold.
+        table = VertexTable()
+        with pytest.raises(ChromaticityError):
+            table.encode_mask(sigma)
+        # Once the table holds the vertices, strict encoding agrees
+        # with the interning builder.
+        mask = table.encode_mask_interning(sigma)
+        assert table.encode_mask(sigma) == mask
+
+    def test_encode_mask_rejects_stale_table(self):
+        table = VertexTable()
+        known = Simplex([(1, "a")])
+        table.encode_mask_interning(known)
+        stale = Simplex([(1, "a"), (2, "b")])
+        with pytest.raises(ChromaticityError):
+            table.encode_mask(stale)
+        # The strict probe must not have grown the table.
+        assert len(table) == 1
 
     def test_decode_mask_rejects_empty_and_foreign_bits(self):
         table = VertexTable()
