@@ -32,7 +32,12 @@ RPR005    public functions in ``repro.core``, ``repro.models``,
 Suppression: append ``# norpr: RPR003`` (comma-separate several ids, or
 ``all``) to the offending line.  Suppressions are deliberate, reviewable
 exemptions — e.g. the lazy per-instance counter init in
-:mod:`repro.models.base`.
+:mod:`repro.models.base`.  A suppression that suppresses *nothing* (a
+stale or misspelled id, or no finding left on that line) is itself
+reported as RPR000 so exemptions cannot rot silently; ids owned by the
+flow engine (:mod:`repro.checks.flow` registers them in
+:data:`EXTERNAL_RPR_IDS`) are judged by that engine, and the ``all``
+wildcard is exempt from staleness because it may cover either engine.
 """
 
 from __future__ import annotations
@@ -61,6 +66,12 @@ __all__ = [
 ]
 
 _SUPPRESSION = re.compile(r"#\s*norpr:\s*([A-Za-z0-9_,\s]+)")
+
+#: Rule ids owned by other engines sharing the ``# norpr:`` syntax (the
+#: flow engine registers RPR006–RPR009 here on import).  The lint's
+#: unused-suppression pass leaves these ids to their owner instead of
+#: reporting them as unknown.
+EXTERNAL_RPR_IDS: set[str] = set()
 
 #: Internal attributes of the interned value objects, keyed by the module
 #: allowed to assign them.
@@ -148,16 +159,38 @@ def lint_rule(rule_id: str, title: str) -> Callable[[Checker], Checker]:
 
 
 def _parse_suppressions(lines: Sequence[str]) -> dict[int, frozenset[str]]:
+    """Map line numbers to the rule ids suppressed on them.
+
+    Works on real comment tokens, not raw text, so a ``# norpr:``
+    example quoted inside a docstring is not treated as a suppression.
+    Sources that fail to tokenize fall back to a line-regex scan (the
+    lint still reports their syntax error separately).
+    """
     found: dict[int, frozenset[str]] = {}
-    for number, line in enumerate(lines, start=1):
-        match = _SUPPRESSION.search(line)
+
+    def record(line_number: int, comment: str) -> None:
+        match = _SUPPRESSION.search(comment)
         if match:
-            ids = frozenset(
+            found[line_number] = frozenset(
                 part.strip()
                 for part in match.group(1).split(",")
                 if part.strip()
             )
-            found[number] = ids
+
+    import io
+    import tokenize
+
+    source = "\n".join(lines)
+    try:
+        for token in tokenize.generate_tokens(
+            io.StringIO(source).readline
+        ):
+            if token.type == tokenize.COMMENT:
+                record(token.start[0], token.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        found.clear()
+        for number, line in enumerate(lines, start=1):
+            record(number, line)
     return found
 
 
@@ -200,12 +233,54 @@ def lint_source(
         suppressions=_parse_suppressions(lines),
     )
     findings: list[Finding] = []
+    used: set[tuple[int, str]] = set()
     for rule in LINT_RULES.values():
         for finding in rule.check(context):
             line = int(finding.path.rsplit(":", 1)[-1])
-            if not context.suppressed(line, finding.rule_id):
+            if context.suppressed(line, finding.rule_id):
+                active = context.suppressions.get(line) or frozenset()
+                used.add(
+                    (
+                        line,
+                        finding.rule_id
+                        if finding.rule_id in active
+                        else "all",
+                    )
+                )
+            else:
                 findings.append(finding)
+    findings.extend(_unused_suppressions(context, used))
     return findings
+
+
+def _unused_suppressions(
+    context: LintContext, used: set[tuple[int, str]]
+) -> Iterator[Finding]:
+    """RPR000 findings for suppressions that suppressed nothing.
+
+    The lint owns its own rule ids plus any id no engine claims; ids in
+    :data:`EXTERNAL_RPR_IDS` belong to the flow engine, which runs its
+    own staleness pass, and the ``all`` wildcard is exempt because it
+    may legitimately cover the other engine's findings.
+    """
+    for line, ids in sorted(context.suppressions.items()):
+        for rule_id in sorted(ids):
+            if rule_id == "all" or rule_id in EXTERNAL_RPR_IDS:
+                continue
+            if (line, rule_id) in used:
+                continue
+            reason = (
+                "suppresses no finding on this line"
+                if rule_id in LINT_RULES
+                else "names a rule id no engine defines"
+            )
+            yield Finding(
+                "RPR000",
+                Severity.WARNING,
+                f"{context.path}:{line}",
+                f"unused suppression: `# norpr: {rule_id}` {reason} "
+                "— remove it before it rots",
+            )
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:

@@ -1,0 +1,105 @@
+"""Committed baseline of grandfathered flow findings.
+
+A new flow rule landing on an existing tree usually surfaces findings
+that are real debt but not this PR's business.  Rather than weakening
+the rule or sprinkling suppressions, the CLI supports a *baseline
+file*: ``repro check --flow --update-baseline`` records the current
+findings, the file is committed, and subsequent runs report only
+findings **not** in the baseline — so the gate stays at zero new
+findings while the recorded debt stays visible (and shrinks as lines
+are fixed, because fixed findings simply stop matching).
+
+Fingerprints are ``(rule_id, file, message)`` with the line number
+stripped from the path: unrelated edits above a grandfathered finding
+move its line but must not un-baseline it.  The file is deterministic
+(sorted, stable JSON) so diffs are reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Set, Tuple
+
+from repro.checks.findings import Finding, sort_findings
+
+__all__ = [
+    "Fingerprint",
+    "fingerprint",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
+]
+
+Fingerprint = Tuple[str, str, str]
+
+_VERSION = 1
+
+
+def _file_of(path: str) -> str:
+    """The path with any trailing ``:line`` component stripped."""
+    base, sep, tail = path.rpartition(":")
+    if sep and tail.isdigit():
+        return base
+    return path
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    """The line-insensitive identity of a finding."""
+    return (finding.rule_id, _file_of(finding.path), finding.message)
+
+
+def load_baseline(path: str) -> Set[Fingerprint]:
+    """Read a baseline file; raises ``ValueError`` on malformed content."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != _VERSION
+        or not isinstance(document.get("findings"), list)
+    ):
+        raise ValueError(
+            f"malformed baseline file {path!r}: expected "
+            f'{{"version": {_VERSION}, "findings": [...]}}'
+        )
+    baseline: Set[Fingerprint] = set()
+    for entry in document["findings"]:
+        baseline.add(
+            (
+                str(entry["rule"]),
+                str(entry["path"]),
+                str(entry["message"]),
+            )
+        )
+    return baseline
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write the baseline of ``findings``; returns the entry count."""
+    entries = sorted(
+        {fingerprint(finding) for finding in sort_findings(findings)}
+    )
+    document = {
+        "version": _VERSION,
+        "findings": [
+            {"rule": rule, "path": file, "message": message}
+            for rule, file, message in entries
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Set[Fingerprint]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, grandfathered-count)."""
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if fingerprint(finding) in baseline:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

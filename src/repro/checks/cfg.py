@@ -1,0 +1,342 @@
+"""Control-flow graphs over ``ast`` for the flow analysis.
+
+:func:`build_cfg` lowers one function body (or a module body treated as
+a function) into basic blocks of *elements* — the statement and
+header-expression :class:`ast.AST` nodes in execution order — connected
+by successor edges.  The abstract interpreter in
+:mod:`repro.checks.flow` then runs a forward worklist over the graph.
+
+The lowering is deliberately modest; it is a bug-finding CFG, not a
+compiler CFG:
+
+* ``if``/``while``/``for`` produce the textbook diamond/loop shapes
+  (the header expression node sits in its own header block, so the
+  environment *before* a loop test is the join over entry and back
+  edge);
+* ``break``/``continue``/``return``/``raise`` terminate their block and
+  edge to the loop exit / loop header / function exit;
+* ``try`` is conservative: every handler is reachable from the block in
+  which the ``try`` starts *and* from the end of the body, which
+  over-approximates "an exception may fly at any point" well enough for
+  a may-analysis; ``finally`` bodies run on the fall-through path;
+* ``with`` bodies are straight-line (the context expression and the
+  ``as`` binding become elements of the current block);
+* nested function/class definitions are single elements — their bodies
+  get their own CFGs, analyzed separately.
+
+Match statements (3.10+) are lowered as a join over all case bodies so
+the engine stays 3.9-compatible while not mis-analyzing newer sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Union
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+#: A function-like region the CFG can be built for.
+Region = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]
+
+
+class BasicBlock:
+    """One straight-line run of elements plus its successor edges."""
+
+    __slots__ = ("index", "elements", "successors")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.elements: List[ast.AST] = []
+        self.successors: List["BasicBlock"] = []
+
+    def add_successor(self, block: "BasicBlock") -> None:
+        if block not in self.successors:
+            self.successors.append(block)
+
+    def __repr__(self) -> str:
+        kinds = ",".join(type(e).__name__ for e in self.elements)
+        edges = ",".join(str(s.index) for s in self.successors)
+        return f"BasicBlock({self.index}, [{kinds}] -> [{edges}])"
+
+
+class CFG:
+    """The control-flow graph of one function-like region."""
+
+    __slots__ = ("region", "blocks", "entry", "exit")
+
+    def __init__(self, region: Region) -> None:
+        self.region = region
+        self.blocks: List[BasicBlock] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def predecessors(self) -> dict[int, List[BasicBlock]]:
+        """Map each block index to the list of its predecessor blocks."""
+        preds: dict[int, List[BasicBlock]] = {
+            block.index: [] for block in self.blocks
+        }
+        for block in self.blocks:
+            for successor in block.successors:
+                preds[successor.index].append(block)
+        return preds
+
+    def rpo(self) -> List[BasicBlock]:
+        """Blocks in reverse post-order from the entry.
+
+        Unreachable blocks (e.g. code after ``return``) are appended at
+        the end so their elements still get environments recorded.
+        """
+        seen: set[int] = set()
+        order: List[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            stack = [(block, iter(block.successors))]
+            seen.add(block.index)
+            while stack:
+                current, successors = stack[-1]
+                advanced = False
+                for successor in successors:
+                    if successor.index not in seen:
+                        seen.add(successor.index)
+                        stack.append(
+                            (successor, iter(successor.successors))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        for block in self.blocks:
+            if block.index not in seen:
+                order.append(block)
+        return order
+
+
+class _Builder:
+    """Recursive-descent lowering of a statement list into blocks."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        # Stack of (loop_header, loop_exit) for break/continue targets.
+        self.loops: List[tuple[BasicBlock, BasicBlock]] = []
+
+    # ------------------------------------------------------------------
+    def lower(self, statements: Sequence[ast.stmt]) -> None:
+        block = self.lower_body(statements, self.cfg.entry)
+        if block is not None:
+            block.add_successor(self.cfg.exit)
+
+    def lower_body(
+        self, statements: Sequence[ast.stmt], block: Optional[BasicBlock]
+    ) -> Optional[BasicBlock]:
+        """Lower a statement list; returns the fall-through block.
+
+        ``None`` means the path never falls through (it returned, raised,
+        broke, or continued).  Statements after such a terminator are
+        still lowered (into an unreachable block) so every element gets
+        an environment.
+        """
+        for statement in statements:
+            if block is None:
+                block = self.cfg.new_block()
+            block = self.lower_statement(statement, block)
+        return block
+
+    # ------------------------------------------------------------------
+    def lower_statement(
+        self, statement: ast.stmt, block: BasicBlock
+    ) -> Optional[BasicBlock]:
+        if isinstance(statement, ast.If):
+            return self.lower_if(statement, block)
+        if isinstance(statement, (ast.While,)):
+            return self.lower_while(statement, block)
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            return self.lower_for(statement, block)
+        if isinstance(statement, ast.Try):
+            return self.lower_try(statement, block)
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            return self.lower_with(statement, block)
+        if isinstance(statement, (ast.Return, ast.Raise)):
+            block.elements.append(statement)
+            block.add_successor(self.cfg.exit)
+            return None
+        if isinstance(statement, ast.Break):
+            block.elements.append(statement)
+            if self.loops:
+                block.add_successor(self.loops[-1][1])
+            else:
+                block.add_successor(self.cfg.exit)
+            return None
+        if isinstance(statement, ast.Continue):
+            block.elements.append(statement)
+            if self.loops:
+                block.add_successor(self.loops[-1][0])
+            else:
+                block.add_successor(self.cfg.exit)
+            return None
+        if _is_match(statement):
+            return self.lower_match(statement, block)
+        # Everything else — Assign, AnnAssign, AugAssign, Expr, Assert,
+        # Delete, Global, Nonlocal, Import, Pass, nested defs — is one
+        # straight-line element.
+        block.elements.append(statement)
+        return block
+
+    # ------------------------------------------------------------------
+    def lower_if(
+        self, statement: ast.If, block: BasicBlock
+    ) -> Optional[BasicBlock]:
+        block.elements.append(statement.test)
+        then_entry = self.cfg.new_block()
+        block.add_successor(then_entry)
+        then_exit = self.lower_body(statement.body, then_entry)
+        if statement.orelse:
+            else_entry = self.cfg.new_block()
+            block.add_successor(else_entry)
+            else_exit = self.lower_body(statement.orelse, else_entry)
+        else:
+            else_exit = block
+        if then_exit is None and else_exit is None:
+            return None
+        join = self.cfg.new_block()
+        if then_exit is not None:
+            then_exit.add_successor(join)
+        if else_exit is not None:
+            else_exit.add_successor(join)
+        return join
+
+    def lower_while(
+        self, statement: ast.While, block: BasicBlock
+    ) -> Optional[BasicBlock]:
+        header = self.cfg.new_block()
+        block.add_successor(header)
+        header.elements.append(statement.test)
+        exit_block = self.cfg.new_block()
+        header.add_successor(exit_block)
+        body_entry = self.cfg.new_block()
+        header.add_successor(body_entry)
+        self.loops.append((header, exit_block))
+        body_exit = self.lower_body(statement.body, body_entry)
+        self.loops.pop()
+        if body_exit is not None:
+            body_exit.add_successor(header)
+        if statement.orelse:
+            return self.lower_body(statement.orelse, exit_block)
+        return exit_block
+
+    def lower_for(
+        self, statement: Union[ast.For, ast.AsyncFor], block: BasicBlock
+    ) -> Optional[BasicBlock]:
+        header = self.cfg.new_block()
+        block.add_successor(header)
+        # The For node itself is the header element: the transfer
+        # function evaluates ``iter`` and binds ``target`` to one
+        # element of it.
+        header.elements.append(statement)
+        exit_block = self.cfg.new_block()
+        header.add_successor(exit_block)
+        body_entry = self.cfg.new_block()
+        header.add_successor(body_entry)
+        self.loops.append((header, exit_block))
+        body_exit = self.lower_body(statement.body, body_entry)
+        self.loops.pop()
+        if body_exit is not None:
+            body_exit.add_successor(header)
+        if statement.orelse:
+            return self.lower_body(statement.orelse, exit_block)
+        return exit_block
+
+    def lower_try(
+        self, statement: ast.Try, block: BasicBlock
+    ) -> Optional[BasicBlock]:
+        body_entry = self.cfg.new_block()
+        block.add_successor(body_entry)
+        body_exit = self.lower_body(statement.body, body_entry)
+        if body_exit is not None and statement.orelse:
+            body_exit = self.lower_body(statement.orelse, body_exit)
+
+        exits: List[BasicBlock] = []
+        if body_exit is not None:
+            exits.append(body_exit)
+        for handler in statement.handlers:
+            handler_entry = self.cfg.new_block()
+            # Conservative: the handler is reachable from the try's
+            # start and from the end of its body (an exception may fly
+            # before or after any body statement).
+            body_entry.add_successor(handler_entry)
+            if body_exit is not None:
+                body_exit.add_successor(handler_entry)
+            if handler.type is not None:
+                handler_entry.elements.append(handler.type)
+            handler_exit = self.lower_body(handler.body, handler_entry)
+            if handler_exit is not None:
+                exits.append(handler_exit)
+
+        if statement.finalbody:
+            final_entry = self.cfg.new_block()
+            for exit_block in exits:
+                exit_block.add_successor(final_entry)
+            if not exits:
+                # All paths diverge; the finally body still runs on the
+                # exceptional path — keep it reachable for env purposes.
+                body_entry.add_successor(final_entry)
+            return self.lower_body(statement.finalbody, final_entry)
+        if not exits:
+            return None
+        if len(exits) == 1:
+            return exits[0]
+        join = self.cfg.new_block()
+        for exit_block in exits:
+            exit_block.add_successor(join)
+        return join
+
+    def lower_with(
+        self, statement: Union[ast.With, ast.AsyncWith], block: BasicBlock
+    ) -> Optional[BasicBlock]:
+        # Context expressions (and their `as` bindings) are elements;
+        # the withitem node carries both for the transfer function.
+        for item in statement.items:
+            block.elements.append(item)
+        return self.lower_body(statement.body, block)
+
+    def lower_match(
+        self, statement: ast.stmt, block: BasicBlock
+    ) -> Optional[BasicBlock]:
+        block.elements.append(statement.subject)  # type: ignore[attr-defined]
+        exits: List[BasicBlock] = [block]  # no case may match
+        for case in statement.cases:  # type: ignore[attr-defined]
+            case_entry = self.cfg.new_block()
+            block.add_successor(case_entry)
+            case_exit = self.lower_body(case.body, case_entry)
+            if case_exit is not None:
+                exits.append(case_exit)
+        join = self.cfg.new_block()
+        for exit_block in exits:
+            exit_block.add_successor(join)
+        return join
+
+
+def _is_match(statement: ast.stmt) -> bool:
+    match_type = getattr(ast, "Match", None)
+    return match_type is not None and isinstance(statement, match_type)
+
+
+def build_cfg(region: Region) -> CFG:
+    """Build the CFG of a function definition or a module body."""
+    cfg = CFG(region)
+    _Builder(cfg).lower(region.body)
+    return cfg
+
+
+def iter_elements(cfg: CFG) -> Iterator[ast.AST]:
+    """Every element of every block, in reverse post-order."""
+    for block in cfg.rpo():
+        yield from block.elements

@@ -78,7 +78,7 @@ class Finding:
     path: str
     message: str
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, str]:
         """JSON-friendly representation (severity as its lowercase name)."""
         return {
             "rule": self.rule_id,
@@ -97,9 +97,34 @@ def max_severity(findings: Iterable[Finding]) -> Severity:
     return worst
 
 
+def _path_key(path: str) -> tuple[str, int]:
+    """Split a ``file:line`` path into a (file, numeric line) sort key.
+
+    Lexicographic sorting of the raw path puts ``foo.py:10`` before
+    ``foo.py:9``; the numeric split keeps findings in source order.
+    Paths without a line component (audit-target paths) sort by their
+    text with line 0.
+    """
+    base, sep, tail = path.rpartition(":")
+    if sep and tail.isdigit():
+        return base, int(tail)
+    return path, 0
+
+
 def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
-    """Order findings worst-first, then by path and rule for stable output."""
+    """Order findings by path, line, then rule id — deterministically.
+
+    This is the one ordering every reporter and the baseline file use,
+    so text output, JSON output, and CI diffs are stable across runs
+    and across engines (severity breaks ties only after location and
+    rule, worst first).
+    """
     return sorted(
         findings,
-        key=lambda f: (-int(f.severity), f.path, f.rule_id, f.message),
+        key=lambda f: (
+            *_path_key(f.path),
+            f.rule_id,
+            -int(f.severity),
+            f.message,
+        ),
     )

@@ -1,0 +1,211 @@
+"""RPR007/RPR008 — determinism of orders and of ambient inputs.
+
+The library's headline guarantee is bit-for-bit reproducibility:
+identical inputs produce identical artifacts at every worker count
+(AUD012 tests the parity after the fact; these rules prove the causes
+away up front).
+
+**RPR007** flags unordered iteration flowing into order-sensitive
+outputs.  ``set``/``frozenset`` iteration order is undefined across
+interpreters (it hashes pointers for non-trivial elements), so any of
+
+* ``list(s)`` / ``tuple(s)`` / ``enumerate(s)`` / ``sep.join(s)``,
+* a list comprehension over a set,
+* a ``for`` loop over a set whose body appends/extends/inserts into an
+  accumulator or ``yield``\\ s,
+
+bakes nondeterministic order into an output.  ``sorted(s)`` is the
+sanctioned laundering step and is never flagged.  Plain ``dict`` views
+are *not* flagged: CPython dicts iterate in insertion order (a language
+guarantee since 3.7), so flagging them would bury real findings in
+noise — a deliberate narrowing of the rule to provable nondeterminism.
+
+**RPR008** bans ambient nondeterminism from the pure proof packages
+(``repro.core``, ``repro.topology``): unseeded module-level ``random``
+calls, wall-clock reads (``time.time``/``monotonic``/``perf_counter``,
+``datetime.now``), and ``id()``-keyed ordering (``sorted(..., key=id)``
+— pointer order varies run to run).  Seeded ``random.Random(seed)``
+instances are allowed: determinism comes from the seed, not from
+avoiding randomness.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.findings import Finding, Severity
+from repro.checks.flow import FunctionAnalysis, flow_rule
+from repro.checks.provenance import KIND_UNORDERED, Env
+
+__all__ = ["check_unordered_flow", "check_pure_paths"]
+
+#: Builtins that materialize their argument's iteration order.
+_ORDER_CONSUMERS = frozenset({"list", "tuple", "enumerate"})
+
+#: Accumulator methods that make a loop body order-sensitive.
+_ACCUMULATORS = frozenset({"append", "extend", "insert"})
+
+#: Wall-clock reads banned from pure paths.
+_WALLCLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+def _location(analysis: FunctionAnalysis, node: ast.AST) -> str:
+    return f"{analysis.context.path}:{getattr(node, 'lineno', 0)}"
+
+
+# ----------------------------------------------------------------------
+# RPR007
+# ----------------------------------------------------------------------
+def _order_sensitive_body(loop: ast.AST) -> bool:
+    """Does the loop body append/extend/insert or ``yield``?"""
+    for statement in loop.body:  # type: ignore[attr-defined]
+        for node in ast.walk(statement):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ACCUMULATORS
+            ):
+                return True
+    return False
+
+
+@flow_rule("RPR007", "unordered iteration must not feed ordered outputs")
+def check_unordered_flow(
+    analysis: FunctionAnalysis,
+) -> Iterator[Finding]:
+    for element, env in analysis.elements():
+        if not isinstance(element, (ast.For, ast.AsyncFor)):
+            continue
+        iterable = analysis.evaluate(element.iter, env)
+        if iterable.kind != KIND_UNORDERED:
+            continue
+        if _order_sensitive_body(element):
+            yield Finding(
+                "RPR007",
+                Severity.ERROR,
+                _location(analysis, element),
+                "loop over a set feeds an ordered accumulator "
+                "(append/extend/yield); set iteration order is "
+                "undefined — iterate sorted(...) instead",
+            )
+    for node, env in analysis.nodes():
+        if isinstance(node, ast.Call):
+            yield from _check_consumer(analysis, node, env)
+        elif isinstance(node, ast.ListComp):
+            for generator in node.generators:
+                iterable = analysis.evaluate(generator.iter, env)
+                if iterable.kind == KIND_UNORDERED:
+                    yield Finding(
+                        "RPR007",
+                        Severity.ERROR,
+                        _location(analysis, node),
+                        "list comprehension over a set bakes undefined "
+                        "iteration order into an ordered result; "
+                        "iterate sorted(...) instead",
+                    )
+
+
+def _check_consumer(
+    analysis: FunctionAnalysis, node: ast.Call, env: Env
+) -> Iterator[Finding]:
+    function = node.func
+    consumer = None
+    if (
+        isinstance(function, ast.Name)
+        and function.id in _ORDER_CONSUMERS
+    ):
+        consumer = function.id
+    elif isinstance(function, ast.Attribute) and function.attr == "join":
+        consumer = "join"
+    if consumer is None or not node.args:
+        return
+    value = analysis.evaluate(node.args[0], env)
+    if value.kind != KIND_UNORDERED:
+        return
+    yield Finding(
+        "RPR007",
+        Severity.ERROR,
+        _location(analysis, node),
+        f"{consumer}() materializes a set's undefined iteration "
+        "order into an ordered output; wrap the set in sorted(...) "
+        "first",
+    )
+
+
+# ----------------------------------------------------------------------
+# RPR008
+# ----------------------------------------------------------------------
+def _is_id_keyed_sort(node: ast.Call) -> bool:
+    function = node.func
+    is_sort = (
+        isinstance(function, ast.Name) and function.id in ("sorted", "min", "max")
+    ) or (
+        isinstance(function, ast.Attribute) and function.attr == "sort"
+    )
+    if not is_sort:
+        return False
+    for keyword in node.keywords:
+        if (
+            keyword.arg == "key"
+            and isinstance(keyword.value, ast.Name)
+            and keyword.value.id == "id"
+        ):
+            return True
+    return False
+
+
+@flow_rule("RPR008", "pure paths are free of ambient nondeterminism")
+def check_pure_paths(analysis: FunctionAnalysis) -> Iterator[Finding]:
+    if not analysis.context.in_pure_package():
+        return
+    for node, _env in analysis.nodes():
+        if not isinstance(node, ast.Call):
+            continue
+        target = analysis.context.resolve_call(node)
+        if target is not None:
+            if target.startswith("random.") and target != "random.Random":
+                yield Finding(
+                    "RPR008",
+                    Severity.ERROR,
+                    _location(analysis, node),
+                    f"{target}() drives the unseeded module-level RNG "
+                    "on a pure path; pass a seeded random.Random "
+                    "instance instead",
+                )
+                continue
+            if target in _WALLCLOCK:
+                yield Finding(
+                    "RPR008",
+                    Severity.ERROR,
+                    _location(analysis, node),
+                    f"{target}() reads the wall clock on a pure path; "
+                    "results must depend on inputs only",
+                )
+                continue
+        if _is_id_keyed_sort(node):
+            yield Finding(
+                "RPR008",
+                Severity.ERROR,
+                _location(analysis, node),
+                "ordering by key=id sorts by memory address, which "
+                "varies run to run; order by a value-derived key",
+            )

@@ -1,0 +1,183 @@
+"""RPR006 — mask provenance across :class:`VertexTable` boundaries.
+
+A simplex bitmask is only meaningful relative to the one table that
+encoded it; the bitmask-native core (PR 6) made this the repo's hottest
+invariant and its least visible one — mixing masks across tables does
+not raise, it silently produces wrong simplices.  This rule proves the
+invariant on source, flow-sensitively:
+
+* **bitwise combination** (``&``, ``|``, ``^``, also via ``&=`` …) of
+  two masks whose origins are known and different;
+* **ordering/equality comparison** of such masks (a subset test against
+  a foreign table's mask is meaningless);
+* **decode sites**: ``table.decode_mask(m)`` / ``decode_mask_trusted``
+  where ``m`` provably came from a different table;
+* **memo keys**: a tuple pairing ``X.table_id`` with a mask encoded by
+  a table other than ``X`` (the ``(table_id, mask)`` key contract of
+  the memoization layer).
+
+Severity follows the engine-wide policy: two distinct construction
+sites are provably distinct tables (``ERROR``); symbolic origins
+(``self._table`` vs ``other._table``, ``interned`` sites) may alias,
+so those mixes are ``WARNING``.  The runtime sanitizer
+(:mod:`repro.topology.sanitize`) asserts the same contract dynamically
+under the same rule id.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.checks.findings import Finding, Severity
+from repro.checks.flow import FunctionAnalysis, flow_rule
+from repro.checks.provenance import (
+    KIND_MASK,
+    AbstractValue,
+    Env,
+    table_token,
+)
+
+__all__ = ["check_mask_provenance"]
+
+_BITWISE = (ast.BitAnd, ast.BitOr, ast.BitXor)
+_DECODERS = frozenset({"decode_mask", "decode_mask_trusted"})
+
+
+def _location(analysis: FunctionAnalysis, node: ast.AST) -> str:
+    return f"{analysis.context.path}:{getattr(node, 'lineno', 0)}"
+
+
+def _mismatch(
+    left: AbstractValue, right: AbstractValue
+) -> Optional[Severity]:
+    """Severity of mixing two values, or ``None`` when fine/unknown."""
+    if left.origin is None or right.origin is None:
+        return None
+    if left.origin == right.origin:
+        return None
+    if left.definite and right.definite:
+        return Severity.ERROR
+    return Severity.WARNING
+
+
+def _mask_pair_finding(
+    analysis: FunctionAnalysis,
+    node: ast.AST,
+    left: AbstractValue,
+    right: AbstractValue,
+    operation: str,
+) -> Iterator[Finding]:
+    if left.kind != KIND_MASK or right.kind != KIND_MASK:
+        return
+    severity = _mismatch(left, right)
+    if severity is None:
+        return
+    yield Finding(
+        "RPR006",
+        severity,
+        _location(analysis, node),
+        f"{operation} mixes a mask from {left.origin!r} with a mask "
+        f"from {right.origin!r}; masks are only meaningful against "
+        "the one VertexTable that encoded them — re-encode on a "
+        "shared table first",
+    )
+
+
+@flow_rule("RPR006", "masks never cross VertexTable boundaries")
+def check_mask_provenance(
+    analysis: FunctionAnalysis,
+) -> Iterator[Finding]:
+    for node, env in analysis.nodes():
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _BITWISE):
+            yield from _mask_pair_finding(
+                analysis,
+                node,
+                analysis.evaluate(node.left, env),
+                analysis.evaluate(node.right, env),
+                "bitwise combination",
+            )
+        elif isinstance(node, ast.Compare):
+            yield from _check_compare(analysis, node, env)
+        elif isinstance(node, ast.Call):
+            yield from _check_decode(analysis, node, env)
+        elif isinstance(node, ast.Tuple):
+            yield from _check_memo_key(analysis, node, env)
+
+
+def _check_compare(
+    analysis: FunctionAnalysis, node: ast.Compare, env: Env
+) -> Iterator[Finding]:
+    operands = [node.left] + list(node.comparators)
+    comparable = (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+    for op, left_node, right_node in zip(
+        node.ops, operands, operands[1:]
+    ):
+        if not isinstance(op, comparable):
+            continue
+        yield from _mask_pair_finding(
+            analysis,
+            node,
+            analysis.evaluate(left_node, env),
+            analysis.evaluate(right_node, env),
+            "comparison",
+        )
+
+
+def _check_decode(
+    analysis: FunctionAnalysis, node: ast.Call, env: Env
+) -> Iterator[Finding]:
+    function = node.func
+    if not (
+        isinstance(function, ast.Attribute)
+        and function.attr in _DECODERS
+        and node.args
+    ):
+        return
+    table = table_token(function.value, env)
+    mask = analysis.evaluate(node.args[0], env)
+    if mask.kind != KIND_MASK:
+        return
+    severity = _mismatch(table, mask)
+    if severity is None:
+        return
+    yield Finding(
+        "RPR006",
+        severity,
+        _location(analysis, node),
+        f"{function.attr} on table {table.origin!r} is handed a mask "
+        f"encoded by {mask.origin!r}; decode with the table that "
+        "produced the mask",
+    )
+
+
+def _check_memo_key(
+    analysis: FunctionAnalysis, node: ast.Tuple, env: Env
+) -> Iterator[Finding]:
+    """``(X.table_id, mask)`` keys must pair a table with its own mask."""
+    table: Optional[AbstractValue] = None
+    for element in node.elts:
+        if (
+            isinstance(element, ast.Attribute)
+            and element.attr == "table_id"
+        ):
+            table = table_token(element.value, env)
+            break
+    if table is None or table.origin is None:
+        return
+    for element in node.elts:
+        value = analysis.evaluate(element, env)
+        if value.kind != KIND_MASK:
+            continue
+        severity = _mismatch(table, value)
+        if severity is None:
+            continue
+        yield Finding(
+            "RPR006",
+            severity,
+            _location(analysis, node),
+            f"memo key pairs table_id of {table.origin!r} with a mask "
+            f"encoded by {value.origin!r}; (table_id, mask) keys are "
+            "only unambiguous when both halves come from the same "
+            "table",
+        )

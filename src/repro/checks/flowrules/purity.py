@@ -1,0 +1,178 @@
+"""RPR009 — purity of functions shipped to pool workers.
+
+:func:`repro.parallel.pool.parallel_map` (and raw executor
+``submit``/``map``) pickles the function reference and runs it in a
+child process.  Three things break that contract silently:
+
+* **unpicklable callables** — lambdas and nested functions cannot be
+  pickled by reference; the failure surfaces as an opaque
+  ``PicklingError`` deep inside the pool (or, worse, only at non-1
+  worker counts, which the serial fast path hides);
+* **module-global mutation** — a worker's write to a module global
+  lands in the *child* process and is silently lost, so code that
+  "works" serially diverges under ``--workers N``;
+* **ambient worker-count reads** — a shipped function consulting
+  ``resolve_workers``/``get_default_workers``/``$REPRO_WORKERS`` sees
+  the *child's* configuration (pinned to serial), not the parent's,
+  which is exactly the kind of worker-count-dependent behaviour the
+  determinism contract (identical results at every worker count) bans.
+
+The rule resolves the shipped argument intraprocedurally: lambdas are
+flagged outright, names are resolved against the enclosing function
+(nested definition → unpicklable) and then against the module's
+top-level functions, whose bodies are scanned for the two impurity
+patterns.  Names imported from other modules are left alone — the
+analysis stays intraprocedural and only reports what it can prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.checks.findings import Finding, Severity
+from repro.checks.flow import FunctionAnalysis, flow_rule
+from repro.checks.provenance import dotted_name
+
+__all__ = ["check_worker_purity"]
+
+#: Fan-out entry points taking the shipped callable first.
+_SHIP_FUNCTIONS = frozenset({"parallel_map"})
+
+#: Executor methods taking the shipped callable first; only receivers
+#: whose name mentions a pool/executor count, so unrelated ``submit``
+#: methods are not swept in.
+_SHIP_METHODS = frozenset({"submit", "map"})
+
+#: Worker-count configuration the child must not consult.
+_AMBIENT_CALLS = frozenset({"resolve_workers", "get_default_workers"})
+
+
+def _location(analysis: FunctionAnalysis, node: ast.AST) -> str:
+    return f"{analysis.context.path}:{getattr(node, 'lineno', 0)}"
+
+
+def _shipped_argument(node: ast.Call) -> Optional[ast.expr]:
+    function = node.func
+    if (
+        isinstance(function, ast.Name)
+        and function.id in _SHIP_FUNCTIONS
+        and node.args
+    ):
+        return node.args[0]
+    if (
+        isinstance(function, ast.Attribute)
+        and function.attr in _SHIP_METHODS
+        and node.args
+    ):
+        receiver = (dotted_name(function.value) or "").lower()
+        if "pool" in receiver or "executor" in receiver:
+            return node.args[0]
+    return None
+
+
+def _defines_locally(region: ast.AST, name: str) -> bool:
+    """Is ``name`` a function defined inside this (non-module) region?"""
+    if isinstance(region, ast.Module):
+        return False
+    for node in ast.walk(region):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not region
+            and node.name == name
+        ):
+            return True
+    return False
+
+
+def _global_mutations(worker: ast.FunctionDef) -> Iterator[str]:
+    declared: set[str] = set()
+    for node in ast.walk(worker):
+        if isinstance(node, ast.Global):
+            declared.update(node.names)
+    if not declared:
+        return
+    for node in ast.walk(worker):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in declared:
+                yield target.id
+
+
+def _ambient_reads(worker: ast.FunctionDef) -> Iterator[str]:
+    for node in ast.walk(worker):
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func) or ""
+            tail = dotted.rpartition(".")[2]
+            if tail in _AMBIENT_CALLS:
+                yield f"{tail}()"
+        elif (
+            isinstance(node, ast.Constant)
+            and node.value == "REPRO_WORKERS"
+        ):
+            yield '"REPRO_WORKERS"'
+        elif isinstance(node, ast.Name) and node.id == "WORKERS_ENV":
+            yield "WORKERS_ENV"
+
+
+@flow_rule("RPR009", "functions shipped to workers stay pure")
+def check_worker_purity(
+    analysis: FunctionAnalysis,
+) -> Iterator[Finding]:
+    context = analysis.context
+    for node, _env in analysis.nodes():
+        if not isinstance(node, ast.Call):
+            continue
+        shipped = _shipped_argument(node)
+        if shipped is None:
+            continue
+        if isinstance(shipped, ast.Lambda):
+            yield Finding(
+                "RPR009",
+                Severity.ERROR,
+                _location(analysis, node),
+                "a lambda cannot be pickled by reference and will "
+                "fail (only) at worker counts > 1; ship a module-"
+                "level function",
+            )
+            continue
+        if not isinstance(shipped, ast.Name):
+            continue
+        name = shipped.id
+        if _defines_locally(analysis.region, name):
+            yield Finding(
+                "RPR009",
+                Severity.ERROR,
+                _location(analysis, node),
+                f"nested function {name!r} closes over local state "
+                "and cannot be pickled by reference; hoist it to "
+                "module level and pass state through the payload",
+            )
+            continue
+        worker = context.functions.get(name)
+        if worker is None:
+            continue
+        for mutated in sorted(set(_global_mutations(worker))):
+            yield Finding(
+                "RPR009",
+                Severity.ERROR,
+                _location(analysis, node),
+                f"shipped function {name!r} mutates module global "
+                f"{mutated!r}; the write lands in the child process "
+                "and is silently lost — return the value through "
+                "the result instead",
+            )
+        for read in sorted(set(_ambient_reads(worker))):
+            yield Finding(
+                "RPR009",
+                Severity.ERROR,
+                _location(analysis, node),
+                f"shipped function {name!r} reads ambient worker "
+                f"configuration ({read}); workers are pinned to "
+                "serial, so this sees the child's config, not the "
+                "caller's — pass the value through the payload",
+            )

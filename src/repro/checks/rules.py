@@ -480,7 +480,7 @@ def check_schedule_conditions(target: AuditTarget) -> Iterator[Finding]:
             f"condition (3) violated: P_0 = {sorted(views[0])} differs "
             f"from I = {sorted(participants)}",
         )
-    suffix: frozenset = frozenset()
+    suffix: frozenset[str] = frozenset()
     for index in range(len(groups) - 1, -1, -1):
         suffix = suffix | groups[index]
         if not suffix <= views[index]:

@@ -9,6 +9,8 @@ Exposes the library's headline computations without writing Python::
     repro run halving --eps 1/8 --inputs 0,1/2,1 --seed 7 --crash 0.2
     repro check --all                 # audit every experiment's invariants
     repro check --lint src/           # repo-specific AST lint (RPR rules)
+    repro check --flow                # flow analysis (mask provenance, …)
+    repro run halving --sanitize ...  # runtime mask-provenance sanitizer
     repro chaos --algorithm aa --model iis -n 3 --executions 2000 --seed 0
     repro chaos --replay trace.json --shrink
 
@@ -265,6 +267,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.checks import (
         audit_all,
         audit_experiments,
+        flow_report,
         lint_report,
         parse_severity,
         render_json,
@@ -280,6 +283,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
     reports = []
     if args.lint:
         reports.append(lint_report(args.lint))
+    if args.flow is not None or args.update_baseline:
+        flow_paths = args.flow or ["src/repro"]
+        reports.append(
+            flow_report(
+                flow_paths,
+                baseline_path=args.baseline,
+                update_baseline=args.update_baseline,
+            )
+        )
     if args.trace_paths:
         reports.append(trace_report(args.trace_paths))
     if args.all:
@@ -432,6 +444,18 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sanitize_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--sanitize`` option (mask provenance)."""
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime mask-provenance sanitizer for this "
+        "invocation (equivalent to REPRO_SANITIZE=1): bitmasks are "
+        "tagged with their owning VertexTable and cross-table "
+        "mixes raise MaskProvenanceError (RPR006)",
+    )
+
+
 def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the shared ``--trace``/``--trace-format`` options."""
     group = parser.add_argument_group("telemetry")
@@ -487,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("id", nargs="?", default=None)
     _add_workers_argument(p)
+    _add_sanitize_argument(p)
     _add_trace_arguments(p)
 
     p = sub.add_parser(
@@ -496,8 +521,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Audit the library's structural invariants over the experiment "
             "registry's live objects (chromaticity, facet maximality, "
             "carrier monotonicity, schedule matrix conditions, memo "
-            "coherence, task/closure well-formedness) and/or run the "
-            "repo-specific AST lint (RPR001–RPR005)."
+            "coherence, task/closure well-formedness), run the "
+            "repo-specific AST lint (RPR001–RPR005), and/or run the "
+            "flow-sensitive analysis (RPR006–RPR009: mask provenance, "
+            "determinism, worker purity) with its committed baseline."
         ),
     )
     p.add_argument(
@@ -516,6 +543,28 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="PATH",
         help="lint the given files/directories with the RPR rules",
+    )
+    p.add_argument(
+        "--flow",
+        nargs="*",
+        metavar="PATH",
+        default=None,
+        help="run the flow-sensitive analysis (RPR006–RPR009: mask "
+        "provenance, determinism, worker purity) over the given "
+        "files/directories (default: src/repro)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=".repro-flow-baseline.json",
+        help="baseline file of grandfathered flow findings "
+        "(default: .repro-flow-baseline.json; missing file = empty)",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record the current flow findings into the baseline file "
+        "and report clean (implies --flow)",
     )
     p.add_argument(
         "--format",
@@ -576,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
         "or seeded matrix schedules of the weaker models",
     )
     _add_workers_argument(p)
+    _add_sanitize_argument(p)
     _add_trace_arguments(p)
 
     p = sub.add_parser(
@@ -643,6 +693,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="acknowledge that --inject-illegal makes executions invalid",
     )
     _add_workers_argument(p)
+    _add_sanitize_argument(p)
     _add_trace_arguments(p)
 
     return parser
@@ -677,9 +728,18 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.parallel.pool import set_default_workers
 
         set_default_workers(workers)
+    sanitize_flag = getattr(args, "sanitize", False)
+    if sanitize_flag:
+        from repro.topology import sanitize
+
+        sanitize.enable()
     try:
         return _dispatch_traced(args)
     finally:
+        if sanitize_flag:
+            from repro.topology import sanitize
+
+            sanitize.disable()
         if workers is not None:
             from repro.parallel.pool import set_default_workers
 

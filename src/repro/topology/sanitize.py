@@ -1,0 +1,301 @@
+"""Runtime mask-provenance sanitizer (``REPRO_SANITIZE=1``).
+
+The bitmask-native core trades safety for speed: a simplex mask is a bare
+``int`` that is only meaningful relative to the one
+:class:`~repro.topology.table.VertexTable` that encoded it.  Mixing masks
+from different tables — bitwise combination, comparison, decoding, or
+using them under the wrong ``table_id`` in a memo key — does not raise;
+it silently produces *wrong simplices*.  The static flow rule RPR006
+(:mod:`repro.checks.flowrules.masks`) proves the contract on source code;
+this module is the dynamic half of the same check, so findings from
+either side share the RPR006 rule id and the ``repro.checks`` reporters.
+
+When active, every mask leaving a :class:`VertexTable` boundary
+(``encode_mask``, ``encode_mask_interning``, ``colors_mask``,
+``full_mask``) is returned as a :class:`SanitizedMask` — an ``int``
+subclass carrying the owning ``table_id``.  Bitwise combination of two
+tagged masks and every ``decode_mask``/``decode_mask_trusted`` call then
+asserts provenance: same table, or tables whose interned pair prefixes
+agree on every bit the mask uses (the wire codec and the parallel engine
+legitimately rebuild pair-identical tables on the far side of a process
+boundary, and growable tables stay compatible with their own snapshots).
+
+Activation: set ``REPRO_SANITIZE=1`` in the environment before import,
+pass ``--sanitize`` to the ``repro run/experiment/chaos`` subcommands, or
+call :func:`enable` (tests use the :func:`sanitizer` context manager).
+When inactive — the default — the hooks in ``table.py``/``wire.py``
+reduce to one module-attribute truthiness check per call and no mask is
+ever tagged, so release-mode behaviour and performance are untouched.
+
+This module lives in :mod:`repro.topology` rather than
+:mod:`repro.checks` because the table hooks import it at module load,
+long before the checks subsystem (which pulls in the experiment
+registry) can be imported without a cycle.  It depends only on the
+stdlib and :mod:`repro.errors`; the :class:`~repro.checks.findings.Finding`
+conversion imports lazily at call time.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import weakref
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from repro.errors import MaskProvenanceError
+
+if TYPE_CHECKING:
+    from repro.checks.findings import Finding
+    from repro.topology.table import VertexTable
+
+__all__ = [
+    "ACTIVE",
+    "SanitizedMask",
+    "enable",
+    "disable",
+    "sanitizer",
+    "is_active",
+    "tag",
+    "check_decode",
+    "violations",
+    "reset_violations",
+]
+
+
+def _env_active() -> bool:
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+#: Rebindable activation flag; the table/wire hooks test it per call.
+ACTIVE: bool = _env_active()
+
+#: When true, violations are recorded (see :func:`violations`) instead of
+#: raising — used by reporters that want every violation of a run at once.
+RECORD_ONLY: bool = False
+
+#: Live tables by ``table_id``, registered as they tag masks, so a check
+#: can compare the pair lists of both sides.  Weak: the sanitizer must
+#: not extend any table's lifetime.
+_TABLES: "weakref.WeakValueDictionary[int, VertexTable]" = (
+    weakref.WeakValueDictionary()
+)
+
+#: Recorded violations as ``(rule_id, location, message)`` triples.
+_VIOLATIONS: list[tuple[str, str, str]] = []
+
+
+def is_active() -> bool:
+    """``True`` while the sanitizer is tagging and checking masks."""
+    return ACTIVE
+
+
+def enable(record_only: bool = False) -> None:
+    """Turn the sanitizer on (equivalent to ``REPRO_SANITIZE=1``)."""
+    global ACTIVE, RECORD_ONLY
+    ACTIVE = True
+    RECORD_ONLY = record_only
+
+
+def disable() -> None:
+    """Turn the sanitizer off; already-tagged masks stay inert tags."""
+    global ACTIVE, RECORD_ONLY
+    ACTIVE = False
+    RECORD_ONLY = False
+
+
+@contextmanager
+def sanitizer(record_only: bool = False) -> Iterator[None]:
+    """Context manager enabling the sanitizer for a ``with`` block."""
+    global ACTIVE, RECORD_ONLY
+    previous = (ACTIVE, RECORD_ONLY)
+    enable(record_only=record_only)
+    try:
+        yield
+    finally:
+        ACTIVE, RECORD_ONLY = previous
+
+
+def reset_violations() -> None:
+    """Drop every recorded violation (tests and per-run reporters)."""
+    del _VIOLATIONS[:]
+
+
+def violations() -> "list[Finding]":
+    """The recorded violations as :class:`~repro.checks.findings.Finding`.
+
+    Shares the RPR006 rule id and severity vocabulary with the static
+    flow analysis, so either side renders through the same reporters.
+    """
+    from repro.checks.findings import Finding, Severity
+
+    return [
+        Finding(rule_id, Severity.ERROR, location, message)
+        for rule_id, location, message in _VIOLATIONS
+    ]
+
+
+def _caller_location() -> str:
+    """``file:line`` of the first frame outside the sanitizer machinery.
+
+    Gives runtime findings the same ``path:line`` shape as static ones.
+    Only runs on a violation, so the frame walk costs nothing in the
+    (already debug-only) happy path.
+    """
+    frame = sys._getframe(1)
+    here = os.path.dirname(os.path.abspath(__file__))
+    skip = {
+        os.path.join(here, "sanitize.py"),
+        os.path.join(here, "table.py"),
+        os.path.join(here, "wire.py"),
+    }
+    while frame is not None:
+        filename = os.path.abspath(frame.f_code.co_filename)
+        if filename not in skip:
+            return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+        back = frame.f_back
+        if back is None:
+            break
+        frame = back
+    return "<unknown>:0"
+
+
+def _violation(message: str) -> None:
+    location = _caller_location()
+    _VIOLATIONS.append(("RPR006", location, message))
+    if not RECORD_ONLY:
+        raise MaskProvenanceError(f"RPR006 at {location}: {message}")
+
+
+def _compatible(left: "VertexTable", right: "VertexTable", bits: int) -> bool:
+    """``True`` iff both tables agree on the first ``bits`` entries.
+
+    Masks only address bits below their ``bit_length``, so agreement on
+    that prefix makes the two tables interchangeable for these masks —
+    the contract the wire codec and worker-side table rebuilds rely on.
+    """
+    left_pairs = left.pairs
+    right_pairs = right.pairs
+    if len(left_pairs) < bits or len(right_pairs) < bits:
+        return False
+    return left_pairs[:bits] == right_pairs[:bits]
+
+
+def _check_pair(
+    table_id_a: int, table_id_b: int, bits: int, operation: str
+) -> None:
+    table_a = _TABLES.get(table_id_a)
+    table_b = _TABLES.get(table_id_b)
+    if table_a is None or table_b is None:
+        # One origin is already garbage; without its pair list the check
+        # cannot distinguish a stale-but-compatible snapshot from a real
+        # mix, so the sanitizer stays quiet rather than guessing.
+        return
+    if _compatible(table_a, table_b, bits):
+        return
+    _violation(
+        f"{operation} mixes masks of table {table_id_a} "
+        f"({len(table_a.pairs)} entries) and table {table_id_b} "
+        f"({len(table_b.pairs)} entries) with incompatible vertex "
+        "orders; a mask is only meaningful against the table that "
+        "encoded it"
+    )
+
+
+class SanitizedMask(int):
+    """An ``int`` mask tagged with the ``table_id`` that encoded it.
+
+    Behaves exactly like the underlying ``int`` (hash, equality, JSON,
+    arithmetic) except that bitwise combination with a mask tagged by an
+    incompatible table reports an RPR006 provenance violation.  Pickling
+    drops the tag: table ids are process-local, so provenance never
+    crosses a process boundary (the wire codec re-tags on decode).
+
+    ``int`` subtypes cannot declare non-empty ``__slots__``, so instances
+    carry a dict for the tag — a debug-mode-only cost.
+    """
+
+    table_id: int
+
+    def __new__(cls, value: int, table_id: int) -> "SanitizedMask":
+        self = super().__new__(cls, value)
+        self.table_id = table_id
+        return self
+
+    def __reduce__(self) -> tuple:
+        return (int, (int(self),))
+
+    def _combine(self, other: Any, result: int, op: str) -> int:
+        other_id = getattr(other, "table_id", None)
+        if other_id is not None and other_id != self.table_id:
+            bits = max(int(self).bit_length(), int(other).bit_length())
+            _check_pair(self.table_id, other_id, bits, f"`{op}`")
+        return SanitizedMask(result, self.table_id)
+
+    def __and__(self, other: Any) -> int:
+        result = int.__and__(self, other)
+        if result is NotImplemented:
+            return result
+        return self._combine(other, result, "&")
+
+    def __rand__(self, other: Any) -> int:
+        result = int.__rand__(self, other)
+        if result is NotImplemented:
+            return result
+        return self._combine(other, result, "&")
+
+    def __or__(self, other: Any) -> int:
+        result = int.__or__(self, other)
+        if result is NotImplemented:
+            return result
+        return self._combine(other, result, "|")
+
+    def __ror__(self, other: Any) -> int:
+        result = int.__ror__(self, other)
+        if result is NotImplemented:
+            return result
+        return self._combine(other, result, "|")
+
+    def __xor__(self, other: Any) -> int:
+        result = int.__xor__(self, other)
+        if result is NotImplemented:
+            return result
+        return self._combine(other, result, "^")
+
+    def __rxor__(self, other: Any) -> int:
+        result = int.__rxor__(self, other)
+        if result is NotImplemented:
+            return result
+        return self._combine(other, result, "^")
+
+
+def tag(table: "VertexTable", mask: int) -> int:
+    """Tag ``mask`` with ``table``'s identity (and register the table)."""
+    table_id = table.table_id
+    if table_id not in _TABLES:
+        _TABLES[table_id] = table
+    return SanitizedMask(mask, table_id)
+
+
+def check_decode(
+    table: "VertexTable", mask: int, operation: str = "decode_mask"
+) -> None:
+    """Assert that ``mask`` may be decoded against ``table``.
+
+    Untagged masks (wire records, hand-built ints, masks born while the
+    sanitizer was off) pass: the sanitizer only ever reports mixes it
+    can prove.
+    """
+    origin_id: Optional[int] = getattr(mask, "table_id", None)
+    if origin_id is None or origin_id == table.table_id:
+        return
+    origin = _TABLES.get(origin_id)
+    if origin is None:
+        return
+    if _compatible(origin, table, int(mask).bit_length()):
+        return
+    _violation(
+        f"{operation} on table {table.table_id} was handed a mask "
+        f"encoded by incompatible table {origin_id}; decode with the "
+        "table that produced the mask"
+    )

@@ -35,6 +35,7 @@ from itertools import count
 from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
 from repro.errors import ChromaticityError, ReproError
+from repro.topology import sanitize as _sanitize
 from repro.topology.simplex import Simplex
 from repro.topology.vertex import Vertex
 
@@ -229,7 +230,10 @@ class VertexTable:
     @property
     def full_mask(self) -> int:
         """The mask with every table bit set."""
-        return (1 << len(self._pairs)) - 1
+        mask = (1 << len(self._pairs)) - 1
+        if _sanitize.ACTIVE:
+            return _sanitize.tag(self, mask)
+        return mask
 
     def __len__(self) -> int:
         return len(self._pairs)
@@ -241,8 +245,12 @@ class VertexTable:
         )
 
     def __reduce__(self) -> tuple:
-        # Pickles rebuild a plain growable table: table ids are
-        # process-local, so identity/interning never crosses the wire.
+        # Table ids are process-local and never cross the wire, but the
+        # table's *flavour* round-trips: frozen tables re-intern on the
+        # receiving side (joining that process's weak registry), growable
+        # tables rebuild as plain growable tables.
+        if self._frozen:
+            return (VertexTable.interned, (self.pairs,))
         return (VertexTable, (self.pairs,))
 
     # ------------------------------------------------------------------
@@ -271,6 +279,8 @@ class VertexTable:
                 f"vertex {vertex!r} is not interned in this table; use "
                 "encode_mask_interning on the table-building path"
             ) from None
+        if _sanitize.ACTIVE:
+            return _sanitize.tag(self, mask)
         return mask
 
     def encode_mask_interning(self, simplex: Simplex) -> int:
@@ -283,6 +293,8 @@ class VertexTable:
         mask = 0
         for vertex in simplex.vertices:
             mask |= 1 << self.add(vertex)
+        if _sanitize.ACTIVE:
+            return _sanitize.tag(self, mask)
         return mask
 
     def colors_mask(self, colors: Iterable[int]) -> int:
@@ -292,10 +304,14 @@ class VertexTable:
         for index, vertex in enumerate(self._vertices):
             if vertex.color in keep:
                 mask |= 1 << index
+        if _sanitize.ACTIVE:
+            return _sanitize.tag(self, mask)
         return mask
 
     def decode_mask(self, mask: int) -> Simplex:
         """Rebuild the simplex whose vertices are the set bits of ``mask``."""
+        if _sanitize.ACTIVE:
+            _sanitize.check_decode(self, mask, "decode_mask")
         if mask <= 0:
             raise ChromaticityError(
                 f"simplex bitmask must be positive, got {mask}"
@@ -323,6 +339,8 @@ class VertexTable:
         Non-chromatic bit sets (forged facets) fall back to the checking
         constructor, which raises exactly as eager materialization did.
         """
+        if _sanitize.ACTIVE:
+            _sanitize.check_decode(self, mask, "decode_mask_trusted")
         vertices = []
         m = mask
         while m:

@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Optional
 
+from repro.topology import sanitize as _sanitize
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
 from repro.topology.table import VertexTable
@@ -103,6 +104,12 @@ def encode_complex(complex_: SimplicialComplex) -> WireComplex:
     tuples.
     """
     table, masks = complex_._ensure_index()
+    if _sanitize.ACTIVE:
+        # Sanitizer hook: the index masks must belong to the index table
+        # (a cross-table mix that slipped into ``_masks`` would otherwise
+        # ship silently and corrupt every consumer of the record).
+        for mask in masks:
+            _sanitize.check_decode(table, mask, "encode_complex")
     return WireComplex(table.pairs, masks)
 
 
@@ -121,6 +128,11 @@ def decode_complex(
     and prunes — non-maximal families.
     """
     table = VertexTable.interned(wire.pairs)
+    if _sanitize.ACTIVE:
+        # Sanitizer hook: records built in-process may still carry tags;
+        # they must be compatible with the interned decode table.
+        for mask in wire.masks:
+            _sanitize.check_decode(table, mask, "decode_complex")
     if check:
         return SimplicialComplex(
             [table.decode_mask(mask) for mask in wire.masks]

@@ -256,3 +256,68 @@ class TestRPR005Annotations:
             """,
             module="repro.experiments.fixture",
         ) == set()
+
+
+class TestUnusedSuppressions:
+    """Stale ``# norpr:`` comments are themselves findings (RPR000)."""
+
+    BARE = """
+        def swallow(action):
+            try:
+                action()
+            except:
+                pass
+    """
+
+    def test_used_suppression_is_not_reported(self):
+        import repro.checks.flow  # noqa: F401  (populates EXTERNAL_RPR_IDS)
+
+        code = self.BARE.replace("except:", "except:  # norpr: RPR004")
+        assert rule_ids(code) == set()
+
+    def test_stale_known_id_is_reported(self):
+        findings = lint(
+            """
+            def fine(x):
+                return x  # norpr: RPR004
+            """
+        )
+        assert [f.rule_id for f in findings] == ["RPR000"]
+        assert "suppresses no finding" in findings[0].message
+
+    def test_unknown_id_is_reported_as_undefined(self):
+        findings = lint(
+            """
+            def fine(x):
+                return x  # norpr: RPR999
+            """
+        )
+        assert [f.rule_id for f in findings] == ["RPR000"]
+        assert "no engine defines" in findings[0].message
+
+    def test_flow_owned_ids_are_left_to_the_flow_engine(self):
+        import repro.checks.flow  # noqa: F401
+
+        assert rule_ids(
+            """
+            def fine(x):
+                return x  # norpr: RPR006
+            """
+        ) == set()
+
+    def test_all_wildcard_is_exempt_from_staleness(self):
+        assert rule_ids(
+            """
+            def fine(x):
+                return x  # norpr: all
+            """
+        ) == set()
+
+    def test_docstring_example_is_not_a_suppression(self):
+        assert rule_ids(
+            '''
+            def documented(x):
+                """Use ``# norpr: RPR004`` to silence this."""
+                return x
+            '''
+        ) == set()

@@ -1,0 +1,260 @@
+"""Structural tests for the bug-finding CFG lowering."""
+
+import ast
+import textwrap
+
+from repro.checks.cfg import build_cfg, iter_elements
+
+
+def cfg_of(code):
+    """Build the CFG of the first function in a dedented snippet."""
+    tree = ast.parse(textwrap.dedent(code))
+    region = tree.body[0]
+    assert isinstance(region, ast.FunctionDef)
+    return build_cfg(region)
+
+
+def element_kinds(cfg):
+    return [type(e).__name__ for e in iter_elements(cfg)]
+
+
+class TestStraightLine:
+    def test_single_block_entry_to_exit(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                y = x + 1
+                return y
+            """
+        )
+        assert cfg.entry.elements and cfg.entry.successors == [cfg.exit]
+        assert element_kinds(cfg) == ["Assign", "Return"]
+
+    def test_module_region_is_accepted(self):
+        tree = ast.parse("a = 1\nb = a\n")
+        cfg = build_cfg(tree)
+        assert element_kinds(cfg) == ["Assign", "Assign"]
+
+
+class TestBranching:
+    def test_if_else_forms_a_diamond(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        # Header has two successors; both arms feed one join block.
+        header = cfg.entry
+        assert len(header.successors) == 2
+        joins = {
+            successor
+            for arm in header.successors
+            for successor in arm.successors
+        }
+        assert len(joins) == 1
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                return x
+            """
+        )
+        preds = cfg.predecessors()
+        return_block = next(
+            b
+            for b in cfg.blocks
+            if any(isinstance(e, ast.Return) for e in b.elements)
+        )
+        assert len(preds[return_block.index]) == 2
+
+    def test_both_arms_terminating_yields_no_fallthrough(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    return 1
+                else:
+                    return 2
+            """
+        )
+        assert all(
+            cfg.exit in b.successors or not b.elements or b is cfg.exit
+            for b in cfg.blocks
+            if any(isinstance(e, ast.Return) for e in b.elements)
+        )
+
+
+class TestLoops:
+    def test_while_has_back_edge(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                while n:
+                    n = n - 1
+                return n
+            """
+        )
+        header = next(
+            b
+            for b in cfg.blocks
+            if b.elements and isinstance(b.elements[0], ast.Name)
+        )
+        preds = cfg.predecessors()
+        # entry edge + back edge from the body.
+        assert len(preds[header.index]) == 2
+
+    def test_for_node_is_the_header_element(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                out = []
+                for item in items:
+                    out.append(item)
+                return out
+            """
+        )
+        headers = [
+            b
+            for b in cfg.blocks
+            if any(isinstance(e, ast.For) for e in b.elements)
+        ]
+        assert len(headers) == 1
+        # The loop body is lowered into its own blocks, not the header.
+        assert len(headers[0].elements) == 1
+
+    def test_break_edges_to_loop_exit(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    break
+                return 1
+            """
+        )
+        break_block = next(
+            b
+            for b in cfg.blocks
+            if any(isinstance(e, ast.Break) for e in b.elements)
+        )
+        header = next(
+            b
+            for b in cfg.blocks
+            if any(isinstance(e, ast.For) for e in b.elements)
+        )
+        # break must NOT edge back to the header.
+        assert header not in break_block.successors
+
+    def test_continue_edges_to_loop_header(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    continue
+                return 1
+            """
+        )
+        continue_block = next(
+            b
+            for b in cfg.blocks
+            if any(isinstance(e, ast.Continue) for e in b.elements)
+        )
+        header = next(
+            b
+            for b in cfg.blocks
+            if any(isinstance(e, ast.For) for e in b.elements)
+        )
+        assert header in continue_block.successors
+
+
+class TestExceptionalFlow:
+    def test_handler_reachable_from_body_entry(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    y = x()
+                except ValueError:
+                    y = 0
+                return y
+            """
+        )
+        body_entry = next(
+            b
+            for b in cfg.blocks
+            if any(isinstance(e, ast.Assign) for e in b.elements)
+        )
+        handler_entry = next(
+            b
+            for b in cfg.blocks
+            if any(
+                isinstance(e, ast.Name) and e.id == "ValueError"
+                for e in b.elements
+            )
+        )
+        assert handler_entry in body_entry.successors
+
+    def test_finally_runs_on_fallthrough(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    y = x()
+                finally:
+                    z = 1
+                return y
+            """
+        )
+        kinds = element_kinds(cfg)
+        assert kinds.index("Assign") < kinds.index("Return")
+        assert kinds.count("Assign") == 2
+
+
+class TestUnreachableCode:
+    def test_code_after_return_still_gets_elements(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                return x
+                y = 1
+            """
+        )
+        assert "Assign" in element_kinds(cfg)
+
+    def test_rpo_covers_every_block(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    return 1
+                while x:
+                    x -= 1
+                return x
+                dead = 0
+            """
+        )
+        assert {b.index for b in cfg.rpo()} == {
+            b.index for b in cfg.blocks
+        }
+
+
+class TestWith:
+    def test_withitem_is_an_element(self):
+        cfg = cfg_of(
+            """
+            def f(opener):
+                with opener() as handle:
+                    data = handle.read()
+                return data
+            """
+        )
+        assert any(
+            isinstance(e, ast.withitem) for e in iter_elements(cfg)
+        )

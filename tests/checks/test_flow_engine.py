@@ -1,0 +1,112 @@
+"""Engine-level behaviour of the flow analysis: suppressions, errors,
+registration, and the tier-1 self-analysis gate."""
+
+import textwrap
+from pathlib import Path
+
+from repro.checks import astlint
+from repro.checks.findings import Severity
+from repro.checks.flow import (
+    FLOW_RULE_IDS,
+    FLOW_RULES,
+    analyze_paths,
+    analyze_source,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def analyze(code, module="repro.experiments.fixture"):
+    return analyze_source(
+        textwrap.dedent(code), path="fixture.py", module=module
+    )
+
+
+class TestRegistration:
+    def test_all_four_flow_rules_registered(self):
+        assert sorted(FLOW_RULES) == [
+            "RPR006",
+            "RPR007",
+            "RPR008",
+            "RPR009",
+        ]
+        assert FLOW_RULE_IDS == frozenset(FLOW_RULES)
+
+    def test_flow_ids_are_declared_external_to_the_lint(self):
+        assert FLOW_RULE_IDS <= astlint.EXTERNAL_RPR_IDS
+
+
+class TestErrors:
+    def test_syntax_error_is_reported_not_raised(self):
+        findings = analyze("def broken(:\n    pass\n")
+        assert [f.rule_id for f in findings] == ["RPR000"]
+        assert findings[0].severity is Severity.ERROR
+
+
+class TestSuppressions:
+    MIX = """
+        from repro.topology import VertexTable
+
+        def bad(s1, s2):
+            a = VertexTable()
+            b = VertexTable()
+            m1 = a.encode_mask_interning(s1)
+            m2 = b.encode_mask_interning(s2)
+            return m1 | m2{suffix}
+        """
+
+    def test_norpr_silences_a_flow_finding(self):
+        assert analyze(self.MIX.format(suffix="  # norpr: RPR006")) == []
+
+    def test_all_wildcard_silences_too(self):
+        assert analyze(self.MIX.format(suffix="  # norpr: all")) == []
+
+    def test_stale_flow_suppression_is_reported(self):
+        findings = analyze(
+            """
+            def fine(x):
+                return x + 1  # norpr: RPR006
+            """
+        )
+        assert [f.rule_id for f in findings] == ["RPR000"]
+        assert findings[0].severity is Severity.WARNING
+        assert "RPR006" in findings[0].message
+
+    def test_docstring_example_is_not_a_suppression(self):
+        # ``# norpr:`` quoted in a docstring must neither suppress nor
+        # count as a stale suppression — only real comment tokens do.
+        assert (
+            analyze(
+                '''
+                def documented(x):
+                    """Silence with ``# norpr: RPR006`` on the line."""
+                    return x
+                '''
+            )
+            == []
+        )
+
+    def test_lint_ids_are_not_claimed_by_the_flow_engine(self):
+        # RPR004 staleness belongs to the lint; the flow engine must
+        # not double-report it.
+        assert (
+            analyze(
+                """
+                def fine(x):
+                    return x  # norpr: RPR004
+                """
+            )
+            == []
+        )
+
+
+class TestSelfAnalysis:
+    def test_src_repro_has_no_flow_errors(self):
+        """Tier-1 gate: the library's own source obeys its own rules."""
+        findings = analyze_paths([str(SRC)])
+        errors = [f for f in findings if f.severity >= Severity.ERROR]
+        assert errors == [], [f.as_dict() for f in errors]
+
+    def test_checks_package_analyzes_itself_warning_free(self):
+        findings = analyze_paths([str(SRC / "checks")])
+        assert findings == [], [f.as_dict() for f in findings]

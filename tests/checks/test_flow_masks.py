@@ -1,0 +1,265 @@
+"""RPR006 — the static half of the mask-provenance contract."""
+
+import textwrap
+
+from repro.checks.findings import Severity
+from repro.checks.flow import analyze_source
+
+
+def analyze(code, module="repro.experiments.fixture"):
+    return analyze_source(
+        textwrap.dedent(code), path="fixture.py", module=module
+    )
+
+
+def findings_of(code, rule_id="RPR006"):
+    return [f for f in analyze(code) if f.rule_id == rule_id]
+
+
+class TestBitwiseMixing:
+    def test_or_of_masks_from_two_tables_is_an_error(self):
+        found = findings_of(
+            """
+            from repro.topology import VertexTable
+
+            def bad(s1, s2):
+                a = VertexTable()
+                b = VertexTable()
+                m1 = a.encode_mask_interning(s1)
+                m2 = b.encode_mask_interning(s2)
+                return m1 | m2
+            """
+        )
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+        assert found[0].path == "fixture.py:9"
+
+    def test_and_and_xor_also_fire(self):
+        code = """
+            from repro.topology import VertexTable
+
+            def bad(s1, s2):
+                a = VertexTable()
+                b = VertexTable()
+                m1 = a.encode_mask_interning(s1)
+                m2 = b.encode_mask_interning(s2)
+                x = m1 & m2
+                y = m1 ^ m2
+                return x, y
+            """
+        assert len(findings_of(code)) == 2
+
+    def test_same_table_masks_combine_freely(self):
+        assert (
+            findings_of(
+                """
+                from repro.topology import VertexTable
+
+                def good(s1, s2):
+                    t = VertexTable()
+                    m1 = t.encode_mask_interning(s1)
+                    m2 = t.encode_mask_interning(s2)
+                    return m1 | m2, m1 & m2, m1 ^ m2
+                """
+            )
+            == []
+        )
+
+    def test_mask_and_plain_int_is_fine(self):
+        assert (
+            findings_of(
+                """
+                from repro.topology import VertexTable
+
+                def good(s1):
+                    t = VertexTable()
+                    m = t.encode_mask_interning(s1)
+                    return m & (m - 1)
+                """
+            )
+            == []
+        )
+
+    def test_full_mask_attribute_carries_provenance(self):
+        found = findings_of(
+            """
+            from repro.topology import VertexTable
+
+            def bad(s1):
+                a = VertexTable()
+                b = VertexTable()
+                m = a.encode_mask_interning(s1)
+                return m & b.full_mask
+            """
+        )
+        assert len(found) == 1
+
+
+class TestComparison:
+    def test_equality_across_tables_fires(self):
+        found = findings_of(
+            """
+            from repro.topology import VertexTable
+
+            def bad(s1, s2):
+                a = VertexTable()
+                b = VertexTable()
+                return a.encode_mask_interning(s1) == b.encode_mask_interning(s2)
+            """
+        )
+        assert len(found) == 1
+
+    def test_ordering_across_tables_fires(self):
+        found = findings_of(
+            """
+            from repro.topology import VertexTable
+
+            def bad(s1, s2):
+                a = VertexTable()
+                b = VertexTable()
+                m1 = a.encode_mask_interning(s1)
+                m2 = b.encode_mask_interning(s2)
+                return m1 < m2
+            """
+        )
+        assert len(found) == 1
+
+
+class TestDecoding:
+    def test_decode_with_the_wrong_table_is_an_error(self):
+        found = findings_of(
+            """
+            from repro.topology import VertexTable
+
+            def bad(s1):
+                a = VertexTable()
+                b = VertexTable()
+                m = a.encode_mask_interning(s1)
+                return b.decode_mask(m)
+            """
+        )
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+
+    def test_decode_mask_trusted_is_checked_too(self):
+        found = findings_of(
+            """
+            from repro.topology import VertexTable
+
+            def bad(s1):
+                a = VertexTable()
+                b = VertexTable()
+                m = a.encode_mask_interning(s1)
+                return b.decode_mask_trusted(m)
+            """
+        )
+        assert len(found) == 1
+
+    def test_decode_with_the_right_table_is_clean(self):
+        assert (
+            findings_of(
+                """
+                from repro.topology import VertexTable
+
+                def good(s1):
+                    t = VertexTable()
+                    m = t.encode_mask_interning(s1)
+                    return t.decode_mask(m)
+                """
+            )
+            == []
+        )
+
+
+class TestMemoKeys:
+    def test_table_id_paired_with_foreign_mask_fires(self):
+        found = findings_of(
+            """
+            from repro.topology import VertexTable
+
+            def bad(s1, memo):
+                a = VertexTable()
+                b = VertexTable()
+                m = b.encode_mask_interning(s1)
+                memo[(a.table_id, m)] = s1
+            """
+        )
+        assert len(found) == 1
+
+    def test_matching_memo_key_is_clean(self):
+        assert (
+            findings_of(
+                """
+                from repro.topology import VertexTable
+
+                def good(s1, memo):
+                    t = VertexTable()
+                    m = t.encode_mask_interning(s1)
+                    memo[(t.table_id, m)] = s1
+                """
+            )
+            == []
+        )
+
+
+class TestFlowSensitivity:
+    def test_rebinding_to_the_right_table_clears_the_mix(self):
+        assert (
+            findings_of(
+                """
+                from repro.topology import VertexTable
+
+                def good(s1):
+                    a = VertexTable()
+                    b = VertexTable()
+                    m = a.encode_mask_interning(s1)
+                    m = b.encode_mask_interning(s1)
+                    return b.decode_mask(m)
+                """
+            )
+            == []
+        )
+
+    def test_mix_through_a_loop_carried_variable(self):
+        found = findings_of(
+            """
+            from repro.topology import VertexTable
+
+            def bad(simplices):
+                a = VertexTable()
+                b = VertexTable()
+                acc = a.full_mask
+                for s in simplices:
+                    acc = acc | b.encode_mask_interning(s)
+                return acc
+            """
+        )
+        assert len(found) >= 1
+
+
+class TestSymbolicOrigins:
+    def test_symbolic_mix_is_a_warning_not_an_error(self):
+        found = findings_of(
+            """
+            from repro.topology import VertexTable
+
+            def maybe(holder, s1):
+                a = VertexTable()
+                m1 = a.encode_mask_interning(s1)
+                m2 = holder.table.encode_mask(s1)
+                return m1 | m2
+            """
+        )
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+
+    def test_unknown_origins_never_report(self):
+        assert (
+            findings_of(
+                """
+                def opaque(m1, m2):
+                    return m1 | m2
+                """
+            )
+            == []
+        )

@@ -1,0 +1,85 @@
+"""One seeded provenance bug, caught by BOTH halves of RPR006.
+
+The mutant below mixes masks across two vertex tables with different
+entry orders.  The static flow rule must flag every mix site in its
+source, and executing the very same source under ``REPRO_SANITIZE``
+must raise :class:`MaskProvenanceError` at the same operations — the
+acceptance contract tying :mod:`repro.checks.flowrules.masks` to
+:mod:`repro.topology.sanitize`.
+"""
+
+import pytest
+
+from repro.checks.findings import Severity
+from repro.checks.flow import analyze_source
+from repro.errors import MaskProvenanceError
+from repro.topology import Simplex
+from repro.topology import sanitize
+
+MUTANT = """\
+from repro.topology import VertexTable
+
+def mixed_union(s1, s2):
+    left = VertexTable([(1, "x"), (2, "y")])
+    right = VertexTable([(2, "y"), (1, "x")])
+    m1 = left.encode_mask(s1)
+    m2 = right.encode_mask(s2)
+    return m1 | m2
+
+def wrong_decode(s1):
+    left = VertexTable([(1, "x"), (2, "y")])
+    right = VertexTable([(2, "y"), (1, "x")])
+    return right.decode_mask(left.encode_mask(s1))
+"""
+
+
+def mutant_namespace():
+    namespace = {}
+    exec(compile(MUTANT, "mutant.py", "exec"), namespace)
+    return namespace
+
+
+class TestStaticHalf:
+    def test_every_mix_site_is_flagged_as_rpr006_error(self):
+        findings = analyze_source(
+            MUTANT, path="mutant.py", module="repro.experiments.mutant"
+        )
+        rpr006 = [f for f in findings if f.rule_id == "RPR006"]
+        lines = sorted(int(f.path.rsplit(":", 1)[-1]) for f in rpr006)
+        assert lines == [8, 13]  # the `|` and the decode_mask call
+        assert all(f.severity is Severity.ERROR for f in rpr006)
+
+
+class TestRuntimeHalf:
+    def test_bitwise_mix_raises_under_the_sanitizer(self):
+        namespace = mutant_namespace()
+        s = Simplex([(1, "x"), (2, "y")])
+        with sanitize.sanitizer():
+            with pytest.raises(MaskProvenanceError, match="RPR006"):
+                namespace["mixed_union"](s, s)
+
+    def test_wrong_decode_raises_under_the_sanitizer(self):
+        namespace = mutant_namespace()
+        s = Simplex([(1, "x"), (2, "y")])
+        with sanitize.sanitizer():
+            with pytest.raises(MaskProvenanceError, match="RPR006"):
+                namespace["wrong_decode"](s)
+
+    def test_record_only_mode_collects_findings_instead(self):
+        namespace = mutant_namespace()
+        s = Simplex([(1, "x"), (2, "y")])
+        sanitize.reset_violations()
+        with sanitize.sanitizer(record_only=True):
+            namespace["mixed_union"](s, s)
+            namespace["wrong_decode"](s)
+        found = sanitize.violations()
+        sanitize.reset_violations()
+        assert len(found) == 2
+        assert {f.rule_id for f in found} == {"RPR006"}
+        assert all(f.severity is Severity.ERROR for f in found)
+
+    def test_mutant_runs_silently_without_the_sanitizer(self):
+        # The whole point of the rule: release mode does NOT catch this.
+        namespace = mutant_namespace()
+        s = Simplex([(1, "x"), (2, "y")])
+        assert isinstance(namespace["mixed_union"](s, s), int)

@@ -1,0 +1,162 @@
+"""Runtime mask-provenance sanitizer (the dynamic half of RPR006)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import MaskProvenanceError
+from repro.topology import Simplex, VertexTable
+from repro.topology import sanitize
+from repro.topology.sanitize import SanitizedMask, sanitizer
+
+PAIRS = ((1, "x"), (2, "y"), (3, "z"))
+REVERSED_PAIRS = tuple(reversed(PAIRS))
+
+SIMPLEX = Simplex([(1, "x"), (2, "y")])
+
+
+@pytest.fixture(autouse=True)
+def _restore_sanitizer_state():
+    """Every test starts from OFF and leaves the flags as it found them.
+
+    The CI smoke runs this very suite under ``REPRO_SANITIZE=1``, where
+    the process-wide default is *on*; the activation tests must control
+    the flag themselves rather than trust the environment.
+    """
+    previous = (sanitize.ACTIVE, sanitize.RECORD_ONLY)
+    sanitize.disable()
+    yield
+    sanitize.ACTIVE, sanitize.RECORD_ONLY = previous
+
+
+class TestActivation:
+    def test_env_variable_drives_the_import_time_default(self):
+        expected = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        assert sanitize._env_active() is expected
+
+    def test_masks_are_plain_ints_while_disabled(self):
+        assert not sanitize.is_active()
+        table = VertexTable(PAIRS)
+        mask = table.encode_mask(SIMPLEX)
+        assert type(mask) is int
+
+    def test_context_manager_tags_and_restores(self):
+        table = VertexTable(PAIRS)
+        with sanitizer():
+            assert sanitize.is_active()
+            mask = table.encode_mask(SIMPLEX)
+            assert isinstance(mask, SanitizedMask)
+            assert mask.table_id == table.table_id
+        assert not sanitize.is_active()
+        assert type(table.encode_mask(SIMPLEX)) is int
+
+    def test_every_mask_producer_tags(self):
+        table = VertexTable(PAIRS)
+        with sanitizer():
+            produced = [
+                table.encode_mask(SIMPLEX),
+                table.encode_mask_interning(SIMPLEX),
+                table.colors_mask([1, 2]),
+                table.full_mask,
+            ]
+        assert all(isinstance(m, SanitizedMask) for m in produced)
+        assert {m.table_id for m in produced} == {table.table_id}
+
+
+class TestTaggedMaskSemantics:
+    def test_tagged_mask_behaves_like_its_int(self):
+        table = VertexTable(PAIRS)
+        with sanitizer():
+            mask = table.encode_mask(SIMPLEX)
+        plain = int(mask)
+        assert mask == plain
+        assert hash(mask) == hash(plain)
+        assert {mask: 1}[plain] == 1
+
+    def test_same_table_combinations_stay_tagged(self):
+        table = VertexTable(PAIRS)
+        with sanitizer():
+            m1 = table.encode_mask(SIMPLEX)
+            m2 = table.colors_mask([3])
+            union = m1 | m2
+        assert isinstance(union, SanitizedMask)
+        assert union.table_id == table.table_id
+        assert union == int(m1) | int(m2)
+
+    def test_plain_int_operands_are_fine(self):
+        table = VertexTable(PAIRS)
+        with sanitizer():
+            mask = table.encode_mask(SIMPLEX)
+            assert mask & (mask - 1) == int(mask) & (int(mask) - 1)
+            assert 0b1 | mask == 0b1 | int(mask)
+
+    def test_pickle_drops_the_process_local_tag(self):
+        table = VertexTable(PAIRS)
+        with sanitizer():
+            mask = table.encode_mask(SIMPLEX)
+        restored = pickle.loads(pickle.dumps(mask))
+        assert restored == int(mask)
+        assert type(restored) is int
+
+
+class TestViolations:
+    def test_incompatible_bitwise_mix_raises(self):
+        with sanitizer():
+            left = VertexTable(PAIRS)
+            right = VertexTable(REVERSED_PAIRS)
+            m1 = left.encode_mask(SIMPLEX)
+            m2 = right.encode_mask(SIMPLEX)
+            with pytest.raises(MaskProvenanceError, match="RPR006"):
+                m1 | m2
+
+    def test_incompatible_decode_raises(self):
+        with sanitizer():
+            left = VertexTable(PAIRS)
+            right = VertexTable(REVERSED_PAIRS)
+            mask = left.encode_mask(SIMPLEX)
+            with pytest.raises(MaskProvenanceError, match="decode_mask"):
+                right.decode_mask(mask)
+
+    def test_untagged_masks_always_decode(self):
+        # Wire records and masks born while the sanitizer was off are
+        # plain ints; the sanitizer only reports mixes it can prove.
+        table = VertexTable(PAIRS)
+        plain = table.encode_mask(SIMPLEX)
+        with sanitizer():
+            assert table.decode_mask(plain) == SIMPLEX
+
+    def test_record_only_collects_instead_of_raising(self):
+        sanitize.reset_violations()
+        with sanitizer(record_only=True):
+            left = VertexTable(PAIRS)
+            right = VertexTable(REVERSED_PAIRS)
+            mixed = left.encode_mask(SIMPLEX) | right.encode_mask(SIMPLEX)
+            assert isinstance(mixed, int)
+        found = sanitize.violations()
+        sanitize.reset_violations()
+        assert len(found) == 1
+        assert found[0].rule_id == "RPR006"
+        assert sanitize.violations() == []
+
+
+class TestCompatibleRebuilds:
+    def test_pair_identical_tables_are_interchangeable(self):
+        # The wire codec and worker processes legitimately rebuild a
+        # table with the same pairs; prefix-equal tables must not trip.
+        with sanitizer():
+            first = VertexTable(PAIRS)
+            second = VertexTable(PAIRS)
+            assert first.table_id != second.table_id
+            mask = first.encode_mask(SIMPLEX)
+            assert second.decode_mask(mask) == SIMPLEX
+            combined = mask | second.colors_mask([3])
+            assert combined == first.full_mask
+
+    def test_grown_table_stays_compatible_with_its_snapshot(self):
+        with sanitizer():
+            snapshot = VertexTable(PAIRS[:2])
+            grown = VertexTable(PAIRS[:2])
+            mask = snapshot.encode_mask(SIMPLEX)
+            grown.add(Simplex([(3, "z")]).vertices[0])
+            assert grown.decode_mask(mask) == SIMPLEX
