@@ -1,0 +1,152 @@
+"""BENCH (supervisor) — the cost of supervision on a fault-free map.
+
+:func:`repro.parallel.supervisor.supervised_map` wraps every task in an
+attempt payload (pickling the function, index, and policy per task) and
+folds structured attempt records on the way back.  On the happy path —
+no faults, no retries — that bookkeeping must stay in the noise: the
+resilience story is free until something actually breaks.
+
+This harness times a chaos campaign — the workload the supervisor
+actually fronts (``run_campaign`` routes its shards through
+``supervised_map``) — in two configurations:
+
+* ``baseline`` — the raw primitive: the campaign's trials through
+  :func:`~repro.parallel.pool.parallel_map` at ``workers=1`` (the
+  pre-PR-8 execution path for a sharded campaign);
+* ``supervised`` — the same payloads through ``supervised_map`` at
+  ``workers=1`` (the supervisor's in-process serial path: identical
+  trial code plus the full attempt/retry bookkeeping, no pool noise).
+
+The configurations are timed *interleaved* — every repeat measures both
+back to back and the minimum per configuration is kept — for the same
+reason as ``bench_telemetry_overhead.py``: sequential blocks bake
+clock-speed drift into the comparison.  The verdict: supervision may
+cost at most 3 % over the raw loop.  Results go to
+``benchmarks/results/BENCH_supervisor_overhead.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_supervisor_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from datetime import datetime, timezone
+
+from repro.faults import CampaignConfig
+from repro.faults.campaign import get_cell, run_trial
+from repro.parallel.pool import parallel_map
+from repro.parallel.supervisor import supervised_map
+
+#: Acceptance threshold: fault-free supervision may cost at most this.
+MAX_OVERHEAD_PCT = 3.0
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent
+    / "results"
+    / "BENCH_supervisor_overhead.json"
+)
+
+CONFIG = CampaignConfig(cell="aa", n=3, t=1, executions=60, seed=0)
+
+
+def _trial_payload(index: int):
+    return (CONFIG, get_cell(CONFIG.cell), index)
+
+
+def _run_one_trial(payload) -> object:
+    config, spec, index = payload
+    return run_trial(config, spec, index)
+
+
+def _payloads() -> list:
+    return [_trial_payload(i) for i in range(CONFIG.executions)]
+
+
+def _time_baseline() -> float:
+    payloads = _payloads()
+    start = time.perf_counter()
+    outcome = parallel_map(_run_one_trial, payloads, workers=1)
+    elapsed = time.perf_counter() - start
+    assert outcome.completed == CONFIG.executions
+    return elapsed
+
+
+def _time_supervised() -> float:
+    payloads = _payloads()
+    start = time.perf_counter()
+    outcome = supervised_map(_run_one_trial, payloads, workers=1)
+    elapsed = time.perf_counter() - start
+    assert outcome.completed == CONFIG.executions
+    return elapsed
+
+
+def run(repeats: int = 7) -> dict:
+    """Measure both configurations and return the result record."""
+    # One untimed warmup absorbs import and cell-registry effects.
+    _time_baseline()
+    _time_supervised()
+    baseline = supervised = float("inf")
+    for _ in range(repeats):
+        baseline = min(baseline, _time_baseline())
+        supervised = min(supervised, _time_supervised())
+
+    overhead_pct = (
+        (supervised - baseline) / baseline * 100.0 if baseline else 0.0
+    )
+    return {
+        # Standard BENCH_<name>.json keys (see benchmarks/conftest.py).
+        "name": "supervisor-overhead",
+        "workers": 1,
+        "wall_s": supervised,
+        "facets": None,
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "benchmark": "supervisor-fault-free-overhead",
+        "workload": f"chaos campaign {CONFIG.cell} x{CONFIG.executions}",
+        "repeats": repeats,
+        "baseline_s": baseline,
+        "supervised_s": supervised,
+        "overhead_pct": overhead_pct,
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "pass": overhead_pct < MAX_OVERHEAD_PCT,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=7,
+        help="timed repetitions per configuration (min is kept)",
+    )
+    args = parser.parse_args(argv)
+    record = run(repeats=args.repeats)
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"baseline {record['baseline_s'] * 1000.0:.2f} ms | "
+        f"supervised {record['supervised_s'] * 1000.0:.2f} ms"
+    )
+    print(
+        f"fault-free supervision overhead: "
+        f"{record['overhead_pct']:.2f}% "
+        f"(budget {MAX_OVERHEAD_PCT}%) -> "
+        + ("PASS" if record["pass"] else "FAIL")
+    )
+    print(f"wrote {RESULTS_PATH}")
+    return 0 if record["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,14 @@ flagged outright, names are resolved against the enclosing function
 top-level functions, whose bodies are scanned for the two impurity
 patterns.  Names imported from other modules are left alone — the
 analysis stays intraprocedural and only reports what it can prove.
+
+The supervisor (:func:`repro.parallel.supervisor.supervised_map`)
+ships *two* callables: the positional function and the optional
+``fallback=`` retry callback, both pickled into every attempt payload
+and executed in workers.  Both are analyzed under the same contract —
+a lambda fallback fails exactly as late and as opaquely as a lambda
+worker function, and only on the final attempt of a failing task,
+which is the worst possible moment to discover it.
 """
 
 from __future__ import annotations
@@ -37,7 +45,13 @@ from repro.checks.provenance import dotted_name
 __all__ = ["check_worker_purity"]
 
 #: Fan-out entry points taking the shipped callable first.
-_SHIP_FUNCTIONS = frozenset({"parallel_map"})
+_SHIP_FUNCTIONS = frozenset({"parallel_map", "supervised_map"})
+
+#: Entry points that additionally ship selected keyword arguments to
+#: workers (the supervisor pickles ``fallback`` into attempt payloads).
+_SHIP_KEYWORDS: dict[str, frozenset] = {
+    "supervised_map": frozenset({"fallback"}),
+}
 
 #: Executor methods taking the shipped callable first; only receivers
 #: whose name mentions a pool/executor count, so unrelated ``submit``
@@ -52,14 +66,21 @@ def _location(analysis: FunctionAnalysis, node: ast.AST) -> str:
     return f"{analysis.context.path}:{getattr(node, 'lineno', 0)}"
 
 
-def _shipped_argument(node: ast.Call) -> Optional[ast.expr]:
+def _shipped_arguments(node: ast.Call) -> list[ast.expr]:
+    """Every expression this call pickles into worker processes."""
     function = node.func
     if (
         isinstance(function, ast.Name)
         and function.id in _SHIP_FUNCTIONS
         and node.args
     ):
-        return node.args[0]
+        shipped = [node.args[0]]
+        keywords = _SHIP_KEYWORDS.get(function.id)
+        if keywords:
+            for keyword in node.keywords:
+                if keyword.arg in keywords:
+                    shipped.append(keyword.value)
+        return shipped
     if (
         isinstance(function, ast.Attribute)
         and function.attr in _SHIP_METHODS
@@ -67,8 +88,8 @@ def _shipped_argument(node: ast.Call) -> Optional[ast.expr]:
     ):
         receiver = (dotted_name(function.value) or "").lower()
         if "pool" in receiver or "executor" in receiver:
-            return node.args[0]
-    return None
+            return [node.args[0]]
+    return []
 
 
 def _defines_locally(region: ast.AST, name: str) -> bool:
@@ -119,60 +140,65 @@ def _ambient_reads(worker: ast.FunctionDef) -> Iterator[str]:
             yield "WORKERS_ENV"
 
 
+def _audit_shipped(
+    analysis: FunctionAnalysis, node: ast.Call, shipped: ast.expr
+) -> Iterator[Finding]:
+    """Findings for one expression pickled into workers by ``node``."""
+    context = analysis.context
+    if isinstance(shipped, ast.Lambda):
+        yield Finding(
+            "RPR009",
+            Severity.ERROR,
+            _location(analysis, node),
+            "a lambda cannot be pickled by reference and will "
+            "fail (only) at worker counts > 1; ship a module-"
+            "level function",
+        )
+        return
+    if not isinstance(shipped, ast.Name):
+        return
+    name = shipped.id
+    if _defines_locally(analysis.region, name):
+        yield Finding(
+            "RPR009",
+            Severity.ERROR,
+            _location(analysis, node),
+            f"nested function {name!r} closes over local state "
+            "and cannot be pickled by reference; hoist it to "
+            "module level and pass state through the payload",
+        )
+        return
+    worker = context.functions.get(name)
+    if worker is None:
+        return
+    for mutated in sorted(set(_global_mutations(worker))):
+        yield Finding(
+            "RPR009",
+            Severity.ERROR,
+            _location(analysis, node),
+            f"shipped function {name!r} mutates module global "
+            f"{mutated!r}; the write lands in the child process "
+            "and is silently lost — return the value through "
+            "the result instead",
+        )
+    for read in sorted(set(_ambient_reads(worker))):
+        yield Finding(
+            "RPR009",
+            Severity.ERROR,
+            _location(analysis, node),
+            f"shipped function {name!r} reads ambient worker "
+            f"configuration ({read}); workers are pinned to "
+            "serial, so this sees the child's config, not the "
+            "caller's — pass the value through the payload",
+        )
+
+
 @flow_rule("RPR009", "functions shipped to workers stay pure")
 def check_worker_purity(
     analysis: FunctionAnalysis,
 ) -> Iterator[Finding]:
-    context = analysis.context
     for node, _env in analysis.nodes():
         if not isinstance(node, ast.Call):
             continue
-        shipped = _shipped_argument(node)
-        if shipped is None:
-            continue
-        if isinstance(shipped, ast.Lambda):
-            yield Finding(
-                "RPR009",
-                Severity.ERROR,
-                _location(analysis, node),
-                "a lambda cannot be pickled by reference and will "
-                "fail (only) at worker counts > 1; ship a module-"
-                "level function",
-            )
-            continue
-        if not isinstance(shipped, ast.Name):
-            continue
-        name = shipped.id
-        if _defines_locally(analysis.region, name):
-            yield Finding(
-                "RPR009",
-                Severity.ERROR,
-                _location(analysis, node),
-                f"nested function {name!r} closes over local state "
-                "and cannot be pickled by reference; hoist it to "
-                "module level and pass state through the payload",
-            )
-            continue
-        worker = context.functions.get(name)
-        if worker is None:
-            continue
-        for mutated in sorted(set(_global_mutations(worker))):
-            yield Finding(
-                "RPR009",
-                Severity.ERROR,
-                _location(analysis, node),
-                f"shipped function {name!r} mutates module global "
-                f"{mutated!r}; the write lands in the child process "
-                "and is silently lost — return the value through "
-                "the result instead",
-            )
-        for read in sorted(set(_ambient_reads(worker))):
-            yield Finding(
-                "RPR009",
-                Severity.ERROR,
-                _location(analysis, node),
-                f"shipped function {name!r} reads ambient worker "
-                f"configuration ({read}); workers are pinned to "
-                "serial, so this sees the child's config, not the "
-                "caller's — pass the value through the payload",
-            )
+        for shipped in _shipped_arguments(node):
+            yield from _audit_shipped(analysis, node, shipped)

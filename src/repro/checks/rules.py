@@ -52,6 +52,12 @@ AUD013    complex    bitmask-core parity: pruning, containment,
                      ``intersection`` and the f-vector computed through
                      the mask index equal the retained object-set
                      reference algorithms on the live complex
+AUD014    super-     supervisor resilience: a chaos campaign run under
+          visor      seeded executor faults (worker kills, transient
+                     errors) with retries/pool-rebuild produces a JSON
+                     report byte-identical to the fault-free serial
+                     run, and quarantine fires exactly when retries are
+                     exhausted
 ========  =========  ====================================================
 
 Each rule applies to one *kind* of :class:`AuditTarget`; the driver in
@@ -1021,3 +1027,91 @@ def check_parallel_coherence(target: AuditTarget) -> Iterator[Finding]:
                 f"wire codec round trip altered a facet: "
                 f"{facet!r} became {round_tripped!r}",
             )
+
+
+# ----------------------------------------------------------------------
+# Supervisor resilience rules
+# ----------------------------------------------------------------------
+@audit_rule(
+    "AUD014",
+    "supervisor",
+    "fault-injected supervised runs equal fault-free serial runs",
+)
+def check_supervisor_resilience(target: AuditTarget) -> Iterator[Finding]:
+    """Cross-check the execution supervisor against the serial baseline.
+
+    The supervisor promises that retries, pool rebuilds, and serial
+    degradation are *invisible* in the artifact: a campaign run under a
+    seeded executor-fault plan (worker kills and transient errors on
+    first attempts) must produce a JSON report byte-identical to the
+    fault-free serial run.  The probe runs both and compares canonical
+    JSON; it also checks the quarantine lattice on a tiny in-process
+    map — a task whose faults outlast the retry budget must be
+    quarantined, not silently dropped or folded as ``None``.
+    """
+    import json
+
+    from repro.faults.campaign import report_to_json, run_campaign
+    from repro.faults.executor import ExecutorFaultPlan
+    from repro.parallel.supervisor import SupervisorConfig, supervised_map
+
+    config = target.obj
+    workers: int = target.extras.get("workers", 2)
+    plan = ExecutorFaultPlan(
+        seed=target.extras.get("fault_seed", 0),
+        kill_rate=target.extras.get("kill_rate", 0.25),
+        error_rate=target.extras.get("error_rate", 0.25),
+        faulty_attempts=1,
+    )
+    supervisor = SupervisorConfig(
+        retries=2, backoff_base=0.0, fault_plan=plan
+    )
+    baseline = json.dumps(
+        report_to_json(run_campaign(config, workers=1)), sort_keys=True
+    )
+    supervised = json.dumps(
+        report_to_json(
+            run_campaign(config, workers=workers, supervisor=supervisor)
+        ),
+        sort_keys=True,
+    )
+    if supervised != baseline:
+        yield Finding(
+            "AUD014",
+            Severity.ERROR,
+            f"{target.path}/report",
+            f"fault-injected supervised campaign ({workers} workers, "
+            f"kill_rate={plan.kill_rate}, error_rate={plan.error_rate}) "
+            "diverges from the fault-free serial report — supervision "
+            "leaked into the artifact",
+        )
+    poison = SupervisorConfig(
+        retries=1,
+        backoff_base=0.0,
+        fault_plan=ExecutorFaultPlan(
+            seed=0, error_rate=1.0, faulty_attempts=99
+        ),
+    )
+    outcome = supervised_map(
+        _aud014_identity,
+        [0, 1],
+        workers=1,
+        config=poison,
+        label="aud014-poison",
+        on_quarantine="keep",
+    )
+    if len(outcome.quarantined) != 2 or outcome.completed != 0:
+        yield Finding(
+            "AUD014",
+            Severity.ERROR,
+            f"{target.path}/quarantine",
+            f"poison tasks were not quarantined after exhausted "
+            f"retries: {len(outcome.quarantined)} quarantined, "
+            f"{outcome.completed} completed (expected 2 and 0)",
+        )
+
+
+def _aud014_identity(value: int) -> int:
+    """Probe workload for the AUD014 quarantine check (module level so
+    it ships to workers if the probe is ever run pooled)."""
+    return value

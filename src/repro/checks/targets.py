@@ -310,6 +310,26 @@ def _group_parallel_engine() -> list[AuditTarget]:
     ]
 
 
+def _group_supervisor_resilience() -> list[AuditTarget]:
+    """Supervisor byte-identity probes (rule AUD014).
+
+    One small chaos campaign per probe — enough executions to spread
+    over several shards at two workers so seeded kill faults actually
+    break a pool mid-campaign, small enough that the serial baseline
+    plus the supervised re-run stay in the audit's seconds budget.
+    """
+    from repro.faults.campaign import CampaignConfig
+
+    return [
+        AuditTarget(
+            "supervisor",
+            "supervisor/aa[n=3]",
+            CampaignConfig(cell="aa", n=3, t=1, executions=8, seed=0),
+            {"workers": 2, "fault_seed": 0},
+        ),
+    ]
+
+
 def _group_closure_aa() -> list[AuditTarget]:
     return _closure_targets(
         "closure/CL_IIS(1/2-AA[n=2])",
@@ -334,6 +354,7 @@ TARGET_GROUPS: dict[str, Callable[[], list[AuditTarget]]] = {
     "closure-aa": _group_closure_aa,
     "faults-configs": _group_faults_configs,
     "parallel-engine": _group_parallel_engine,
+    "supervisor-resilience": _group_supervisor_resilience,
 }
 
 #: Which groups each experiment depends on.  Kept exhaustive on purpose —
@@ -362,7 +383,12 @@ _EXPERIMENT_GROUPS: dict[str, tuple[str, ...]] = {
     "E20": ("models-affine", "tasks-consensus"),
     "E21": ("models-n2", "schedules-n2"),
     "E22": ("models-n3",),
-    "E23": ("faults-configs", "schedules-n3", "parallel-engine"),
+    "E23": (
+        "faults-configs",
+        "schedules-n3",
+        "parallel-engine",
+        "supervisor-resilience",
+    ),
 }
 
 

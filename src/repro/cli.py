@@ -13,6 +13,14 @@ Exposes the library's headline computations without writing Python::
     repro run halving --sanitize ...  # runtime mask-provenance sanitizer
     repro chaos --algorithm aa --model iis -n 3 --executions 2000 --seed 0
     repro chaos --replay trace.json --shrink
+    repro chaos --workers 2 --retries 2 --inject-exec-faults 0 --json
+
+The ``run``, ``experiment``, and ``chaos`` subcommands accept
+``--retries/--task-timeout/--no-degrade`` to tune the execution
+supervisor (see docs/RESILIENCE.md); ``chaos`` additionally accepts
+``--inject-exec-faults SEED`` for executor-level chaos (worker kills,
+transient task errors) that the supervisor must absorb without
+changing the report.
 
 The ``run``, ``experiment``, and ``chaos`` subcommands accept
 ``--trace PATH [--trace-format json|chrome|text]`` to record a telemetry
@@ -444,6 +452,36 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_supervisor_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared supervision options (retry/timeout/degrade)."""
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-attempts per pool task before quarantine (default: 2); "
+        "retried and recovered runs stay byte-identical to fault-free "
+        "serial runs",
+    )
+    group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task busy-time budget; an attempt exceeding it is "
+        "classified as a timeout failure (retried, then quarantined). "
+        "Distinct from the whole-campaign --deadline",
+    )
+    group.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="disable the circuit breaker's serial fallback: raise "
+        "instead of degrading to in-process execution when the pool "
+        "keeps breaking",
+    )
+
+
 def _add_sanitize_argument(parser: argparse.ArgumentParser) -> None:
     """Attach the shared ``--sanitize`` option (mask provenance)."""
     parser.add_argument(
@@ -511,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("id", nargs="?", default=None)
     _add_workers_argument(p)
+    _add_supervisor_arguments(p)
     _add_sanitize_argument(p)
     _add_trace_arguments(p)
 
@@ -625,6 +664,7 @@ def build_parser() -> argparse.ArgumentParser:
         "or seeded matrix schedules of the weaker models",
     )
     _add_workers_argument(p)
+    _add_supervisor_arguments(p)
     _add_sanitize_argument(p)
     _add_trace_arguments(p)
 
@@ -692,7 +732,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="acknowledge that --inject-illegal makes executions invalid",
     )
+    p.add_argument(
+        "--inject-exec-faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject seeded executor-level chaos (worker kills and "
+        "transient task errors on first attempts) around the pool "
+        "tasks of this campaign; the report must stay byte-identical "
+        "to a fault-free serial run (AUD014)",
+    )
     _add_workers_argument(p)
+    _add_supervisor_arguments(p)
     _add_sanitize_argument(p)
     _add_trace_arguments(p)
 
@@ -712,6 +763,37 @@ _COMMANDS = {
 }
 
 
+def _supervisor_from_args(args: argparse.Namespace):
+    """A SupervisorConfig from the resilience flags, or None if unset.
+
+    Only invocations that pass at least one of ``--retries``,
+    ``--task-timeout``, ``--no-degrade``, or ``--inject-exec-faults``
+    install a process-default policy; everything else keeps the stock
+    supervision defaults.
+    """
+    retries = getattr(args, "retries", None)
+    task_timeout = getattr(args, "task_timeout", None)
+    no_degrade = getattr(args, "no_degrade", False)
+    fault_seed = getattr(args, "inject_exec_faults", None)
+    if (
+        retries is None
+        and task_timeout is None
+        and not no_degrade
+        and fault_seed is None
+    ):
+        return None
+    from repro.faults.executor import default_plan
+    from repro.parallel.supervisor import SupervisorConfig
+
+    stock = SupervisorConfig()
+    return SupervisorConfig(
+        retries=stock.retries if retries is None else retries,
+        task_timeout=task_timeout,
+        degrade=not no_degrade,
+        fault_plan=None if fault_seed is None else default_plan(fault_seed),
+    )
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     """Run the selected command, recording a trace when asked to.
 
@@ -728,6 +810,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.parallel.pool import set_default_workers
 
         set_default_workers(workers)
+    supervisor = _supervisor_from_args(args)
+    if supervisor is not None:
+        from repro.parallel.supervisor import set_default_supervisor
+
+        try:
+            set_default_supervisor(supervisor)
+        except ReproError as exc:
+            raise SystemExit(str(exc))
     sanitize_flag = getattr(args, "sanitize", False)
     if sanitize_flag:
         from repro.topology import sanitize
@@ -740,6 +830,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             from repro.topology import sanitize
 
             sanitize.disable()
+        if supervisor is not None:
+            from repro.parallel.supervisor import set_default_supervisor
+
+            set_default_supervisor(None)
         if workers is not None:
             from repro.parallel.pool import set_default_workers
 

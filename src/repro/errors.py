@@ -22,6 +22,9 @@ __all__ = [
     "ExperimentError",
     "TelemetryError",
     "MaskProvenanceError",
+    "WorkerCrashError",
+    "TransientTaskError",
+    "QuarantineError",
 ]
 
 
@@ -117,6 +120,45 @@ class TelemetryError(ReproError, RuntimeError):
     exporters — both indicate a harness bug, never a property of the
     computation being traced.
     """
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A pool worker died (or a planned crash fired in-process).
+
+    Surfaced by the execution supervisor (:mod:`repro.parallel.supervisor`)
+    when the process pool breaks beyond its circuit-breaker threshold with
+    degradation disabled, and raised directly by the executor-level fault
+    injector (:mod:`repro.faults.executor`) when a planned worker kill
+    fires on the serial path — SIGKILLing the only process would take the
+    harness down with it, so the plan degrades to a catchable crash.
+    """
+
+
+class TransientTaskError(ReproError, RuntimeError):
+    """An injected transient task fault (retriable by design).
+
+    Raised by :func:`repro.faults.executor.apply_fault` to model
+    once-in-a-while task failures — a flaky pickling round-trip, a
+    dropped result — that a correct supervisor must absorb through
+    retries without changing the fold.
+    """
+
+
+class QuarantineError(ReproError, RuntimeError):
+    """The supervisor gave up on one or more tasks after bounded retries.
+
+    Carries the structured quarantine records so callers can report which
+    inputs were poisoned and why.
+    """
+
+    def __init__(self, label: str, quarantined: tuple) -> None:
+        self.label = label
+        self.quarantined = quarantined
+        indices = ", ".join(str(record.index) for record in quarantined)
+        super().__init__(
+            f"{len(quarantined)} {label} task(s) quarantined after "
+            f"exhausting retries (indices: {indices})"
+        )
 
 
 class MaskProvenanceError(ReproError, RuntimeError):

@@ -16,6 +16,10 @@ non-linearizable objects) must surface as
 * :mod:`repro.faults.campaign` — the chaos campaign runner: N randomized
   executions per (algorithm, model, n, t) cell with budget guards, error
   isolation, and JSON/text reporting;
+* :mod:`repro.faults.executor` — executor-level chaos plans (seeded
+  worker kills, transient task errors, task delays) attacking the
+  process pool of :mod:`repro.parallel` instead of the simulated
+  runtime, consumed by the execution supervisor;
 * :mod:`repro.faults.shrink` — delta-debugging of violating traces down to
   locally minimal counterexamples;
 * :mod:`repro.faults.fixtures` — deliberately broken algorithms used to
@@ -59,6 +63,12 @@ from repro.faults.campaign import (
     render_report,
     report_to_json,
 )
+from repro.faults.executor import (
+    ExecutorFaultPlan,
+    apply_fault,
+    default_plan,
+    fault_for,
+)
 from repro.faults.shrink import shrink_trace, trace_weight
 
 __all__ = [
@@ -92,6 +102,10 @@ __all__ = [
     "replay_trace",
     "render_report",
     "report_to_json",
+    "ExecutorFaultPlan",
+    "apply_fault",
+    "default_plan",
+    "fault_for",
     "shrink_trace",
     "trace_weight",
 ]

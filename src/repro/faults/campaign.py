@@ -33,7 +33,10 @@ import time
 from collections.abc import Hashable, Mapping
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the cycle
+    from repro.parallel.supervisor import SupervisorConfig
 
 from repro.analysis.reporting import render_rows
 from repro.errors import (
@@ -86,7 +89,7 @@ from repro.runtime.adversary import (
 )
 from repro.runtime.algorithm import RoundAlgorithm
 from repro.runtime.iterated import ExecutionResult, IteratedExecutor
-from repro.telemetry import span
+from repro.telemetry import ambient_clock, span
 
 __all__ = [
     "CampaignConfig",
@@ -491,15 +494,19 @@ def classify_execution(
 
 
 def run_campaign(
-    config: CampaignConfig, workers: Optional[int] = None
+    config: CampaignConfig,
+    workers: Optional[int] = None,
+    supervisor: Optional["SupervisorConfig"] = None,
 ) -> CampaignReport:
     """Run the whole campaign; never raises on a misbehaving execution.
 
     With more than one (resolved) worker the trials are sharded across
-    the process pool (:mod:`repro.parallel.chaos`); per-trial seeds
-    derive from ``(campaign seed, index)`` alone and shards fold back in
-    ascending index order, so the report — including its JSON rendering
-    — is byte-identical to a serial run.
+    the process pool (:mod:`repro.parallel.chaos`) under the execution
+    supervisor (``supervisor`` overrides the process-default policy);
+    per-trial seeds derive from ``(campaign seed, index)`` alone and
+    shards fold back in ascending index order, so the report — including
+    its JSON rendering — is byte-identical to a serial run even when the
+    supervisor retried or re-dispatched shards after worker failures.
     """
     config.validate()
     spec = get_cell(config.cell)
@@ -516,7 +523,11 @@ def run_campaign(
             HARNESS_FAULT_DETECTED: 0,
         },
     )
-    started = time.monotonic()
+    # The campaign-level clock is the ambient (injectable) one, so
+    # deadline behaviour is scriptable in tests; the per-execution
+    # budget guard keeps raw time.monotonic() — it exists to catch real
+    # hangs and must not freeze with a scripted clock.
+    started = ambient_clock().now()
     campaign_deadline_at = (
         started + config.deadline if config.deadline is not None else None
     )
@@ -534,13 +545,17 @@ def run_campaign(
             from repro.parallel.chaos import run_campaign_sharded
 
             run_campaign_sharded(
-                config, report, campaign_deadline_at, resolved
+                config,
+                report,
+                campaign_deadline_at,
+                resolved,
+                supervisor=supervisor,
             )
         else:
             _run_trials(config, spec, report, campaign_deadline_at)
         campaign_span.set_attribute("clean", report.clean)
         campaign_span.set_attribute("incidents", len(report.incidents))
-    report.elapsed = time.monotonic() - started
+    report.elapsed = ambient_clock().now() - started
     report.peak_rss_kb = _peak_rss_kb()
     return report
 
@@ -710,7 +725,7 @@ def _run_trials(
     for index in range(config.executions):
         if (
             campaign_deadline_at is not None
-            and time.monotonic() > campaign_deadline_at
+            and ambient_clock().now() > campaign_deadline_at
         ):
             report.skipped = config.executions - index
             break

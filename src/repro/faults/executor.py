@@ -1,0 +1,170 @@
+"""Executor-level chaos: seeded faults injected *around* shipped tasks.
+
+The injectors in :mod:`repro.faults.injectors` attack the simulated
+shared-memory runtime; the plan here attacks the *execution engine
+itself* — the process pool of :mod:`repro.parallel`.  A fault plan is a
+pure function of ``(seed, task index, attempt number)``, so every run of
+the same plan provokes the same faults in the same places regardless of
+worker count, scheduling, or how tasks are re-dispatched after a pool
+rebuild.  That determinism is what lets AUD014 demand byte-identical
+reports from a fault-injected supervised run and a fault-free serial
+run.
+
+Three fault kinds, mirroring what a real deployment sees:
+
+* ``"kill"`` — the worker process dies mid-task (``SIGKILL``), which
+  surfaces to the parent as ``BrokenProcessPool`` and takes every
+  in-flight task of that round down with it;
+* ``"error"`` — the task raises a transient
+  :class:`~repro.errors.TransientTaskError` (a flaky pickling
+  round-trip, a dropped result);
+* ``"delay"`` — the task sleeps through the ambient clock, exercising
+  per-task timeout classification.
+
+Faults only fire while ``attempt < faulty_attempts``, so any retry
+budget of at least ``faulty_attempts`` is guaranteed to converge — the
+plan models *transient* failure, which is the regime where retrying is
+the correct response.  (Permanent poison tasks are modeled in tests by
+setting ``faulty_attempts`` above the retry budget.)
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+from random import Random
+from typing import Optional
+
+from repro.errors import TransientTaskError, WorkerCrashError
+from repro.telemetry.clock import ambient_clock
+
+__all__ = [
+    "ExecutorFaultPlan",
+    "fault_for",
+    "apply_fault",
+    "default_plan",
+]
+
+#: Large odd multipliers decorrelate the (seed, index, attempt) mix; the
+#: modulus matches ``repro.faults.campaign.derive_seed``.
+_INDEX_STRIDE = 1_000_003
+_ATTEMPT_STRIDE = 7_919
+_SEED_MODULUS = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class ExecutorFaultPlan:
+    """A seed-deterministic schedule of executor-level faults.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; the per-(index, attempt) decision derives from it
+        arithmetically, never from ambient state.
+    kill_rate, error_rate, delay_rate:
+        Independent probabilities (summed cumulatively, so their total
+        must stay ≤ 1) that a given faulty attempt is killed, errored,
+        or delayed.
+    delay_s:
+        How long a ``"delay"`` fault sleeps (through the ambient clock).
+    faulty_attempts:
+        Attempts numbered below this threshold are eligible for faults;
+        later attempts always run clean.  ``1`` means only first
+        attempts can fail — the classic transient-fault regime.
+    """
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    error_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_s: float = 0.05
+    faulty_attempts: int = 1
+
+    def validate(self) -> None:
+        for name in ("kill_rate", "error_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {rate}")
+        total = self.kill_rate + self.error_rate + self.delay_rate
+        if total > 1.0:
+            raise ValueError(
+                f"fault rates must sum to at most 1, got {total}"
+            )
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        if self.faulty_attempts < 0:
+            raise ValueError("faulty_attempts must be non-negative")
+
+
+def fault_for(
+    plan: ExecutorFaultPlan, index: int, attempt: int
+) -> Optional[str]:
+    """The fault (``"kill"``/``"error"``/``"delay"``/``None``) for one attempt.
+
+    Pure in ``(plan, index, attempt)``: ``random.Random(...).random()``
+    is the Mersenne Twister, stable across platforms and CPython
+    versions, so fault placement is part of the reproducible artifact.
+    """
+    if attempt >= plan.faulty_attempts:
+        return None
+    mixed = (
+        plan.seed * _INDEX_STRIDE
+        + index * _ATTEMPT_STRIDE
+        + attempt
+    ) % _SEED_MODULUS
+    roll = Random(mixed).random()
+    if roll < plan.kill_rate:
+        return "kill"
+    if roll < plan.kill_rate + plan.error_rate:
+        return "error"
+    if roll < plan.kill_rate + plan.error_rate + plan.delay_rate:
+        return "delay"
+    return None
+
+
+def apply_fault(
+    plan: ExecutorFaultPlan,
+    index: int,
+    attempt: int,
+    in_worker: bool,
+) -> None:
+    """Fire the planned fault for this attempt, if any.
+
+    A ``"kill"`` SIGKILLs the current process — but only when it *is* a
+    pool worker; on the serial/degraded path the same plan entry raises
+    :class:`~repro.errors.WorkerCrashError` instead, so the harness
+    process survives and the retry accounting still converges on the
+    same attempt numbers.
+    """
+    kind = fault_for(plan, index, attempt)
+    if kind is None:
+        return
+    if kind == "kill":
+        if in_worker:
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise WorkerCrashError(
+            f"planned worker kill for task {index} attempt {attempt} "
+            "(degraded to an in-process crash on the serial path)"
+        )
+    if kind == "error":
+        raise TransientTaskError(
+            f"planned transient fault for task {index} attempt {attempt}"
+        )
+    ambient_clock().sleep(plan.delay_s)
+
+
+def default_plan(seed: int) -> ExecutorFaultPlan:
+    """The CLI's stock chaos plan: frequent kills, occasional errors.
+
+    Aggressive enough that a 2-worker campaign of a few dozen shards is
+    all but guaranteed to lose at least one worker, yet every fault is
+    transient (``faulty_attempts=1``), so ``--retries >= 1`` always
+    completes.
+    """
+    return ExecutorFaultPlan(
+        seed=seed,
+        kill_rate=0.15,
+        error_rate=0.15,
+        faulty_attempts=1,
+    )

@@ -21,8 +21,13 @@ worker process the resolution is pinned to ``1`` so nested fan-outs
 cannot fork-bomb.
 
 Cross-process payloads use the compact bitmask codec of
-:mod:`repro.topology.wire`.  See ``docs/PARALLELISM.md`` for the engine
-design, the determinism contract, and worker-sizing guidance.
+:mod:`repro.topology.wire`.  Fan-outs that must survive worker failure
+route through the supervision layer (:mod:`repro.parallel.supervisor`):
+bounded retries with deterministic backoff, per-task timeouts, pool
+rebuild on ``BrokenProcessPool``, poison-task quarantine, and a circuit
+breaker degrading to bit-identical serial execution.  See
+``docs/PARALLELISM.md`` for the engine design and determinism contract
+and ``docs/RESILIENCE.md`` for the supervision model.
 """
 
 from repro.parallel.chaos import run_campaign_sharded
@@ -34,6 +39,7 @@ from repro.parallel.expansion import (
 from repro.parallel.pool import (
     WORKERS_ENV,
     MapOutcome,
+    discard_pool,
     get_default_workers,
     parallel_map,
     resolve_workers,
@@ -41,6 +47,17 @@ from repro.parallel.pool import (
     shutdown_pools,
 )
 from repro.parallel.solving import parallel_find_decision_map
+from repro.parallel.supervisor import (
+    QuarantineRecord,
+    SupervisedOutcome,
+    SupervisorConfig,
+    TaskAttempt,
+    backoff_delay,
+    get_default_supervisor,
+    resolve_supervisor,
+    set_default_supervisor,
+    supervised_map,
+)
 
 __all__ = [
     "WORKERS_ENV",
@@ -50,6 +67,16 @@ __all__ = [
     "set_default_workers",
     "parallel_map",
     "shutdown_pools",
+    "discard_pool",
+    "SupervisorConfig",
+    "TaskAttempt",
+    "QuarantineRecord",
+    "SupervisedOutcome",
+    "set_default_supervisor",
+    "get_default_supervisor",
+    "resolve_supervisor",
+    "backoff_delay",
+    "supervised_map",
     "expand_one_round",
     "materialize_protocol_complexes",
     "parallel_of_complex",

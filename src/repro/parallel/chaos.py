@@ -28,7 +28,9 @@ from repro.faults.campaign import (
     get_cell,
     run_trial,
 )
-from repro.parallel.pool import chunked, parallel_map
+from repro.parallel.pool import chunked
+from repro.parallel.supervisor import SupervisorConfig, supervised_map
+from repro.telemetry import ambient_clock
 
 __all__ = ["run_campaign_sharded"]
 
@@ -50,23 +52,48 @@ def run_campaign_sharded(
     report: CampaignReport,
     campaign_deadline_at: Optional[float],
     workers: int,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> None:
     """Run the campaign's trials on the pool, folding into ``report``.
 
     Called by :func:`repro.faults.campaign.run_campaign` (which owns
     validation, the campaign span, and the timing/memory accounting)
     once the worker count has resolved above one.
+
+    Shards run under the execution supervisor: a killed worker breaks
+    the pool, the supervisor rebuilds it and re-dispatches the lost
+    shards, and because each shard is a pure function of
+    ``(config, indices)`` the re-run produces the same records — the
+    fault-injected report stays byte-identical to the serial one
+    (AUD014).  A shard quarantined after exhausting its retries is
+    recomputed in-process here as a last resort, so only the campaign
+    deadline can make trials go missing.
     """
     shards = chunked(
         range(config.executions), workers * _SHARDS_PER_WORKER
     )
-    outcome = parallel_map(
+    payloads: list[ShardPayload] = [
+        (config, shard) for shard in shards
+    ]
+    outcome = supervised_map(
         _run_shard,
-        [(config, shard) for shard in shards],
+        payloads,
         workers=workers,
+        config=supervisor,
         label="chaos-shard",
         deadline_at=campaign_deadline_at,
+        on_quarantine="keep",
     )
+    if outcome.quarantined:
+        for quarantine in outcome.quarantined:
+            if (
+                campaign_deadline_at is not None
+                and ambient_clock().now() > campaign_deadline_at
+            ):
+                break
+            outcome.results[quarantine.index] = _run_shard(
+                payloads[quarantine.index]
+            )
     folded = 0
     for records in outcome.results:
         if records is None:

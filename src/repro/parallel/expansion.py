@@ -18,7 +18,8 @@ from __future__ import annotations
 from copy import copy
 from repro.models.base import ComputationModel
 from repro.models.protocol import ProtocolOperator
-from repro.parallel.pool import chunked, parallel_map
+from repro.parallel.pool import chunked
+from repro.parallel.supervisor import supervised_map
 from repro.telemetry import span
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
@@ -124,7 +125,11 @@ def expand_one_round(
                 [encode_simplex(sigma) for sigma in missing],
                 workers * _CHUNKS_PER_WORKER,
             )
-            outcome = parallel_map(
+            # Supervised: a worker lost mid-expansion is retried (and
+            # the pool rebuilt) instead of failing the whole round; a
+            # chunk that still fails raises QuarantineError rather than
+            # silently truncating the complex.
+            outcome = supervised_map(
                 _expand_chunk,
                 [(clone, chunk) for chunk in chunks],
                 workers=workers,
@@ -177,7 +182,7 @@ def materialize_protocol_complexes(
                 [encode_simplex(sigma) for sigma in missing],
                 workers * _CHUNKS_PER_WORKER,
             )
-            outcome = parallel_map(
+            outcome = supervised_map(
                 _protocol_chunk,
                 [(clone, chunk, rounds) for chunk in chunks],
                 workers=workers,

@@ -20,13 +20,14 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, TypeVar
 
 from repro.errors import ReproError
-from repro.telemetry import default_registry, span
+from repro.telemetry import ambient_clock, default_registry, span
 
 __all__ = [
     "WORKERS_ENV",
@@ -36,6 +37,7 @@ __all__ = [
     "set_default_workers",
     "parallel_map",
     "shutdown_pools",
+    "discard_pool",
 ]
 
 P = TypeVar("P")
@@ -51,6 +53,10 @@ MAX_WORKERS = 64
 _default_workers: Optional[int] = None
 _in_worker = False
 _pools: dict[int, ProcessPoolExecutor] = {}
+# Guards _pools: shutdown_pools() may run from another thread (tests,
+# atexit during interpreter teardown) while a drain loop is still
+# holding a reference to an executor it fetched from the cache.
+_POOLS_LOCK = threading.Lock()
 
 
 def _check_workers(workers: int) -> int:
@@ -111,20 +117,44 @@ def _mark_worker() -> None:
 
 def _pool(workers: int) -> ProcessPoolExecutor:
     """The shared executor for ``workers`` (created lazily, reused)."""
-    found = _pools.get(workers)
-    if found is None:
-        found = ProcessPoolExecutor(
-            max_workers=workers, initializer=_mark_worker
-        )
-        _pools[workers] = found
-    return found
+    with _POOLS_LOCK:
+        found = _pools.get(workers)
+        if found is None:
+            found = ProcessPoolExecutor(
+                max_workers=workers, initializer=_mark_worker
+            )
+            _pools[workers] = found
+        return found
 
 
 def shutdown_pools() -> None:
-    """Shut down every shared executor (idempotent; used by tests)."""
-    while _pools:
-        _, pool = _pools.popitem()
+    """Shut down every shared executor (idempotent; used by tests).
+
+    Safe to call concurrently with in-flight drains: the cache mutation
+    happens under the pool lock, and executors are shut down *outside*
+    it so a drain thread grabbing a fresh pool is never blocked on a
+    slow teardown.
+    """
+    while True:
+        with _POOLS_LOCK:
+            if not _pools:
+                return
+            _, pool = _pools.popitem()
         pool.shutdown(wait=True, cancel_futures=True)
+
+
+def discard_pool(workers: int) -> None:
+    """Drop the cached executor for ``workers`` without waiting.
+
+    Used by the supervisor after ``BrokenProcessPool``: the executor is
+    permanently broken, so waiting on it is pointless — evict it from
+    the cache (the next :func:`_pool` call rebuilds) and reap whatever
+    is left without blocking.
+    """
+    with _POOLS_LOCK:
+        pool = _pools.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 atexit.register(shutdown_pools)
@@ -215,7 +245,7 @@ def parallel_map(
     ``fn`` must be a module-level callable and every payload/result must
     pickle.  Results land in ``MapOutcome.results`` at the index of
     their payload regardless of completion order.  When ``stop_when``
-    returns true for some result, or ``time.monotonic()`` passes
+    returns true for some result, or the ambient telemetry clock passes
     ``deadline_at``, remaining not-yet-started tasks are cancelled and
     their slots stay ``None`` (in-flight tasks finish and are recorded).
 
@@ -233,7 +263,10 @@ def parallel_map(
     with span("parallel/map", label=label, workers=resolved) as map_span:
         if resolved <= 1 or len(payloads) <= 1:
             for index, payload in enumerate(payloads):
-                if deadline_at is not None and time.monotonic() > deadline_at:
+                if (
+                    deadline_at is not None
+                    and ambient_clock().now() > deadline_at
+                ):
                     outcome.stopped_early = True
                     break
                 task_started = time.perf_counter()
@@ -277,7 +310,7 @@ def parallel_map(
                             stop = True
                     past_deadline = (
                         deadline_at is not None
-                        and time.monotonic() > deadline_at
+                        and ambient_clock().now() > deadline_at
                     )
                     if stop or past_deadline:
                         outcome.stopped_early = True

@@ -27,7 +27,7 @@ from repro.core.solvability import (
 )
 from repro.models.protocol import ProtocolOperator
 from repro.parallel.expansion import materialize_protocol_complexes
-from repro.parallel.pool import parallel_map
+from repro.parallel.supervisor import supervised_map
 from repro.tasks.task import Task
 from repro.telemetry import span
 from repro.topology.simplex import Simplex
@@ -184,7 +184,13 @@ def parallel_find_decision_map(
             _encode_component(problem, component, domains, assignment)
             for component in components
         ]
-        outcome = parallel_map(
+        # Supervised: the stop_when predicate treats None as a
+        # refutation, so it must only ever see *successful* results —
+        # supervised_map guarantees exactly that (failed attempts are
+        # retried, never surfaced to stop_when), where a bare
+        # parallel_map under a flaky pool could mistake a crash for an
+        # unsolvable component.
+        outcome = supervised_map(
             _solve_component,
             payloads,
             workers=workers,

@@ -1,0 +1,557 @@
+"""Fault-tolerant supervision of :func:`~repro.parallel.pool.parallel_map`.
+
+:func:`supervised_map` wraps the raw fan-out primitive with the
+resilience story a paper about surviving adversarial asynchrony ought
+to have for its own execution engine:
+
+* **bounded retries with seed-deterministic backoff** — each task gets
+  ``retries + 1`` attempts; the delay before a re-attempt is exponential
+  in the attempt number with jitter derived arithmetically from
+  ``(seed, index, attempt)``, never from ambient randomness, and slept
+  through the ambient telemetry clock so tests can script it;
+* **per-task deadlines** — ``task_timeout`` classifies an attempt whose
+  busy time exceeds the budget as a ``"timeout"`` failure (retriable,
+  then quarantinable), distinct from the whole-map ``deadline_at``
+  which bounds the map as a whole;
+* **pool recovery** — a ``BrokenProcessPool`` (a worker died) evicts
+  the broken executor via :func:`~repro.parallel.pool.discard_pool`,
+  rebuilds on the next round, and re-dispatches *only* the tasks that
+  had not completed in a prior round, preserving the input-order fold;
+* **poison-task quarantine** — a task whose *final* attempt still
+  fails is quarantined with a structured :class:`QuarantineRecord`
+  (the full :class:`TaskAttempt` history rides along) instead of
+  poisoning the whole map;
+* **circuit breaker** — more than ``breaker_threshold`` pool rebuilds
+  degrades the remaining tasks to in-process serial execution, which
+  produces bit-identical results because every shipped function is
+  pure in its payload (RPR009 enforces exactly this).
+
+At-least-once caveat: a pool break loses the whole in-flight round, so
+tasks may execute more than once.  Shipped functions must therefore be
+pure in their payload — the same contract the determinism audits
+(AUD012/AUD014) already demand.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import BrokenExecutor, CancelledError
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Optional, Sequence
+
+import repro.parallel.pool as pool_module
+from repro.errors import QuarantineError, ReproError, WorkerCrashError
+from repro.faults.executor import ExecutorFaultPlan, apply_fault
+from repro.parallel.pool import discard_pool, parallel_map, resolve_workers
+from repro.telemetry import ambient_clock, default_registry, span
+
+__all__ = [
+    "SupervisorConfig",
+    "TaskAttempt",
+    "QuarantineRecord",
+    "SupervisedOutcome",
+    "set_default_supervisor",
+    "get_default_supervisor",
+    "resolve_supervisor",
+    "backoff_delay",
+    "supervised_map",
+]
+
+#: Mixing constants for the backoff jitter stream; distinct from the
+#: fault-plan strides so backoff and fault decisions are uncorrelated.
+_JITTER_STRIDE = 999_983
+_ATTEMPT_STRIDE = 104_729
+_SEED_MODULUS = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Retry, timeout, backoff, and degradation policy for one map.
+
+    Parameters
+    ----------
+    retries:
+        Re-attempts allowed per task beyond the first (so each task
+        runs at most ``retries + 1`` times before quarantine).
+    task_timeout:
+        Per-attempt busy-time budget in seconds (``None`` disables).
+        Classification is post-hoc — a running task cannot be killed
+        from the parent — so the whole-map ``deadline_at`` remains the
+        bound on outright hangs.
+    backoff_base, backoff_cap, backoff_jitter:
+        Re-attempt ``k`` (1-based) waits
+        ``min(cap, base * 2**(k-1)) * (1 + jitter * u)`` seconds where
+        ``u`` is a deterministic uniform draw from ``(seed, index, k)``.
+    seed:
+        Root seed of the jitter stream.
+    degrade:
+        Whether tripping the circuit breaker falls back to in-process
+        serial execution (``False`` raises
+        :class:`~repro.errors.WorkerCrashError` instead).
+    breaker_threshold:
+        Pool rebuilds tolerated before the breaker trips.
+    fault_plan:
+        Optional :class:`~repro.faults.executor.ExecutorFaultPlan`
+        applied around every attempt — the chaos hook AUD014 and the
+        CLI ``--inject-exec-faults`` use.
+    """
+
+    retries: int = 2
+    task_timeout: Optional[float] = None
+    backoff_base: float = 0.01
+    backoff_cap: float = 1.0
+    backoff_jitter: float = 0.5
+    seed: int = 0
+    degrade: bool = True
+    breaker_threshold: int = 2
+    fault_plan: Optional[ExecutorFaultPlan] = None
+
+    def validate(self) -> None:
+        if self.retries < 0:
+            raise ReproError(
+                f"retries must be non-negative, got {self.retries}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ReproError(
+                f"task_timeout must be positive, got {self.task_timeout}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ReproError("backoff base/cap must be non-negative")
+        if self.backoff_jitter < 0:
+            raise ReproError(
+                f"backoff_jitter must be non-negative, "
+                f"got {self.backoff_jitter}"
+            )
+        if self.breaker_threshold < 0:
+            raise ReproError(
+                f"breaker_threshold must be non-negative, "
+                f"got {self.breaker_threshold}"
+            )
+        if self.fault_plan is not None:
+            self.fault_plan.validate()
+
+
+_default_supervisor: Optional[SupervisorConfig] = None
+
+
+def set_default_supervisor(config: Optional[SupervisorConfig]) -> None:
+    """Set the process-wide supervision policy (``None`` to unset).
+
+    The CLI ``--retries/--task-timeout/--no-degrade`` flags land here,
+    mirroring :func:`~repro.parallel.pool.set_default_workers`.
+    """
+    global _default_supervisor
+    if config is not None:
+        config.validate()
+    _default_supervisor = config
+
+
+def get_default_supervisor() -> Optional[SupervisorConfig]:
+    """The process-wide policy set via :func:`set_default_supervisor`."""
+    return _default_supervisor
+
+
+def resolve_supervisor(
+    config: Optional[SupervisorConfig] = None,
+) -> SupervisorConfig:
+    """Explicit config, else the process default, else stock policy."""
+    if config is not None:
+        config.validate()
+        return config
+    if _default_supervisor is not None:
+        return _default_supervisor
+    return SupervisorConfig()
+
+
+def backoff_delay(
+    config: SupervisorConfig, index: int, attempt: int
+) -> float:
+    """Seconds to wait before re-attempt ``attempt`` (1-based) of a task.
+
+    Pure in ``(config, index, attempt)`` — the jitter draw comes from a
+    seeded Mersenne Twister, so a replayed campaign backs off through
+    the very same delays.
+    """
+    if attempt < 1:
+        return 0.0
+    raw = config.backoff_base * (2 ** (attempt - 1))
+    capped = min(config.backoff_cap, raw)
+    if capped <= 0:
+        return 0.0
+    mixed = (
+        config.seed * _JITTER_STRIDE
+        + index * _ATTEMPT_STRIDE
+        + attempt
+    ) % _SEED_MODULUS
+    return capped * (1.0 + config.backoff_jitter * Random(mixed).random())
+
+
+@dataclass(frozen=True)
+class TaskAttempt:
+    """One recorded attempt of one task.
+
+    ``kind`` is one of ``"ok"`` (a *retried* task finally succeeded;
+    first-attempt successes are not recorded), ``"fallback"`` (the
+    final attempt succeeded through the fallback callable), ``"error"``
+    (the attempt raised), ``"timeout"`` (busy time exceeded
+    ``task_timeout``), or ``"pool-broken"`` (the attempt was lost with
+    the pool; the task itself may have been innocent).
+    """
+
+    index: int
+    attempt: int
+    kind: str
+    error: Optional[str] = None
+    message: Optional[str] = None
+    busy_s: float = 0.0
+    backoff_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """A task given up on after its final attempt failed."""
+
+    index: int
+    error: Optional[str]
+    message: Optional[str]
+    attempts: int
+
+
+@dataclass
+class SupervisedOutcome:
+    """What :func:`supervised_map` produced.
+
+    Extends the :class:`~repro.parallel.pool.MapOutcome` shape with the
+    supervision ledger: the attempt history, quarantined tasks, and the
+    retry/rebuild/degradation counters.  ``results`` entries are
+    ``None`` for cancelled *and* quarantined tasks; consult
+    ``quarantined`` to tell them apart.
+    """
+
+    results: list
+    completed: int = 0
+    stopped_early: bool = False
+    worker_slots: dict = field(default_factory=dict)
+    attempts: list = field(default_factory=list)
+    quarantined: list = field(default_factory=list)
+    retries: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
+
+
+def _supervised_invoke(payload: tuple) -> tuple:
+    """Run one supervised attempt (ships to workers; must stay pure).
+
+    ``payload`` is ``(fn, index, value, attempt, timeout, plan,
+    fallback, final)``; the return record is ``(index, attempt, kind,
+    error, message, result, pid)`` with ``kind`` as documented on
+    :class:`TaskAttempt`.  Exceptions never escape: they are folded
+    into ``"error"`` records (or redeemed by ``fallback`` on the final
+    attempt) so one poisoned task cannot take down a drain loop.
+    """
+    fn, index, value, attempt, timeout, plan, fallback, final = payload
+    clock = ambient_clock()
+    started = clock.now()
+    try:
+        if plan is not None:
+            apply_fault(plan, index, attempt, pool_module._in_worker)
+        result = fn(value)
+    except Exception as exc:
+        if final and fallback is not None:
+            try:
+                result = fallback(value)
+            except Exception as fallback_exc:
+                return (
+                    index,
+                    attempt,
+                    "error",
+                    type(fallback_exc).__name__,
+                    str(fallback_exc),
+                    None,
+                    os.getpid(),
+                )
+            return (
+                index,
+                attempt,
+                "fallback",
+                type(exc).__name__,
+                str(exc),
+                result,
+                os.getpid(),
+            )
+        return (
+            index,
+            attempt,
+            "error",
+            type(exc).__name__,
+            str(exc),
+            None,
+            os.getpid(),
+        )
+    busy = clock.now() - started
+    if timeout is not None and busy > timeout:
+        return (
+            index,
+            attempt,
+            "timeout",
+            "TaskTimeout",
+            f"attempt busy {busy:.3f}s exceeded budget {timeout:.3f}s",
+            None,
+            os.getpid(),
+        )
+    return index, attempt, "ok", None, None, result, os.getpid()
+
+
+class _Supervision:
+    """Mutable per-map state shared by the pool and serial paths."""
+
+    def __init__(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        config: SupervisorConfig,
+        fallback: Optional[Callable],
+        outcome: SupervisedOutcome,
+    ) -> None:
+        self.fn = fn
+        self.payloads = payloads
+        self.config = config
+        self.fallback = fallback
+        self.outcome = outcome
+        self.attempt_of = [0] * len(payloads)
+        self.pending = list(range(len(payloads)))
+        registry = default_registry()
+        self.retry_counter = registry.counter("supervisor.retries")
+        self.rebuild_counter = registry.counter("supervisor.pool-rebuilds")
+        self.quarantine_counter = registry.counter("supervisor.quarantined")
+        self.degrade_counter = registry.counter("supervisor.degraded")
+        self.backoff_hist = registry.histogram("supervisor.backoff-s")
+
+    def attempt_payload(self, index: int) -> tuple:
+        attempt = self.attempt_of[index]
+        return (
+            self.fn,
+            index,
+            self.payloads[index],
+            attempt,
+            self.config.task_timeout,
+            self.config.fault_plan,
+            self.fallback,
+            attempt >= self.config.retries,
+        )
+
+    def fold_record(self, record: tuple) -> float:
+        """Fold one attempt record; returns the backoff this task owes.
+
+        A positive return means the task stays pending and must not be
+        re-dispatched before the delay elapses; ``0.0`` means the task
+        left the pending set (success or quarantine).
+        """
+        index, attempt, kind, error, message, result, _pid = record
+        if kind in ("ok", "fallback"):
+            if attempt > 0 or kind == "fallback":
+                self.outcome.attempts.append(
+                    TaskAttempt(index, attempt, kind, error, message)
+                )
+            self.outcome.results[index] = result
+            self.outcome.completed += 1
+            self.pending.remove(index)
+            return 0.0
+        if attempt >= self.config.retries:
+            self.outcome.attempts.append(
+                TaskAttempt(index, attempt, kind, error, message)
+            )
+            self.outcome.quarantined.append(
+                QuarantineRecord(index, error, message, attempt + 1)
+            )
+            self.quarantine_counter.inc()
+            self.pending.remove(index)
+            return 0.0
+        self.attempt_of[index] = attempt + 1
+        self.outcome.retries += 1
+        self.retry_counter.inc()
+        delay = backoff_delay(self.config, index, attempt + 1)
+        self.outcome.attempts.append(
+            TaskAttempt(
+                index, attempt, kind, error, message, backoff_s=delay
+            )
+        )
+        self.backoff_hist.observe(delay)
+        return delay
+
+    def absorb_pool_break(self) -> None:
+        """Account a broken pool: every pending attempt was lost."""
+        self.outcome.pool_rebuilds += 1
+        self.rebuild_counter.inc()
+        for index in self.pending:
+            attempt = self.attempt_of[index]
+            self.outcome.attempts.append(
+                TaskAttempt(index, attempt, "pool-broken")
+            )
+            self.attempt_of[index] = attempt + 1
+            self.outcome.retries += 1
+            self.retry_counter.inc()
+
+
+def _run_serial(
+    state: _Supervision,
+    stop_when: Optional[Callable],
+    deadline_at: Optional[float],
+) -> None:
+    """Drain the pending set in-process with per-task retry loops."""
+    registry = default_registry()
+    tasks = registry.counter("parallel.tasks")
+    busy = registry.histogram("parallel.task-busy-s")
+    clock = ambient_clock()
+    for index in list(state.pending):
+        last_kind = None
+        while index in state.pending:
+            if deadline_at is not None and clock.now() > deadline_at:
+                state.outcome.stopped_early = True
+                return
+            attempt_started = clock.now()
+            record = _supervised_invoke(state.attempt_payload(index))
+            last_kind = record[2]
+            # Accounting parity with parallel_map's serial path: every
+            # executed attempt counts as a task with its busy time.
+            tasks.inc()
+            busy.observe(clock.now() - attempt_started)
+            delay = state.fold_record(record)
+            if delay > 0:
+                clock.sleep(delay)
+        if (
+            last_kind == "ok"
+            and stop_when is not None
+            and stop_when(state.outcome.results[index])
+        ):
+            state.outcome.stopped_early = True
+            return
+
+
+def supervised_map(
+    fn: Callable,
+    payloads: Sequence,
+    workers: Optional[int] = None,
+    config: Optional[SupervisorConfig] = None,
+    label: str = "tasks",
+    stop_when: Optional[Callable] = None,
+    deadline_at: Optional[float] = None,
+    fallback: Optional[Callable] = None,
+    on_quarantine: str = "raise",
+) -> SupervisedOutcome:
+    """Run ``fn`` over ``payloads`` with retries, recovery, degradation.
+
+    The signature extends :func:`~repro.parallel.pool.parallel_map`
+    with the supervision knobs; like it, ``fn`` (and ``fallback``, when
+    given) must be module-level picklable callables, and results land
+    in input order.  ``fallback`` runs only when the *final* attempt of
+    a task raises — a last-resort alternative computation whose result
+    is recorded with ``kind="fallback"``.
+
+    ``on_quarantine`` is ``"raise"`` (finish everything else, then
+    raise :class:`~repro.errors.QuarantineError` carrying the records)
+    or ``"keep"`` (leave quarantined slots ``None`` and report them in
+    ``SupervisedOutcome.quarantined``).
+    """
+    if on_quarantine not in ("raise", "keep"):
+        raise ReproError(
+            f"on_quarantine must be 'raise' or 'keep', "
+            f"got {on_quarantine!r}"
+        )
+    cfg = resolve_supervisor(config)
+    resolved = resolve_workers(workers)
+    outcome = SupervisedOutcome(results=[None] * len(payloads))
+    state = _Supervision(fn, payloads, cfg, fallback, outcome)
+    with span(
+        "parallel/supervised-map", label=label, workers=resolved
+    ) as sup_span:
+        if resolved <= 1 or len(payloads) <= 1:
+            _run_serial(state, stop_when, deadline_at)
+        else:
+            _run_pooled(state, resolved, label, stop_when, deadline_at)
+        sup_span.set_attribute("completed", outcome.completed)
+        sup_span.set_attribute("retries", outcome.retries)
+        sup_span.set_attribute("pool_rebuilds", outcome.pool_rebuilds)
+        sup_span.set_attribute("quarantined", len(outcome.quarantined))
+        sup_span.set_attribute("degraded", outcome.degraded)
+        sup_span.set_attribute("stopped_early", outcome.stopped_early)
+    if outcome.quarantined and on_quarantine == "raise":
+        raise QuarantineError(label, tuple(outcome.quarantined))
+    return outcome
+
+
+def _wrap_stop(stop_when: Optional[Callable]) -> Optional[Callable]:
+    """Lift a result predicate to attempt records (``"ok"`` only).
+
+    Failed attempts carry ``None`` results; without the kind guard a
+    predicate like ``lambda r: r is None`` (the solver's refutation
+    check) would treat every transient failure as a refutation.
+    """
+    if stop_when is None:
+        return None
+
+    def stop_on_record(record: tuple) -> bool:
+        return record[2] == "ok" and stop_when(record[5])
+
+    return stop_on_record
+
+
+def _run_pooled(
+    state: _Supervision,
+    resolved: int,
+    label: str,
+    stop_when: Optional[Callable],
+    deadline_at: Optional[float],
+) -> None:
+    """Round-based pool drain with break recovery and the breaker."""
+    cfg = state.config
+    clock = ambient_clock()
+    record_stop = _wrap_stop(stop_when)
+    while state.pending:
+        if deadline_at is not None and clock.now() > deadline_at:
+            state.outcome.stopped_early = True
+            return
+        round_indices = list(state.pending)
+        round_payloads = [
+            state.attempt_payload(index) for index in round_indices
+        ]
+        try:
+            mapped = parallel_map(
+                _supervised_invoke,
+                round_payloads,
+                workers=resolved,
+                label=label,
+                stop_when=record_stop,
+                deadline_at=deadline_at,
+            )
+        except (BrokenExecutor, CancelledError):
+            discard_pool(resolved)
+            state.absorb_pool_break()
+            if state.outcome.pool_rebuilds > cfg.breaker_threshold:
+                if not cfg.degrade:
+                    raise WorkerCrashError(
+                        f"pool for {label!r} broke "
+                        f"{state.outcome.pool_rebuilds} times "
+                        f"(threshold {cfg.breaker_threshold}) and "
+                        "degradation is disabled"
+                    ) from None
+                state.outcome.degraded = True
+                state.degrade_counter.inc()
+                _run_serial(state, stop_when, deadline_at)
+                return
+            continue
+        for pid in mapped.worker_slots:
+            state.outcome.worker_slots.setdefault(
+                pid, len(state.outcome.worker_slots)
+            )
+        max_delay = 0.0
+        for record in mapped.results:
+            if record is None:
+                continue
+            max_delay = max(max_delay, state.fold_record(record))
+        if mapped.stopped_early:
+            state.outcome.stopped_early = True
+            return
+        if max_delay > 0:
+            clock.sleep(max_delay)

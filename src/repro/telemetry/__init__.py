@@ -20,7 +20,13 @@ The observability layer of the proof machine, in three pieces:
 See docs/OBSERVABILITY.md for the span taxonomy and naming conventions.
 """
 
-from repro.telemetry.clock import Clock, ManualClock, MonotonicClock
+from repro.telemetry.clock import (
+    Clock,
+    ManualClock,
+    MonotonicClock,
+    ambient_clock,
+    set_ambient_clock,
+)
 from repro.telemetry.export import (
     TRACE_FORMAT,
     TRACE_VERSION,
@@ -60,6 +66,8 @@ __all__ = [
     "Clock",
     "ManualClock",
     "MonotonicClock",
+    "ambient_clock",
+    "set_ambient_clock",
     # metrics
     "CacheCounter",
     "Counter",

@@ -6,14 +6,30 @@ tracing uses :class:`MonotonicClock`; tests and deterministic artifacts
 (the fault-campaign reports, the exporter golden files) inject a
 :class:`ManualClock` whose ``now()`` is fully scripted — a trace recorded
 under a manual clock is byte-for-byte reproducible.
+
+Beyond the tracer, the process keeps one *ambient* clock
+(:func:`ambient_clock`/:func:`set_ambient_clock`): the time source for
+every deadline comparison and backoff sleep in the execution layers
+(``repro.parallel`` deadlines, the supervisor's retry backoff, the chaos
+campaign budget).  Production leaves the monotonic default in place;
+tests inject a :class:`ManualClock` so deadline and backoff behaviour is
+scripted instead of racing the wall clock — the same injectability
+contract RPR008 enforces for the pure computation paths.
 """
 
 from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+from typing import Optional
 
-__all__ = ["Clock", "MonotonicClock", "ManualClock"]
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "ManualClock",
+    "ambient_clock",
+    "set_ambient_clock",
+]
 
 
 class Clock(ABC):
@@ -22,6 +38,11 @@ class Clock(ABC):
     @abstractmethod
     def now(self) -> float:
         """The current time in seconds; must never decrease."""
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (scripted clocks advance instead)."""
+        if seconds > 0:
+            time.sleep(seconds)
 
 
 class MonotonicClock(Clock):
@@ -59,3 +80,25 @@ class ManualClock(Clock):
         if seconds < 0:
             raise ValueError("a monotone clock cannot move backwards")
         self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Scripted sleep: advance the clock instead of blocking."""
+        if seconds > 0:
+            self._now += seconds
+
+
+_AMBIENT: Optional[Clock] = None
+
+
+def ambient_clock() -> Clock:
+    """The process-wide clock used for deadlines and backoff sleeps."""
+    global _AMBIENT
+    if _AMBIENT is None:
+        _AMBIENT = MonotonicClock()
+    return _AMBIENT
+
+
+def set_ambient_clock(clock: Optional[Clock]) -> None:
+    """Install ``clock`` as the ambient time source (``None`` resets)."""
+    global _AMBIENT
+    _AMBIENT = clock

@@ -165,3 +165,129 @@ class TestExecutorMethods:
             )
             == []
         )
+
+
+class TestSupervisedShipping:
+    """supervised_map ships two callables: the fn and ``fallback=``."""
+
+    def test_lambda_shipped_to_supervised_map_fires(self):
+        assert rule_ids(
+            """
+            from repro.parallel import supervised_map
+
+            def run(items):
+                return supervised_map(lambda x: x + 1, items)
+            """
+        ) == ["RPR009"]
+
+    def test_lambda_fallback_fires(self):
+        # Seeded mutant for the keyword-shipping extension: a lambda
+        # fallback only runs on a failing task's *final* attempt, the
+        # worst moment to hit an opaque PicklingError.
+        assert rule_ids(
+            """
+            from repro.parallel import supervised_map
+
+            def worker(x):
+                return x + 1
+
+            def run(items):
+                return supervised_map(
+                    worker, items, fallback=lambda x: 0
+                )
+            """
+        ) == ["RPR009"]
+
+    def test_nested_fallback_fires(self):
+        assert rule_ids(
+            """
+            from repro.parallel import supervised_map
+
+            def worker(x):
+                return x + 1
+
+            def run(items, default):
+                def rescue(x):
+                    return default
+                return supervised_map(
+                    worker, items, fallback=rescue
+                )
+            """
+        ) == ["RPR009"]
+
+    def test_impure_fallback_body_fires(self):
+        assert rule_ids(
+            """
+            from repro.parallel import supervised_map
+
+            FAILURES = 0
+
+            def worker(x):
+                return x + 1
+
+            def rescue(x):
+                global FAILURES
+                FAILURES += 1
+                return 0
+
+            def run(items):
+                return supervised_map(
+                    worker, items, fallback=rescue
+                )
+            """
+        ) == ["RPR009"]
+
+    def test_both_callables_impure_fires_twice(self):
+        assert rule_ids(
+            """
+            from repro.parallel import supervised_map
+
+            def run(items):
+                def inner(x):
+                    return x
+                return supervised_map(
+                    inner, items, fallback=lambda x: 0
+                )
+            """
+        ) == ["RPR009", "RPR009"]
+
+    def test_pure_module_level_pair_is_fine(self):
+        assert (
+            rule_ids(
+                """
+                from repro.parallel import supervised_map
+
+                def worker(x):
+                    return x + 1
+
+                def rescue(x):
+                    return 0
+
+                def run(items):
+                    return supervised_map(
+                        worker, items, fallback=rescue
+                    )
+                """
+            )
+            == []
+        )
+
+    def test_unrelated_keywords_are_not_shipped(self):
+        # Only ``fallback`` is pickled into payloads; ``stop_when``
+        # runs in the parent and may close over local state freely.
+        assert (
+            rule_ids(
+                """
+                from repro.parallel import supervised_map
+
+                def worker(x):
+                    return x + 1
+
+                def run(items, target):
+                    return supervised_map(
+                        worker, items, stop_when=lambda r: r == target
+                    )
+                """
+            )
+            == []
+        )

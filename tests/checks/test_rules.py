@@ -47,10 +47,10 @@ def forge_schedule(groups, views):
 
 
 class TestRegistry:
-    def test_all_thirteen_rules_registered(self):
+    def test_all_fourteen_rules_registered(self):
         assert sorted(RULES) == [
             f"AUD00{i}" for i in range(1, 10)
-        ] + ["AUD010", "AUD011", "AUD012", "AUD013"]
+        ] + ["AUD010", "AUD011", "AUD012", "AUD013", "AUD014"]
 
     def test_rules_partition_by_kind(self):
         for kind in ("complex", "carrier", "schedule", "task", "model"):

@@ -1,0 +1,98 @@
+"""Executor-level fault plans: determinism, horizons, serial degradation."""
+
+import pytest
+
+from repro.errors import TransientTaskError, WorkerCrashError
+from repro.faults.executor import (
+    ExecutorFaultPlan,
+    apply_fault,
+    default_plan,
+    fault_for,
+)
+from repro.telemetry import ManualClock, set_ambient_clock
+
+
+@pytest.fixture(autouse=True)
+def _reset_clock():
+    yield
+    set_ambient_clock(None)
+
+
+class TestFaultFor:
+    def test_pure_in_seed_index_attempt(self):
+        plan = ExecutorFaultPlan(seed=3, kill_rate=0.2, error_rate=0.2)
+        first = [fault_for(plan, i, 0) for i in range(64)]
+        second = [fault_for(plan, i, 0) for i in range(64)]
+        assert first == second
+
+    def test_rates_partition_the_roll(self):
+        everything = ExecutorFaultPlan(seed=0, kill_rate=1.0)
+        assert fault_for(everything, 5, 0) == "kill"
+        errors = ExecutorFaultPlan(seed=0, error_rate=1.0)
+        assert fault_for(errors, 5, 0) == "error"
+        delays = ExecutorFaultPlan(seed=0, delay_rate=1.0)
+        assert fault_for(delays, 5, 0) == "delay"
+        clean = ExecutorFaultPlan(seed=0)
+        assert fault_for(clean, 5, 0) is None
+
+    def test_faulty_attempts_horizon_guarantees_termination(self):
+        plan = ExecutorFaultPlan(
+            seed=1, kill_rate=0.5, error_rate=0.5, faulty_attempts=2
+        )
+        for index in range(32):
+            assert fault_for(plan, index, 2) is None
+            assert fault_for(plan, index, 3) is None
+
+    def test_different_seeds_give_different_plans(self):
+        a = ExecutorFaultPlan(seed=0, kill_rate=0.5)
+        b = ExecutorFaultPlan(seed=1, kill_rate=0.5)
+        assert [fault_for(a, i, 0) for i in range(64)] != [
+            fault_for(b, i, 0) for i in range(64)
+        ]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"kill_rate": -0.1},
+            {"error_rate": 1.5},
+            {"kill_rate": 0.6, "error_rate": 0.6},
+            {"delay_s": -1.0},
+            {"faulty_attempts": -1},
+        ],
+    )
+    def test_validate_rejects_bad_plans(self, bad):
+        with pytest.raises(ValueError):
+            ExecutorFaultPlan(**bad).validate()
+
+    def test_default_plan_is_transient_only(self):
+        plan = default_plan(0)
+        plan.validate()
+        assert plan.faulty_attempts == 1
+        assert plan.kill_rate > 0 and plan.error_rate > 0
+
+
+class TestApplyFault:
+    def test_kill_degrades_to_crash_error_in_parent(self):
+        # A real SIGKILL on the serial path would take the harness down;
+        # the plan must surface as a catchable (retriable) crash instead.
+        plan = ExecutorFaultPlan(seed=0, kill_rate=1.0)
+        with pytest.raises(WorkerCrashError):
+            apply_fault(plan, 0, 0, in_worker=False)
+
+    def test_error_raises_transient_fault(self):
+        plan = ExecutorFaultPlan(seed=0, error_rate=1.0)
+        with pytest.raises(TransientTaskError):
+            apply_fault(plan, 0, 0, in_worker=False)
+
+    def test_delay_sleeps_through_ambient_clock(self):
+        clock = ManualClock()
+        set_ambient_clock(clock)
+        plan = ExecutorFaultPlan(seed=0, delay_rate=1.0, delay_s=2.5)
+        apply_fault(plan, 0, 0, in_worker=False)
+        assert clock.now() == 2.5
+
+    def test_past_horizon_is_a_no_op(self):
+        plan = ExecutorFaultPlan(
+            seed=0, kill_rate=1.0, faulty_attempts=1
+        )
+        apply_fault(plan, 0, 1, in_worker=False)

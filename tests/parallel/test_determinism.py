@@ -12,8 +12,10 @@ import pytest
 
 from repro.core import is_solvable
 from repro.faults import CampaignConfig, report_to_json, run_campaign
+from repro.faults.executor import ExecutorFaultPlan, fault_for
 from repro.models import ImmediateSnapshotModel
 from repro.models.protocol import ProtocolOperator
+from repro.parallel.supervisor import SupervisorConfig
 from repro.tasks import approximate_agreement_task
 from repro.topology import Simplex
 
@@ -22,11 +24,11 @@ def _triangle():
     return Simplex((i, f"x{i}") for i in range(1, 4))
 
 
-def _campaign_json(workers):
+def _campaign_json(workers, supervisor=None):
     config = CampaignConfig(
         cell="aa-broken", n=3, t=1, executions=40, seed=7
     )
-    report = run_campaign(config, workers=workers)
+    report = run_campaign(config, workers=workers, supervisor=supervisor)
     return json.dumps(report_to_json(report), sort_keys=True)
 
 
@@ -42,6 +44,28 @@ class TestChaosDeterminism:
     @pytest.mark.slow
     def test_four_workers_byte_identical(self):
         assert _campaign_json(4) == _campaign_json(1)
+
+
+class TestSupervisedChaosDeterminism:
+    """The PR-8 acceptance property: executor-level fault injection —
+    including SIGKILLed workers — never changes a campaign's bytes."""
+
+    PLAN = ExecutorFaultPlan(
+        seed=3, kill_rate=0.2, error_rate=0.2, faulty_attempts=1
+    )
+
+    def test_plan_actually_schedules_a_worker_kill(self):
+        # Guard: if a future re-seed made the plan vacuous, the
+        # byte-identity test below would silently stop testing recovery.
+        faults = [fault_for(self.PLAN, i, 0) for i in range(8)]
+        assert "kill" in faults
+
+    def test_injected_kills_byte_identical_to_fault_free_serial(self):
+        supervisor = SupervisorConfig(
+            retries=2, backoff_base=0.0, fault_plan=self.PLAN
+        )
+        chaotic = _campaign_json(2, supervisor=supervisor)
+        assert chaotic == _campaign_json(1)
 
 
 class TestProtocolDeterminism:

@@ -1,5 +1,6 @@
 """Worker resolution, chunking, and the parallel_map primitive."""
 
+import threading
 import time
 
 import pytest
@@ -10,10 +11,12 @@ from repro.telemetry import default_registry, tracing
 from repro.parallel.pool import (
     WORKERS_ENV,
     chunked,
+    discard_pool,
     get_default_workers,
     parallel_map,
     resolve_workers,
     set_default_workers,
+    shutdown_pools,
 )
 
 
@@ -198,3 +201,52 @@ class TestParallelMapAccounting:
         assert sorted(outcome.worker_slots.values()) == list(
             range(len(outcome.worker_slots))
         )
+
+
+class TestPoolLifecycle:
+    def test_concurrent_shutdown_is_safe(self):
+        # Regression: shutdown_pools() used to iterate the cache dict
+        # while other threads could be inserting, so a concurrent
+        # teardown (CLI finally-block vs. an audit thread) raced a
+        # RuntimeError or leaked a live executor.
+        parallel_map(_square, [1, 2, 3], workers=2)
+        errors = []
+
+        def _teardown():
+            try:
+                shutdown_pools()
+            except Exception as exc:  # pragma: no cover - regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=_teardown) for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert not pool_module._pools
+
+    def test_discard_pool_forces_rebuild(self):
+        first = parallel_map(_square, [1, 2, 3, 4], workers=2)
+        discard_pool(2)
+        assert 2 not in pool_module._pools
+        second = parallel_map(_square, [1, 2, 3, 4], workers=2)
+        assert second.results == first.results == [1, 4, 9, 16]
+
+    def test_rebuilt_pool_worker_accounting_restarts(self):
+        # Regression companion to the supervisor's pool recovery: after
+        # a discard + rebuild, worker-slot numbering must restart from
+        # zero on the new pool rather than leaking dead-executor PIDs.
+        parallel_map(_square, list(range(8)), workers=2)
+        discard_pool(2)
+        outcome = parallel_map(
+            _napping_square,
+            [(x, 0.01) for x in range(8)],
+            workers=2,
+        )
+        assert sorted(outcome.worker_slots.values()) == list(
+            range(len(outcome.worker_slots))
+        )
+        assert 1 <= len(outcome.worker_slots) <= 2

@@ -1,0 +1,281 @@
+"""Supervised fan-out: retries, backoff, quarantine, recovery, breaker."""
+
+import pytest
+
+from repro.errors import QuarantineError, ReproError, WorkerCrashError
+from repro.faults.executor import ExecutorFaultPlan
+from repro.parallel.pool import parallel_map, set_default_workers
+from repro.parallel.supervisor import (
+    SupervisorConfig,
+    backoff_delay,
+    get_default_supervisor,
+    resolve_supervisor,
+    set_default_supervisor,
+    supervised_map,
+)
+from repro.telemetry import ManualClock, set_ambient_clock
+
+
+def _square(x):
+    return x * x
+
+
+def _always_raises(x):
+    raise ValueError(f"poisoned payload {x}")
+
+
+def _negate(x):
+    return -x
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    set_default_workers(None)
+    set_default_supervisor(None)
+    set_ambient_clock(None)
+
+
+class TestConfig:
+    def test_validate_rejects_bad_values(self):
+        for bad in (
+            SupervisorConfig(retries=-1),
+            SupervisorConfig(task_timeout=0.0),
+            SupervisorConfig(backoff_base=-0.1),
+            SupervisorConfig(backoff_jitter=-1.0),
+            SupervisorConfig(breaker_threshold=-1),
+        ):
+            with pytest.raises(ReproError):
+                bad.validate()
+
+    def test_default_supervisor_round_trip(self):
+        assert get_default_supervisor() is None
+        config = SupervisorConfig(retries=5)
+        set_default_supervisor(config)
+        assert get_default_supervisor() is config
+        assert resolve_supervisor(None) is config
+        explicit = SupervisorConfig(retries=1)
+        assert resolve_supervisor(explicit) is explicit
+
+    def test_set_default_validates(self):
+        with pytest.raises(ReproError):
+            set_default_supervisor(SupervisorConfig(retries=-1))
+
+    def test_backoff_is_deterministic_exponential_and_capped(self):
+        config = SupervisorConfig(
+            backoff_base=0.1, backoff_cap=0.5, backoff_jitter=0.0
+        )
+        assert backoff_delay(config, 0, 1) == pytest.approx(0.1)
+        assert backoff_delay(config, 0, 2) == pytest.approx(0.2)
+        assert backoff_delay(config, 0, 4) == pytest.approx(0.5)
+        assert backoff_delay(config, 0, 0) == 0.0
+        jittered = SupervisorConfig(
+            backoff_base=0.1, backoff_cap=0.5, backoff_jitter=0.5
+        )
+        first = backoff_delay(jittered, 3, 2)
+        assert first == backoff_delay(jittered, 3, 2)
+        assert 0.2 <= first <= 0.3
+
+
+class TestSerialSupervision:
+    def test_clean_map_matches_parallel_map(self):
+        outcome = supervised_map(_square, list(range(8)), workers=1)
+        plain = parallel_map(_square, list(range(8)), workers=1)
+        assert outcome.results == plain.results
+        assert outcome.completed == 8
+        assert outcome.retries == 0
+        assert outcome.attempts == []
+        assert outcome.quarantined == []
+
+    def test_transient_faults_retried_to_success(self):
+        plan = ExecutorFaultPlan(
+            seed=3, error_rate=0.5, faulty_attempts=1
+        )
+        config = SupervisorConfig(
+            retries=2, backoff_base=0.0, fault_plan=plan
+        )
+        outcome = supervised_map(
+            _square, list(range(12)), workers=1, config=config
+        )
+        assert outcome.results == [x * x for x in range(12)]
+        assert outcome.retries > 0
+        retried = {attempt.index for attempt in outcome.attempts}
+        assert retried  # the plan injected at least one error
+
+    def test_backoff_sleeps_through_ambient_clock(self):
+        clock = ManualClock()
+        set_ambient_clock(clock)
+        plan = ExecutorFaultPlan(
+            seed=0, error_rate=1.0, faulty_attempts=1
+        )
+        config = SupervisorConfig(
+            retries=1,
+            backoff_base=0.5,
+            backoff_jitter=0.0,
+            fault_plan=plan,
+        )
+        outcome = supervised_map(_square, [2, 3], workers=1, config=config)
+        assert outcome.results == [4, 9]
+        slept = [a.backoff_s for a in outcome.attempts if a.backoff_s]
+        assert slept == [0.5, 0.5]
+        assert clock.now() == pytest.approx(1.0)
+
+    def test_poison_task_quarantined_and_raised(self):
+        config = SupervisorConfig(retries=1, backoff_base=0.0)
+        with pytest.raises(QuarantineError) as excinfo:
+            supervised_map(
+                _always_raises, [7], workers=1, config=config
+            )
+        (record,) = excinfo.value.quarantined
+        assert record.index == 0
+        assert record.error == "ValueError"
+        assert record.attempts == 2
+
+    def test_quarantine_keep_leaves_other_results_intact(self):
+        plan = ExecutorFaultPlan(
+            seed=0, error_rate=1.0, faulty_attempts=99
+        )
+        config = SupervisorConfig(
+            retries=1, backoff_base=0.0, fault_plan=plan
+        )
+        outcome = supervised_map(
+            _square,
+            [1, 2, 3],
+            workers=1,
+            config=config,
+            on_quarantine="keep",
+        )
+        assert outcome.results == [None, None, None]
+        assert len(outcome.quarantined) == 3
+        assert outcome.completed == 0
+        history = [(a.index, a.attempt, a.kind) for a in outcome.attempts]
+        assert history == [
+            (0, 0, "error"), (0, 1, "error"),
+            (1, 0, "error"), (1, 1, "error"),
+            (2, 0, "error"), (2, 1, "error"),
+        ]
+
+    def test_fallback_redeems_final_attempt(self):
+        config = SupervisorConfig(retries=1, backoff_base=0.0)
+        outcome = supervised_map(
+            _always_raises,
+            [5],
+            workers=1,
+            config=config,
+            fallback=_negate,
+        )
+        assert outcome.results == [-5]
+        kinds = [a.kind for a in outcome.attempts]
+        assert kinds == ["error", "fallback"]
+        assert outcome.quarantined == []
+
+    def test_task_timeout_classifies_slow_attempts(self):
+        clock = ManualClock()
+        set_ambient_clock(clock)
+        # Each _slow_square call advances the scripted clock past the
+        # 1s budget, so every attempt is a timeout and the task ends
+        # in quarantine with a structured record.
+        config = SupervisorConfig(
+            retries=1, backoff_base=0.0, task_timeout=1.0
+        )
+        outcome = supervised_map(
+            _slow_square,
+            [4],
+            workers=1,
+            config=config,
+            on_quarantine="keep",
+        )
+        assert outcome.results == [None]
+        (record,) = outcome.quarantined
+        assert record.error == "TaskTimeout"
+        assert all(a.kind == "timeout" for a in outcome.attempts)
+
+    def test_invalid_on_quarantine_rejected(self):
+        with pytest.raises(ReproError):
+            supervised_map(_square, [1], on_quarantine="ignore")
+
+    def test_stop_when_fires_only_on_results(self):
+        config = SupervisorConfig(retries=0)
+        outcome = supervised_map(
+            _square,
+            list(range(6)),
+            workers=1,
+            config=config,
+            stop_when=lambda result: result == 9,
+        )
+        assert outcome.stopped_early
+        assert outcome.results[:4] == [0, 1, 4, 9]
+        assert outcome.results[4:] == [None, None]
+
+
+def _slow_square(x):
+    from repro.telemetry import ambient_clock
+
+    ambient_clock().sleep(2.0)
+    return x * x
+
+
+class TestPooledSupervision:
+    def test_worker_kills_recovered_by_pool_rebuild(self):
+        plan = ExecutorFaultPlan(
+            seed=3, kill_rate=0.2, error_rate=0.2, faulty_attempts=1
+        )
+        config = SupervisorConfig(
+            retries=2, backoff_base=0.0, fault_plan=plan
+        )
+        outcome = supervised_map(
+            _square, list(range(12)), workers=2, config=config
+        )
+        assert outcome.results == [x * x for x in range(12)]
+        assert outcome.completed == 12
+        assert outcome.pool_rebuilds >= 1
+        assert not outcome.degraded
+        # The rebuilt pool is immediately usable for plain fan-out.
+        again = parallel_map(_square, [1, 2, 3], workers=2)
+        assert again.results == [1, 4, 9]
+
+    def test_fault_injected_run_matches_fault_free_serial(self):
+        plan = ExecutorFaultPlan(
+            seed=3, kill_rate=0.2, error_rate=0.2, faulty_attempts=1
+        )
+        config = SupervisorConfig(
+            retries=2, backoff_base=0.0, fault_plan=plan
+        )
+        chaotic = supervised_map(
+            _square, list(range(12)), workers=2, config=config
+        )
+        baseline = supervised_map(_square, list(range(12)), workers=1)
+        assert chaotic.results == baseline.results
+
+    def test_breaker_degrades_to_serial(self):
+        plan = ExecutorFaultPlan(
+            seed=0, kill_rate=1.0, faulty_attempts=1
+        )
+        config = SupervisorConfig(
+            retries=3,
+            backoff_base=0.0,
+            breaker_threshold=0,
+            fault_plan=plan,
+        )
+        outcome = supervised_map(
+            _square, list(range(6)), workers=2, config=config
+        )
+        assert outcome.degraded
+        assert outcome.pool_rebuilds >= 1
+        assert outcome.results == [x * x for x in range(6)]
+
+    def test_breaker_without_degradation_raises(self):
+        plan = ExecutorFaultPlan(
+            seed=0, kill_rate=1.0, faulty_attempts=1
+        )
+        config = SupervisorConfig(
+            retries=3,
+            backoff_base=0.0,
+            breaker_threshold=0,
+            degrade=False,
+            fault_plan=plan,
+        )
+        with pytest.raises(WorkerCrashError):
+            supervised_map(
+                _square, list(range(6)), workers=2, config=config
+            )

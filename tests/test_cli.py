@@ -279,6 +279,94 @@ class TestChaosCommand:
             main(["chaos", "--replay", "/nonexistent/trace.json"])
 
 
+class TestResilienceFlags:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "chaos", "--algorithm", "aa",
+                "--retries", "3", "--task-timeout", "5.5",
+                "--no-degrade", "--inject-exec-faults", "9",
+            ]
+        )
+        assert args.retries == 3
+        assert args.task_timeout == 5.5
+        assert args.no_degrade is True
+        assert args.inject_exec_faults == 9
+
+    def test_run_and_experiment_share_the_flags(self):
+        args = build_parser().parse_args(
+            ["run", "halving", "--retries", "1"]
+        )
+        assert args.retries == 1
+        args = build_parser().parse_args(
+            ["experiment", "E19", "--task-timeout", "2.0"]
+        )
+        assert args.task_timeout == 2.0
+
+    def test_supervisor_built_only_when_flags_given(self):
+        from repro.cli import _supervisor_from_args
+
+        bare = build_parser().parse_args(
+            ["chaos", "--algorithm", "aa"]
+        )
+        assert _supervisor_from_args(bare) is None
+        flagged = build_parser().parse_args(
+            [
+                "chaos", "--algorithm", "aa",
+                "--retries", "4", "--no-degrade",
+                "--inject-exec-faults", "0",
+            ]
+        )
+        config = _supervisor_from_args(flagged)
+        assert config.retries == 4
+        assert config.degrade is False
+        assert config.fault_plan is not None
+        assert config.fault_plan.seed == 0
+
+    def test_invalid_retries_exit_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "chaos", "--algorithm", "aa",
+                    "--executions", "5", "--retries", "-1",
+                ]
+            )
+
+    def test_fault_injected_campaign_byte_identical(self, capsys):
+        # The acceptance check as a CLI round trip: seeded worker kills
+        # under --workers 2 must not change a single byte of the JSON.
+        import json
+
+        baseline_argv = [
+            "chaos", "--algorithm", "aa", "--executions", "40",
+            "--seed", "0", "--json",
+        ]
+        chaotic_argv = baseline_argv + [
+            "--workers", "2", "--retries", "2",
+            "--inject-exec-faults", "0",
+        ]
+        assert main(baseline_argv) == 0
+        baseline = capsys.readouterr().out
+        assert main(chaotic_argv) == 0
+        chaotic = capsys.readouterr().out
+        assert chaotic == baseline
+        assert json.loads(baseline)["counts"]["DECIDED_OK"] == 40
+
+    def test_default_supervisor_reset_after_dispatch(self):
+        from repro.parallel.supervisor import get_default_supervisor
+
+        assert (
+            main(
+                [
+                    "chaos", "--algorithm", "aa",
+                    "--executions", "5", "--retries", "1",
+                ]
+            )
+            == 0
+        )
+        assert get_default_supervisor() is None
+
+
 class TestExperimentCommand:
     def test_list_shows_all_ids(self, capsys):
         assert main(["experiment"]) == 0
