@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Load generator for the solver service; records ``BENCH_serve.json``.
+
+Drives a freshly booted localhost server through three phases and
+records latency and serving-tier efficiency into
+``benchmarks/results/BENCH_serve.json`` (standard benchmark schema plus
+serve-specific extras):
+
+* **cold** — distinct cacheable queries, every one computed;
+* **warm** — the same queries repeated, every one answered from the
+  content-addressed store;
+* **burst** — concurrent duplicates of fresh queries, exercising
+  single-flight coalescing.
+
+The headline acceptance gate is enforced here: warm-cache p50 latency
+for repeated solvability queries must be at least ``SPEEDUP_FLOOR``×
+faster than cold.  Exit status 0 on success, 1 on a failed gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+from datetime import datetime, timezone
+from fractions import Fraction
+from typing import Any
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+#: Warm p50 must beat cold p50 by at least this factor (repeated
+#: solvability queries; the store answers without recomputing).
+SPEEDUP_FLOOR = 5.0
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """The q-quantile (0..1) of a nonempty sample list, by rank."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _workload(queries: int) -> list[tuple[str, dict[str, Any]]]:
+    """``queries`` pairwise-distinct cacheable requests, solvability-heavy.
+
+    Distinctness matters: the cold phase must actually compute every
+    query, so the parameter combinations are enumerated (never cycled)
+    — consensus variants over round counts, then ε-AA over a ladder of
+    grids, interleaved 2:1 with lower-bound queries.
+    """
+    solvability: list[tuple[str, dict[str, Any]]] = []
+    for rounds in (1, 2, 3):
+        for task in ("consensus", "relaxed-consensus"):
+            solvability.append(
+                (
+                    "solvability",
+                    {
+                        "task": task,
+                        "n": 2,
+                        "rounds": rounds,
+                        "model": "iis",
+                    },
+                )
+            )
+    for denominator in (2, 3, 4, 5, 6, 8, 10, 12):
+        for rounds in (1, 2):
+            eps = Fraction(1, denominator)
+            solvability.append(
+                (
+                    "solvability",
+                    {
+                        "task": "aa",
+                        "n": 2,
+                        "rounds": rounds,
+                        "model": "iis",
+                        "eps": str(eps),
+                        "m": denominator,
+                    },
+                )
+            )
+    bounds: list[tuple[str, dict[str, Any]]] = [
+        ("lower_bound", {"n": n, "eps": f"1/{denominator}"})
+        for n in (3, 4, 5, 6)
+        for denominator in (2, 4, 8, 16, 32, 64)
+    ]
+    work: list[tuple[str, dict[str, Any]]] = []
+    while len(work) < queries and (solvability or bounds):
+        for _ in range(2):
+            if solvability:
+                work.append(solvability.pop(0))
+        if bounds:
+            work.append(bounds.pop(0))
+    return work[:queries]
+
+
+def _timed_calls(
+    handle: Any, work: list[tuple[str, dict[str, Any]]]
+) -> tuple[list[float], list[str]]:
+    """Issue every request sequentially; (latencies_s, canonical results)."""
+    from repro.serve.protocol import canonical_json
+
+    latencies: list[float] = []
+    payloads: list[str] = []
+    with handle.connect() as client:
+        for method, params in work:
+            started = time.perf_counter()
+            result = client.call(method, dict(params))
+            latencies.append(time.perf_counter() - started)
+            payloads.append(canonical_json(result))
+    return latencies, payloads
+
+
+def run_load(
+    queries: int, burst: int, output: pathlib.Path
+) -> tuple[dict[str, Any], list[str]]:
+    """Run the three phases; the benchmark record and gate failures."""
+    from repro.parallel.pool import resolve_workers
+    from repro.serve.handlers import execute
+    from repro.serve.protocol import canonical_json
+    from repro.serve.server import ServeConfig
+    from repro.serve.testing import ServerHandle
+
+    failures: list[str] = []
+    work = _workload(queries)
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-load-serve-") as tmp:
+        config = ServeConfig(
+            store_dir=os.path.join(tmp, "store"), batch_window=0.005
+        )
+        with ServerHandle(config) as handle:
+            cold, cold_payloads = _timed_calls(handle, work)
+            warm, warm_payloads = _timed_calls(handle, work)
+            if cold_payloads != warm_payloads:
+                failures.append(
+                    "warm payloads diverge from cold payloads"
+                )
+            # Spot-check byte-identity against in-process execution on a
+            # deterministic sample (full parity is AUD015's job).
+            for position in range(0, len(work), max(1, len(work) // 5)):
+                method, params = work[position]
+                expected = canonical_json(execute(method, dict(params)))
+                if cold_payloads[position] != expected:
+                    failures.append(
+                        f"served bytes diverge from in-process for "
+                        f"{method} {params}"
+                    )
+
+            # Burst phase: concurrent duplicates of a query that is NOT
+            # part of the cold/warm workload (rounds=4 is outside the
+            # enumerated ladder), so the duplicates race the first
+            # computation and must coalesce rather than hit the store.
+            burst_probe = {
+                "task": "consensus",
+                "n": 2,
+                "rounds": 4,
+                "model": "iis",
+            }
+            burst_results: list[str] = []
+
+            def fire() -> None:
+                burst_results.append(
+                    canonical_json(
+                        handle.call("solvability", dict(burst_probe))
+                    )
+                )
+
+            threads = [
+                threading.Thread(target=fire) for _ in range(burst)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if len(set(burst_results)) > 1:
+                failures.append("burst duplicates diverged")
+            stats = handle.call("stats")
+
+    wall_s = time.perf_counter() - started
+    serve_stats = stats["serve"]
+    store_stats = stats["store"]
+    lookups = store_stats["hits"] + store_stats["misses"]
+    solv_positions = [
+        i for i, (method, _) in enumerate(work) if method == "solvability"
+    ]
+    cold_solv = [cold[i] for i in solv_positions]
+    warm_solv = [warm[i] for i in solv_positions]
+    cold_p50 = _percentile(cold_solv, 0.5)
+    warm_p50 = _percentile(warm_solv, 0.5)
+    speedup = cold_p50 / warm_p50 if warm_p50 > 0 else float("inf")
+    if speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"warm solvability p50 ({warm_p50 * 1000:.2f} ms) is only "
+            f"{speedup:.1f}x faster than cold "
+            f"({cold_p50 * 1000:.2f} ms); floor is {SPEEDUP_FLOOR}x"
+        )
+
+    record = {
+        "name": "serve",
+        "workers": resolve_workers(None),
+        "wall_s": round(wall_s, 6),
+        "facets": 0,
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "queries": len(work),
+        "burst_fanout": burst,
+        "cold_p50_ms": round(_percentile(cold, 0.5) * 1000, 3),
+        "cold_p99_ms": round(_percentile(cold, 0.99) * 1000, 3),
+        "warm_p50_ms": round(_percentile(warm, 0.5) * 1000, 3),
+        "warm_p99_ms": round(_percentile(warm, 0.99) * 1000, 3),
+        "solvability_cold_p50_ms": round(cold_p50 * 1000, 3),
+        "solvability_warm_p50_ms": round(warm_p50 * 1000, 3),
+        "warm_speedup": round(speedup, 2),
+        "cache_hit_rate": round(
+            store_stats["hits"] / lookups if lookups else 0.0, 4
+        ),
+        "coalesce_count": serve_stats["coalesced"],
+        "coalesce_rate": round(
+            serve_stats["coalesced"] / serve_stats["requests"], 4
+        ),
+        "batches": serve_stats["batches"],
+        "batched_queries": serve_stats["batched_queries"],
+        "requests": serve_stats["requests"],
+        "errors": serve_stats["errors"],
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return record, failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=30,
+        help="distinct cacheable queries per phase (default: 30)",
+    )
+    parser.add_argument(
+        "--burst",
+        type=int,
+        default=8,
+        help="concurrent duplicates in the coalescing burst (default: 8)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO / "benchmarks" / "results" / "BENCH_serve.json",
+        help="where to write the benchmark record",
+    )
+    args = parser.parse_args()
+    record, failures = run_load(args.queries, args.burst, args.output)
+    print(
+        f"load serve: {record['requests']} requests in "
+        f"{record['wall_s']:.2f}s — cold p50/p99 "
+        f"{record['cold_p50_ms']}/{record['cold_p99_ms']} ms, warm "
+        f"p50/p99 {record['warm_p50_ms']}/{record['warm_p99_ms']} ms, "
+        f"solvability warm speedup {record['warm_speedup']}x, cache hit "
+        f"rate {record['cache_hit_rate']}, "
+        f"{record['coalesce_count']} coalesced "
+        f"({record['coalesce_rate']})"
+    )
+    print(f"load serve: wrote {args.output}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

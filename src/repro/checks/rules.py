@@ -58,6 +58,11 @@ AUD014    super-     supervisor resilience: a chaos campaign run under
                      report byte-identical to the fault-free serial
                      run, and quarantine fires exactly when retries are
                      exhausted
+AUD015    serve      service parity: responses served by a live
+                     ``repro.serve`` instance (cold, and warm from the
+                     content-addressed store) are byte-identical to the
+                     in-process ``handlers.execute`` result, and warm
+                     repeats are answered from the store
 ========  =========  ====================================================
 
 Each rule applies to one *kind* of :class:`AuditTarget`; the driver in
@@ -1115,3 +1120,97 @@ def _aud014_identity(value: int) -> int:
     """Probe workload for the AUD014 quarantine check (module level so
     it ships to workers if the probe is ever run pooled)."""
     return value
+
+
+# ----------------------------------------------------------------------
+# Solver service rules
+# ----------------------------------------------------------------------
+@audit_rule(
+    "AUD015",
+    "serve",
+    "served responses equal in-process results byte-for-byte",
+)
+def check_serve_parity(target: AuditTarget) -> Iterator[Finding]:
+    """Cross-check the serving tier against the in-process handlers.
+
+    The service promises that caching, single-flight deduplication, and
+    micro-batching are *invisible* in the payload: every ``result`` a
+    live server sends over a real socket must be byte-identical (as
+    canonical JSON) to :func:`repro.serve.handlers.execute` on the same
+    params.  The probe boots a real server with a fresh store, issues
+    each probe twice — cold (computed) and warm (served from the
+    content-addressed store) — and compares both against the in-process
+    baseline; the warm repeat must additionally report store provenance
+    (``served.cached``), or the persistence layer silently failed.
+    """
+    import os
+    import tempfile
+
+    from repro.errors import ServeError
+    from repro.serve.handlers import execute
+    from repro.serve.protocol import canonical_json
+    from repro.serve.server import ServeConfig
+    from repro.serve.testing import ServerHandle
+
+    probes: Sequence[tuple[str, Mapping[str, Any]]] = target.obj
+    with tempfile.TemporaryDirectory(prefix="repro-aud015-") as tmp:
+        config = ServeConfig(
+            store_dir=os.path.join(tmp, "store"), batch_window=0.0
+        )
+        with ServerHandle(config) as handle:
+            for method, raw_params in probes:
+                params = dict(raw_params)
+                where = f"{target.path}/{method}"
+                try:
+                    expected = canonical_json(execute(method, params))
+                except ReproError as exc:
+                    yield Finding(
+                        "AUD015",
+                        Severity.ERROR,
+                        where,
+                        f"in-process baseline failed: {exc}",
+                    )
+                    continue
+                try:
+                    with handle.connect() as client:
+                        cold = client.call_raw(method, params)
+                        warm = client.call_raw(method, params)
+                except (ServeError, OSError) as exc:
+                    yield Finding(
+                        "AUD015",
+                        Severity.ERROR,
+                        where,
+                        f"served request failed: {exc}",
+                    )
+                    continue
+                for label, envelope in (("cold", cold), ("warm", warm)):
+                    if "result" not in envelope:
+                        yield Finding(
+                            "AUD015",
+                            Severity.ERROR,
+                            where,
+                            f"{label} response is an error: "
+                            f"{envelope.get('error')}",
+                        )
+                        continue
+                    served = canonical_json(envelope["result"])
+                    if served != expected:
+                        yield Finding(
+                            "AUD015",
+                            Severity.ERROR,
+                            where,
+                            f"{label} served result diverges from the "
+                            f"in-process payload: {served[:120]} != "
+                            f"{expected[:120]} — the serving tier "
+                            "leaked into the result bytes",
+                        )
+                meta = warm.get("served", {})
+                if "result" in warm and not meta.get("cached"):
+                    yield Finding(
+                        "AUD015",
+                        Severity.ERROR,
+                        where,
+                        "warm repeat was recomputed instead of served "
+                        "from the content-addressed store "
+                        f"(served metadata: {meta})",
+                    )

@@ -330,6 +330,30 @@ def _group_supervisor_resilience() -> list[AuditTarget]:
     ]
 
 
+def _group_serve_parity() -> list[AuditTarget]:
+    """Service byte-identity probes (rule AUD015).
+
+    One probe list covering every cacheable endpoint family at the
+    smallest parameters that still exercise real computation — the rule
+    boots one live server for the whole list, so the group costs one
+    thread + a few tiny solves.  Probes must be cacheable methods: the
+    rule asserts warm repeats carry store provenance.
+    """
+    probes = (
+        ("lower_bound", {"n": 3, "eps": "1/8"}),
+        (
+            "solvability",
+            {"task": "consensus", "n": 2, "rounds": 1, "model": "iis"},
+        ),
+        ("closure", {"n": 2, "eps": "1/2", "m": 2, "model": "iis"}),
+        (
+            "chaos_campaign",
+            {"cell": "aa", "n": 3, "executions": 2, "seed": 0},
+        ),
+    )
+    return [AuditTarget("serve", "serve/parity", probes)]
+
+
 def _group_closure_aa() -> list[AuditTarget]:
     return _closure_targets(
         "closure/CL_IIS(1/2-AA[n=2])",
@@ -355,6 +379,7 @@ TARGET_GROUPS: dict[str, Callable[[], list[AuditTarget]]] = {
     "faults-configs": _group_faults_configs,
     "parallel-engine": _group_parallel_engine,
     "supervisor-resilience": _group_supervisor_resilience,
+    "serve-parity": _group_serve_parity,
 }
 
 #: Which groups each experiment depends on.  Kept exhaustive on purpose —
@@ -388,6 +413,7 @@ _EXPERIMENT_GROUPS: dict[str, tuple[str, ...]] = {
         "schedules-n3",
         "parallel-engine",
         "supervisor-resilience",
+        "serve-parity",
     ),
 }
 

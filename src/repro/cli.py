@@ -30,6 +30,15 @@ span tree of the invocation (see docs/OBSERVABILITY.md)::
     repro trace summarize e9.trace.json --top 10
     repro check --trace e9.trace.json     # AUD011 artifact audit
 
+The ``serve`` subcommand runs the batched solver service (single-flight
+deduplication, micro-batched solvability fan-outs, a persistent
+content-addressed result store — see docs/SERVICE.md); ``client`` sends
+it one request::
+
+    repro serve --port 7341 --store .repro-store --trace-dir traces/
+    repro client lower_bound --params '{"n": 4, "eps": "1/8"}'
+    repro trace summarize traces/        # merge per-request artifacts
+
 Also available as ``python -m repro``.
 """
 
@@ -350,18 +359,108 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _load_trace_file(path: str) -> dict:
     from repro.telemetry import load_trace
-    from repro.telemetry import render_text as render_trace_text
 
     try:
-        with open(args.path, "r", encoding="utf-8") as handle:
-            trace = load_trace(handle.read())
+        with open(path, "r", encoding="utf-8") as handle:
+            return load_trace(handle.read())
     except OSError as exc:
-        raise SystemExit(f"cannot read trace {args.path!r}: {exc}")
+        raise SystemExit(f"cannot read trace {path!r}: {exc}")
     except ReproError as exc:
-        raise SystemExit(f"invalid trace {args.path!r}: {exc}")
+        raise SystemExit(f"invalid trace {path!r}: {exc}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.telemetry import merge_traces
+    from repro.telemetry import render_text as render_trace_text
+
+    if os.path.isdir(args.path):
+        # A directory of per-request artifacts (repro serve --trace-dir):
+        # merge every artifact's roots into one forest and summarize
+        # that, in deterministic filename order.
+        names = sorted(
+            name
+            for name in os.listdir(args.path)
+            if name.endswith(".json")
+        )
+        if not names:
+            raise SystemExit(
+                f"no trace artifacts (*.json) in directory {args.path!r}"
+            )
+        trace = merge_traces(
+            [
+                _load_trace_file(os.path.join(args.path, name))
+                for name in names
+            ]
+        )
+    else:
+        trace = _load_trace_file(args.path)
     print(render_trace_text(trace, top=args.top))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix_socket,
+        store_dir=args.store,
+        store_max_bytes=args.store_max_bytes,
+        batch_window=args.batch_window,
+        batch_max=args.batch_max,
+        workers=getattr(args, "workers", None),
+        trace_dir=args.trace_dir,
+        ready_file=args.ready_file,
+    )
+    try:
+        config.validate()
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    where = f"{config.host}:{config.port}"
+    if config.unix_path is not None:
+        where += f" and unix:{config.unix_path}"
+    print(f"repro serve: listening on {where}", file=sys.stderr)
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        pass
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient
+
+    try:
+        params = json.loads(args.params)
+    except ValueError as exc:
+        raise SystemExit(f"--params is not JSON: {exc}")
+    if not isinstance(params, dict):
+        raise SystemExit("--params must be a JSON object")
+    try:
+        with ServeClient(
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix_socket,
+            timeout=args.timeout,
+        ) as client:
+            if args.envelope:
+                payload = client.call_raw(args.method, params)
+            else:
+                payload = client.call(args.method, params)
+    except (ReproError, OSError) as exc:
+        raise SystemExit(f"request failed: {exc}")
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -639,12 +738,119 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize",
         help="print the top-N self-time table of a recorded trace",
     )
-    ps.add_argument("path", metavar="PATH")
+    ps.add_argument(
+        "path",
+        metavar="PATH",
+        help="a trace artifact, or a directory of per-request "
+        "artifacts (repro serve --trace-dir) to merge and summarize",
+    )
     ps.add_argument(
         "--top",
         type=int,
         default=15,
         help="number of span names to show (default: 15)",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the batched solver service (JSON-RPC over TCP lines)",
+        description=(
+            "Serve solvability/closure/lower_bound/chaos_campaign "
+            "queries over newline-delimited JSON-RPC with single-flight "
+            "deduplication, micro-batched solvability fan-outs through "
+            "the execution supervisor, and an optional disk-backed "
+            "content-addressed result store.  See docs/SERVICE.md."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=7341,
+        help="TCP port (0 binds an ephemeral port; default: 7341)",
+    )
+    p.add_argument(
+        "--unix-socket",
+        metavar="PATH",
+        default=None,
+        help="additionally listen on a Unix domain socket",
+    )
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="directory of the persistent content-addressed result "
+        "store (omit to serve without a store)",
+    )
+    p.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU-evict store entries beyond this total size",
+    )
+    p.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.02,
+        metavar="SECONDS",
+        help="how long the first queued solvability query waits for "
+        "companions before its batch flushes (default: 0.02)",
+    )
+    p.add_argument(
+        "--batch-max",
+        type=int,
+        default=16,
+        metavar="N",
+        help="flush a solvability batch early at this size (default: 16)",
+    )
+    p.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="write one repro-trace artifact per request into DIR "
+        "(summarize with: repro trace summarize DIR)",
+    )
+    p.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        default=None,
+        help="write a JSON readiness file (host/port/pid) once bound — "
+        "how scripts discover an ephemeral port",
+    )
+    _add_workers_argument(p)
+    _add_supervisor_arguments(p)
+    _add_sanitize_argument(p)
+
+    p = sub.add_parser(
+        "client",
+        help="send one request to a running solver service",
+    )
+    p.add_argument(
+        "method",
+        help="method name (solvability, closure, lower_bound, "
+        "chaos_campaign, health, stats)",
+    )
+    p.add_argument(
+        "--params",
+        default="{}",
+        metavar="JSON",
+        help="request params as a JSON object (default: {})",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7341)
+    p.add_argument(
+        "--unix-socket",
+        metavar="PATH",
+        default=None,
+        help="connect over a Unix domain socket instead of TCP",
+    )
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.add_argument(
+        "--envelope",
+        action="store_true",
+        help="print the full response envelope (including the served "
+        "metadata: digest, cached, coalesced) instead of just result",
     )
 
     p = sub.add_parser("run", help="execute an algorithm under an adversary")
@@ -760,6 +966,8 @@ _COMMANDS = {
     "check": _cmd_check,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 

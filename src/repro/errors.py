@@ -25,6 +25,7 @@ __all__ = [
     "WorkerCrashError",
     "TransientTaskError",
     "QuarantineError",
+    "ServeError",
 ]
 
 
@@ -171,3 +172,17 @@ class MaskProvenanceError(ReproError, RuntimeError):
     simplices.  The static flow rule RPR006 proves the same contract on
     source code; this exception is its dynamic cross-validation.
     """
+
+
+class ServeError(ReproError, RuntimeError):
+    """A solver-service request failed (transport, protocol, or handler).
+
+    Carries the JSON-RPC error code alongside the message so clients can
+    distinguish malformed requests (``-32600``/``-32602``), unknown
+    methods (``-32601``), and server-side execution failures
+    (``-32000``) without parsing the rendered text.
+    """
+
+    def __init__(self, message: str, code: int = -32000) -> None:
+        self.code = code
+        super().__init__(message)

@@ -1,0 +1,57 @@
+"""``repro.serve`` — the batched asyncio solver service.
+
+The paper's decision procedures are pure functions of a canonically
+encodable input, which makes them ideal for a long-lived serving tier:
+one process answers ``solvability``, ``closure``, ``lower_bound``, and
+``chaos_campaign`` queries over newline-delimited JSON-RPC on a TCP (or
+Unix) socket, with
+
+* **single-flight deduplication** — identical in-flight requests (same
+  sha256 digest of the canonical request encoding) coalesce to one
+  computation;
+* **micro-batching** — solvability queries arriving within one batch
+  window are fanned out through a single
+  :func:`~repro.parallel.supervisor.supervised_map` call, inheriting
+  its retries, pool recovery, and serial degradation;
+* **a disk-backed content-addressed result store**
+  (:mod:`repro.serve.store`) so warm restarts answer repeated queries
+  from disk without recomputing;
+* **per-request telemetry spans** exported as one trace artifact per
+  request when a trace directory is configured.
+
+Every served payload is byte-identical to the in-process result of
+:func:`repro.serve.handlers.execute` — enforced by audit rule AUD015.
+See ``docs/SERVICE.md`` for the protocol and an ops runbook.
+"""
+
+from repro.serve.client import ServeClient, call_once
+from repro.serve.handlers import CACHEABLE_METHODS, METHODS, execute
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    canonical_json,
+    request_digest,
+)
+from repro.serve.server import (
+    ServeConfig,
+    ServeStats,
+    SolverService,
+    run_server,
+)
+from repro.serve.store import STORE_SCHEMA, ResultStore
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "canonical_json",
+    "request_digest",
+    "METHODS",
+    "CACHEABLE_METHODS",
+    "execute",
+    "STORE_SCHEMA",
+    "ResultStore",
+    "ServeConfig",
+    "ServeStats",
+    "SolverService",
+    "run_server",
+    "ServeClient",
+    "call_once",
+]

@@ -1,0 +1,118 @@
+"""Minimal synchronous client for the solver service.
+
+A blocking line-protocol client over TCP or a Unix socket — enough for
+the CLI ``repro client``, the smoke/load scripts, and tests, without
+requiring callers to run an event loop.  One request per call; the
+connection persists across calls until :meth:`ServeClient.close`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Optional
+
+from repro.errors import ServeError
+from repro.serve.protocol import EXECUTION_ERROR, canonical_json
+
+__all__ = ["ServeClient", "call_once"]
+
+
+class ServeClient:
+    """A blocking JSON-RPC-over-lines connection to one service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self.timeout = timeout
+        if unix_path is not None:
+            if not hasattr(socket, "AF_UNIX"):
+                raise ServeError(
+                    "unix sockets are not supported on this platform"
+                )
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(unix_path)
+        else:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self._seq = 0
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def call_raw(
+        self, method: str, params: Optional[dict[str, Any]] = None
+    ) -> dict[str, Any]:
+        """Send one request; the full response envelope (result/error)."""
+        self._seq += 1
+        request = canonical_json(
+            {
+                "jsonrpc": "2.0",
+                "id": self._seq,
+                "method": method,
+                "params": params or {},
+            }
+        )
+        self._sock.sendall(request.encode("utf-8") + b"\n")
+        line = self._reader.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        try:
+            envelope = json.loads(line)
+        except ValueError as exc:
+            raise ServeError(f"malformed response: {exc}")
+        if not isinstance(envelope, dict):
+            raise ServeError(
+                f"malformed response envelope: "
+                f"{type(envelope).__name__}"
+            )
+        return envelope
+
+    def call(
+        self, method: str, params: Optional[dict[str, Any]] = None
+    ) -> dict[str, Any]:
+        """Send one request; the ``result`` payload, or raise the error."""
+        envelope = self.call_raw(method, params)
+        if "error" in envelope:
+            error = envelope["error"]
+            if isinstance(error, dict):
+                raise ServeError(
+                    str(error.get("message", "request failed")),
+                    int(error.get("code", EXECUTION_ERROR)),
+                )
+            raise ServeError(str(error))
+        result = envelope.get("result")
+        if not isinstance(result, dict):
+            raise ServeError("response carries no result object")
+        return result
+
+
+def call_once(
+    method: str,
+    params: Optional[dict[str, Any]] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    unix_path: Optional[str] = None,
+    timeout: float = 60.0,
+) -> dict[str, Any]:
+    """Connect, issue one request, close; the ``result`` payload."""
+    with ServeClient(
+        host=host, port=port, unix_path=unix_path, timeout=timeout
+    ) as client:
+        return client.call(method, params)

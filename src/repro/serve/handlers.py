@@ -1,0 +1,372 @@
+"""In-process endpoint handlers — the service's ground truth.
+
+Every endpoint is a pure function from validated JSON params to a
+JSON-serializable, deterministically ordered result dict.  The server
+(:mod:`repro.serve.server`) calls :func:`execute` for live requests, the
+content-addressed store persists its results verbatim, and audit rule
+AUD015 calls it directly to assert that served responses are
+byte-identical to in-process computation — so nothing in this module may
+depend on ambient state (wall-clock, worker counts, randomness).
+
+Batched solvability fan-outs ship :func:`solve_entry` through
+:func:`~repro.parallel.supervisor.supervised_map`; it is module-level
+and pure in its payload, per the RPR009 worker contract.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Optional
+
+from repro.core import (
+    aa_lower_bound_iis,
+    aa_lower_bound_iis_bc,
+    aa_lower_bound_iis_tas,
+    aa_upper_bound_iis,
+    is_solvable,
+)
+from repro.core.closure import ClosureComputer
+from repro.errors import ReproError, ServeError
+from repro.models import ImmediateSnapshotModel
+from repro.models.base import ComputationModel
+from repro.objects import (
+    AugmentedModel,
+    BinaryConsensusBox,
+    TestAndSetBox,
+    beta_input_function,
+)
+from repro.serve.protocol import INVALID_PARAMS, PROTOCOL_VERSION
+from repro.tasks import (
+    approximate_agreement_task,
+    binary_consensus_task,
+    liberal_approximate_agreement_task,
+    relaxed_consensus_task,
+)
+from repro.tasks.inputs import input_simplex
+from repro.tasks.task import Task
+from repro.telemetry import span
+
+__all__ = [
+    "METHODS",
+    "CACHEABLE_METHODS",
+    "execute",
+    "solve_entry",
+    "validate_solvability_params",
+]
+
+#: Methods whose results are content-addressed: pure in their params,
+#: so identical requests may be answered from the store or coalesced.
+CACHEABLE_METHODS = (
+    "solvability",
+    "closure",
+    "lower_bound",
+    "chaos_campaign",
+)
+
+
+def _int_param(
+    params: dict[str, Any],
+    key: str,
+    default: Optional[int] = None,
+    minimum: Optional[int] = None,
+) -> int:
+    """Extract a (bounded) integer parameter or raise INVALID_PARAMS."""
+    value = params.get(key, default)
+    if value is None:
+        raise ServeError(f"missing required param {key!r}", INVALID_PARAMS)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServeError(
+            f"param {key!r} must be an integer, got {value!r}",
+            INVALID_PARAMS,
+        )
+    if minimum is not None and value < minimum:
+        raise ServeError(
+            f"param {key!r} must be ≥ {minimum}, got {value}",
+            INVALID_PARAMS,
+        )
+    return value
+
+
+def _fraction_param(
+    params: dict[str, Any], key: str, default: Optional[str] = None
+) -> Fraction:
+    """Extract a rational parameter (``"1/8"`` strings or integers)."""
+    value = params.get(key, default)
+    if value is None:
+        raise ServeError(f"missing required param {key!r}", INVALID_PARAMS)
+    if isinstance(value, bool) or not isinstance(value, (str, int)):
+        raise ServeError(
+            f"param {key!r} must be a rational string like '1/8', "
+            f"got {value!r}",
+            INVALID_PARAMS,
+        )
+    try:
+        return Fraction(value)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise ServeError(
+            f"param {key!r} is not a rational: {exc}", INVALID_PARAMS
+        )
+
+
+def _choice_param(
+    params: dict[str, Any],
+    key: str,
+    choices: tuple[str, ...],
+    default: Optional[str] = None,
+) -> str:
+    """Extract an enumerated string parameter or raise INVALID_PARAMS."""
+    value = params.get(key, default)
+    if value not in choices:
+        raise ServeError(
+            f"param {key!r} must be one of {'/'.join(choices)}, "
+            f"got {value!r}",
+            INVALID_PARAMS,
+        )
+    return str(value)
+
+
+def _bool_param(
+    params: dict[str, Any], key: str, default: bool = False
+) -> bool:
+    value = params.get(key, default)
+    if not isinstance(value, bool):
+        raise ServeError(
+            f"param {key!r} must be a boolean, got {value!r}",
+            INVALID_PARAMS,
+        )
+    return value
+
+
+def _resolve_model(name: str, n: int) -> ComputationModel:
+    """Map a protocol model name to a model instance (CLI-compatible)."""
+    if name == "iis":
+        return ImmediateSnapshotModel()
+    if name == "tas":
+        return AugmentedModel(TestAndSetBox())
+    # Theorem 4 style: ID-called binary consensus, alternating bits.
+    beta = {i: i % 2 for i in range(1, n + 1)}
+    return AugmentedModel(BinaryConsensusBox(), beta_input_function(beta))
+
+
+def _resolve_task(params: dict[str, Any], n: int) -> Task:
+    """Build the task named by ``params['task']`` over ``n`` processes."""
+    kind = _choice_param(
+        params,
+        "task",
+        ("consensus", "relaxed-consensus", "aa", "liberal-aa"),
+    )
+    ids = list(range(1, n + 1))
+    if kind == "consensus":
+        return binary_consensus_task(ids)
+    if kind == "relaxed-consensus":
+        return relaxed_consensus_task(ids)
+    eps = _fraction_param(params, "eps", "1/4")
+    m = _int_param(params, "m", 4, minimum=1)
+    builder = (
+        liberal_approximate_agreement_task
+        if kind == "liberal-aa"
+        else approximate_agreement_task
+    )
+    try:
+        return builder(ids, eps, m)
+    except ReproError as exc:
+        raise ServeError(
+            f"cannot build {kind} task: {exc}", INVALID_PARAMS
+        )
+
+
+def validate_solvability_params(params: dict[str, Any]) -> None:
+    """Parse-check solvability params without running the solver.
+
+    Raises :class:`~repro.errors.ServeError` (``INVALID_PARAMS``) on the
+    same inputs :func:`_handle_solvability` would reject.  The serving
+    tier calls this *before* queueing a query for the batch fan-out, so
+    malformed requests fail fast with the right JSON-RPC code instead
+    of surfacing as quarantined workers.
+    """
+    n = _int_param(params, "n", 2, minimum=2)
+    _int_param(params, "rounds", 1, minimum=0)
+    _choice_param(params, "model", ("iis", "tas", "bc"), "iis")
+    _resolve_task(params, n)
+
+
+def _handle_solvability(params: dict[str, Any]) -> dict[str, Any]:
+    """Decide ``t``-round solvability of a named task in a named model."""
+    n = _int_param(params, "n", 2, minimum=2)
+    rounds = _int_param(params, "rounds", 1, minimum=0)
+    model_name = _choice_param(
+        params, "model", ("iis", "tas", "bc"), "iis"
+    )
+    task = _resolve_task(params, n)
+    model = _resolve_model(model_name, n)
+    with span(
+        "serve/solvability", task=task.name, model=model.name, rounds=rounds
+    ):
+        # Worker count pinned to 1: the serving tier's parallelism is the
+        # batch fan-out itself, and nested pools inside a shipped task
+        # would break the RPR009 purity contract.
+        solvable = is_solvable(task, model, rounds, workers=1)
+    return {
+        "task": task.name,
+        "model": model.name,
+        "n": n,
+        "rounds": rounds,
+        "solvable": solvable,
+    }
+
+
+def _handle_closure(params: dict[str, Any]) -> dict[str, Any]:
+    """Compute ``Δ'`` data of ε-approximate agreement (CLI-compatible)."""
+    n = _int_param(params, "n", 2, minimum=2)
+    m = _int_param(params, "m", 4, minimum=1)
+    eps = _fraction_param(params, "eps", "1/4")
+    liberal = _bool_param(params, "liberal")
+    model_name = _choice_param(
+        params, "model", ("iis", "tas", "bc"), "iis"
+    )
+    ids = list(range(1, n + 1))
+    builder = (
+        liberal_approximate_agreement_task
+        if liberal
+        else approximate_agreement_task
+    )
+    try:
+        task = builder(ids, eps, m)
+    except ReproError as exc:
+        raise ServeError(
+            f"cannot build closure task: {exc}", INVALID_PARAMS
+        )
+    model = _resolve_model(model_name, n)
+    # The same evenly spread, grid-snapped input the CLI uses.
+    values = {i: Fraction(k, n - 1) for k, i in enumerate(ids)}
+    values = {i: Fraction(round(v * m), m) for i, v in values.items()}
+    with span("serve/closure", task=task.name, model=model.name):
+        computer = ClosureComputer(task, model)
+        sigma = input_simplex(values)
+        outputs = computer.legal_outputs(sigma)
+    spreads = sorted(
+        {
+            max(v.value for v in tau.vertices)
+            - min(v.value for v in tau.vertices)
+            for tau in outputs
+        }
+    )
+    return {
+        "task": task.name,
+        "model": model.name,
+        "inputs": {str(i): str(v) for i, v in sorted(values.items())},
+        "legal_outputs": len(outputs),
+        "spreads": [str(s) for s in spreads],
+        "max_spread": str(max(spreads)),
+        "epsilon": str(eps),
+    }
+
+
+def _handle_lower_bound(params: dict[str, Any]) -> dict[str, Any]:
+    """The closed-form ε-AA round bounds per model family."""
+    n = _int_param(params, "n", 3, minimum=2)
+    eps = _fraction_param(params, "eps", "1/8")
+    with span("serve/lower-bound", n=n):
+        return {
+            "n": n,
+            "epsilon": str(eps),
+            "iis": aa_lower_bound_iis(n, eps),
+            "iis_tas": aa_lower_bound_iis_tas(n, eps),
+            "iis_bc": (
+                aa_lower_bound_iis_bc(n, eps) if n >= 3 else None
+            ),
+            "upper_iis": aa_upper_bound_iis(n, eps),
+        }
+
+
+def _handle_chaos_campaign(params: dict[str, Any]) -> dict[str, Any]:
+    """Run a seeded chaos campaign; the deterministic JSON report."""
+    from repro.faults.campaign import (
+        CampaignConfig,
+        report_to_json,
+        run_campaign,
+    )
+
+    config = CampaignConfig(
+        cell=_choice_param(
+            params,
+            "cell",
+            ("aa", "aa2", "consensus"),
+            "aa",
+        ),
+        model=_choice_param(
+            params, "model", ("iis", "snapshot", "collect"), "iis"
+        ),
+        n=_int_param(params, "n", 3, minimum=2),
+        t=_int_param(params, "t", 1, minimum=0),
+        executions=_int_param(params, "executions", 50, minimum=1),
+        seed=_int_param(params, "seed", 0),
+        epsilon=_fraction_param(params, "eps", "1/8"),
+    )
+    try:
+        config.validate()
+    except ReproError as exc:
+        raise ServeError(str(exc), INVALID_PARAMS)
+    with span(
+        "serve/chaos-campaign",
+        cell=config.cell,
+        executions=config.executions,
+    ):
+        # Serial trials: determinism is the contract (the report must be
+        # byte-identical however the request reached us), and the serving
+        # tier already parallelizes across requests.
+        report = run_campaign(config, workers=1)
+    return report_to_json(report)
+
+
+def _handle_health(params: dict[str, Any]) -> dict[str, Any]:
+    """Static liveness payload (no server state, hence cache-exempt)."""
+    return {
+        "status": "ok",
+        "protocol": PROTOCOL_VERSION,
+        "methods": sorted(METHODS),
+    }
+
+
+METHODS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
+    "solvability": _handle_solvability,
+    "closure": _handle_closure,
+    "lower_bound": _handle_lower_bound,
+    "chaos_campaign": _handle_chaos_campaign,
+    "health": _handle_health,
+}
+
+
+def execute(method: str, params: dict[str, Any]) -> dict[str, Any]:
+    """Run one endpoint in-process; the service's parity baseline.
+
+    Raises :class:`~repro.errors.ServeError` with a JSON-RPC code on
+    unknown methods and invalid params; any other
+    :class:`~repro.errors.ReproError` escaping a handler is wrapped as
+    an execution error.
+    """
+    handler = METHODS.get(method)
+    if handler is None:
+        from repro.serve.protocol import METHOD_NOT_FOUND
+
+        known = ", ".join(sorted(METHODS))
+        raise ServeError(
+            f"unknown method {method!r}; known methods: {known}",
+            METHOD_NOT_FOUND,
+        )
+    try:
+        return handler(params)
+    except ServeError:
+        raise
+    except ReproError as exc:
+        raise ServeError(f"{method} failed: {exc}")
+
+
+def solve_entry(params: dict[str, Any]) -> dict[str, Any]:
+    """One batched solvability computation (ships to pool workers).
+
+    Module-level and pure in its payload (RPR009): the batch fan-out in
+    :mod:`repro.serve.server` maps this over the window's queries via
+    :func:`~repro.parallel.supervisor.supervised_map`.
+    """
+    return _handle_solvability(params)

@@ -1,0 +1,139 @@
+"""Wire protocol of the solver service: canonical JSON-RPC over lines.
+
+One request per line, one response per line, UTF-8 JSON (a framing that
+``asyncio`` streams, netcat, and four lines of any language can speak)::
+
+    → {"jsonrpc": "2.0", "id": 1, "method": "lower_bound",
+       "params": {"n": 3, "eps": "1/8"}}
+    ← {"jsonrpc": "2.0", "id": 1, "result": {...},
+       "served": {"digest": "…", "cached": false, "coalesced": false}}
+
+The ``result`` member is exactly the in-process payload of
+:func:`repro.serve.handlers.execute`; serving metadata (digest, cache
+provenance) lives in the separate ``served`` member so cached, coalesced,
+and freshly computed responses stay byte-identical in ``result`` — the
+property audit rule AUD015 enforces.
+
+Requests are keyed by :func:`request_digest`: the sha256 of the
+canonical byte encoding (:func:`repro.topology.wire.digest_payload`) of
+``(tag, protocol version, method, params)``.  Two requests that decode
+to the same structured value digest equally regardless of JSON key
+order or whitespace, which is what makes the digest usable as the
+single-flight and store key.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.errors import ServeError
+from repro.topology.wire import digest_payload
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "PARSE_ERROR",
+    "INVALID_REQUEST",
+    "METHOD_NOT_FOUND",
+    "INVALID_PARAMS",
+    "EXECUTION_ERROR",
+    "canonical_json",
+    "request_digest",
+    "parse_request",
+    "response_line",
+    "error_line",
+]
+
+#: Version stamp mixed into every request digest: bumping it invalidates
+#: every store entry and dedup key at once when the protocol changes.
+PROTOCOL_VERSION = 1
+
+#: JSON-RPC 2.0 error codes the service emits.
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+EXECUTION_ERROR = -32000
+
+#: Digest domain separator, so a request digest can never collide with a
+#: :func:`~repro.topology.wire.digest_complex` digest.
+_DIGEST_TAG = "repro-serve-request"
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialize a JSON payload canonically (sorted keys, no spaces).
+
+    This is the byte-identity currency of the service: AUD015 and the
+    CI smoke compare ``canonical_json`` of a served ``result`` against
+    ``canonical_json`` of the in-process computation.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def request_digest(method: str, params: dict[str, Any]) -> str:
+    """The content-address of one request (sha256 hex, 64 chars)."""
+    return digest_payload((_DIGEST_TAG, PROTOCOL_VERSION, method, params))
+
+
+def parse_request(line: str) -> tuple[Optional[Any], str, dict[str, Any]]:
+    """Parse one request line into ``(id, method, params)``.
+
+    Raises :class:`~repro.errors.ServeError` with the appropriate
+    JSON-RPC code on malformed input.  The request id is returned as-is
+    (clients choose their own correlation values); ``params`` defaults
+    to ``{}``.
+    """
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ServeError(f"request is not JSON: {exc}", PARSE_ERROR)
+    if not isinstance(payload, dict):
+        raise ServeError(
+            f"request must be a JSON object, got "
+            f"{type(payload).__name__}",
+            INVALID_REQUEST,
+        )
+    method = payload.get("method")
+    if not isinstance(method, str) or not method:
+        raise ServeError(
+            "request has no non-empty string 'method'", INVALID_REQUEST
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ServeError(
+            f"params must be a JSON object, got "
+            f"{type(params).__name__}",
+            INVALID_PARAMS,
+        )
+    return payload.get("id"), method, params
+
+
+def response_line(
+    request_id: Optional[Any],
+    result: Any,
+    served: Optional[dict[str, Any]] = None,
+) -> str:
+    """Render one success response (without the trailing newline)."""
+    envelope: dict[str, Any] = {
+        "jsonrpc": "2.0",
+        "id": request_id,
+        "result": result,
+    }
+    if served is not None:
+        envelope["served"] = served
+    return canonical_json(envelope)
+
+
+def error_line(
+    request_id: Optional[Any], code: int, message: str
+) -> str:
+    """Render one error response (without the trailing newline)."""
+    return canonical_json(
+        {
+            "jsonrpc": "2.0",
+            "id": request_id,
+            "error": {"code": code, "message": message},
+        }
+    )

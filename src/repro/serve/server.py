@@ -1,0 +1,521 @@
+"""The batched asyncio solver service.
+
+A single-event-loop server speaking the line protocol of
+:mod:`repro.serve.protocol` over TCP (and optionally a Unix socket).
+Three serving-tier optimizations sit between the socket and
+:func:`repro.serve.handlers.execute`, none of which may change a single
+result byte (AUD015):
+
+* **content-addressed caching** — cacheable results are persisted in a
+  :class:`~repro.serve.store.ResultStore` keyed by the request digest,
+  so repeated queries (including across restarts) are disk reads;
+* **single-flight deduplication** — the first request for a digest owns
+  the computation; identical requests arriving while it is in flight
+  await the same future instead of recomputing;
+* **micro-batching** — ``solvability`` queries arriving within one
+  batch window are fanned out through a single
+  :func:`~repro.parallel.supervisor.supervised_map` call, inheriting
+  its retries, pool recovery, and serial degradation.
+
+Blocking computation runs in executor threads (and, through the
+supervisor, worker processes); the event loop only parses, routes, and
+awaits.  When a trace directory is configured, each request records a
+private :class:`~repro.telemetry.tracer.Tracer` span and writes one
+``repro-trace`` artifact — private, so concurrent requests never
+interleave their span trees.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ReproError, ServeError
+from repro.parallel.supervisor import (
+    SupervisorConfig,
+    supervised_map,
+)
+from repro.serve.handlers import (
+    CACHEABLE_METHODS,
+    execute,
+    solve_entry,
+    validate_solvability_params,
+)
+from repro.serve.protocol import (
+    EXECUTION_ERROR,
+    PROTOCOL_VERSION,
+    error_line,
+    parse_request,
+    request_digest,
+    response_line,
+)
+from repro.serve.store import ResultStore
+from repro.telemetry import Tracer, write_trace
+
+__all__ = ["ServeConfig", "ServeStats", "SolverService", "run_server"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one service instance.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`SolverService.port` or the ready file).  ``store_dir=None``
+    disables the persistent store (single-flight and batching still
+    apply).  ``batch_window`` is the seconds the first queued
+    solvability query waits for companions before the batch flushes;
+    ``batch_max`` flushes early once that many queries are queued.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_path: Optional[str] = None
+    store_dir: Optional[str] = None
+    store_max_bytes: Optional[int] = None
+    batch_window: float = 0.02
+    batch_max: int = 16
+    workers: Optional[int] = None
+    trace_dir: Optional[str] = None
+    ready_file: Optional[str] = None
+    supervisor: Optional[SupervisorConfig] = None
+
+    def validate(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise ReproError(f"port must be 0..65535, got {self.port}")
+        if self.batch_window < 0:
+            raise ReproError(
+                f"batch_window must be non-negative, "
+                f"got {self.batch_window}"
+            )
+        if self.batch_max < 1:
+            raise ReproError(
+                f"batch_max must be positive, got {self.batch_max}"
+            )
+        if (
+            self.store_max_bytes is not None
+            and self.store_max_bytes < 0
+        ):
+            raise ReproError(
+                f"store_max_bytes must be non-negative, "
+                f"got {self.store_max_bytes}"
+            )
+        if self.supervisor is not None:
+            self.supervisor.validate()
+
+
+@dataclass
+class ServeStats:
+    """Serving-tier counters (the store keeps its own)."""
+
+    requests: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    computed: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    methods: dict[str, int] = field(default_factory=dict)
+
+    def count_method(self, method: str) -> None:
+        self.methods[method] = self.methods.get(method, 0) + 1
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "computed": self.computed,
+            "batches": self.batches,
+            "batched_queries": self.batched_queries,
+            "methods": dict(sorted(self.methods.items())),
+        }
+
+
+@dataclass
+class _PendingSolve:
+    """One queued solvability query awaiting the next batch flush."""
+
+    digest: str
+    params: dict[str, Any]
+    future: "asyncio.Future[dict[str, Any]]"
+
+
+class SolverService:
+    """One service instance: sockets, store, dedup map, batch queue."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        config.validate()
+        self.config = config
+        self.stats = ServeStats()
+        self.store: Optional[ResultStore] = (
+            ResultStore(config.store_dir, config.store_max_bytes)
+            if config.store_dir is not None
+            else None
+        )
+        self._inflight: dict[str, "asyncio.Future[dict[str, Any]]"] = {}
+        self._batch: list[_PendingSolve] = []
+        self._batch_flusher: Optional["asyncio.Task[None]"] = None
+        self._servers: list[asyncio.AbstractServer] = []
+        self._stopping: Optional[asyncio.Event] = None
+        self._request_seq = 0
+        if config.trace_dir is not None:
+            os.makedirs(config.trace_dir, exist_ok=True)
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound TCP port (after :meth:`start`)."""
+        for server in self._servers:
+            for sock in server.sockets or ():
+                name = sock.getsockname()
+                if isinstance(name, tuple) and len(name) >= 2:
+                    return int(name[1])
+        return None
+
+    async def start(self) -> None:
+        """Bind the configured endpoints and write the ready file."""
+        self._stopping = asyncio.Event()
+        server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port
+        )
+        self._servers.append(server)
+        if self.config.unix_path is not None:
+            if not hasattr(asyncio, "start_unix_server"):
+                raise ServeError(
+                    "unix sockets are not supported on this platform"
+                )
+            unix_server = await asyncio.start_unix_server(
+                self._serve_connection, path=self.config.unix_path
+            )
+            self._servers.append(unix_server)
+        if self.config.ready_file is not None:
+            ready = {
+                "host": self.config.host,
+                "port": self.port,
+                "unix_path": self.config.unix_path,
+                "pid": os.getpid(),
+                "protocol": PROTOCOL_VERSION,
+            }
+            tmp = self.config.ready_file + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(ready, handle)
+            os.replace(tmp, self.config.ready_file)
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` is called (starts if not started)."""
+        if self._stopping is None:
+            await self.start()
+        assert self._stopping is not None
+        await self._stopping.wait()
+        await self._shutdown()
+
+    def stop(self) -> None:
+        """Request shutdown (thread-unsafe; use ``call_soon_threadsafe``)."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def _shutdown(self) -> None:
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+        if self._batch_flusher is not None:
+            self._batch_flusher.cancel()
+            self._batch_flusher = None
+        if (
+            self.config.unix_path is not None
+            and os.path.exists(self.config.unix_path)
+        ):
+            try:
+                os.remove(self.config.unix_path)
+            except OSError:
+                pass  # stale socket cleanup is best-effort
+
+    # -- connection handling ------------------------------------------
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            # Shutdown cancels connection tasks mid-read.  Ending
+            # quietly instead of cancelled keeps asyncio streams (3.11)
+            # from logging a spurious connection_made callback error.
+            pass
+
+    async def _connection_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                response = await self.handle_line(line)
+                writer.write(response.encode("utf-8") + b"\n")
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # peer already gone; nothing left to flush
+
+    async def handle_line(self, line: str) -> str:
+        """One request line in, one response line out (no newline)."""
+        self.stats.requests += 1
+        try:
+            request_id, method, params = parse_request(line)
+        except ServeError as exc:
+            self.stats.errors += 1
+            return error_line(None, exc.code, str(exc))
+        self.stats.count_method(method)
+        tracer = (
+            Tracer(capture_metrics=False)
+            if self.config.trace_dir is not None
+            else None
+        )
+        served: dict[str, Any] = {"cached": False, "coalesced": False}
+        span_cm = (
+            tracer.span("serve/request", method=method)
+            if tracer is not None
+            else None
+        )
+        try:
+            if span_cm is not None:
+                span_cm.__enter__()
+            try:
+                result = await self._dispatch(method, params, served)
+            except Exception as exc:
+                self.stats.errors += 1
+                code = (
+                    exc.code
+                    if isinstance(exc, ServeError)
+                    else EXECUTION_ERROR
+                )
+                if span_cm is not None:
+                    span_cm.set_attribute("error", type(exc).__name__)
+                    span_cm.set_attribute("code", code)
+                return error_line(request_id, code, str(exc))
+            if span_cm is not None:
+                for key, value in served.items():
+                    span_cm.set_attribute(key, value)
+            return response_line(request_id, result, served)
+        finally:
+            if span_cm is not None:
+                span_cm.__exit__(None, None, None)
+            if tracer is not None:
+                self._write_request_trace(tracer, served)
+
+    def _write_request_trace(
+        self, tracer: Tracer, served: dict[str, Any]
+    ) -> None:
+        assert self.config.trace_dir is not None
+        self._request_seq += 1
+        digest = served.get("digest", "direct")
+        name = f"req-{self._request_seq:06d}-{str(digest)[:12]}.json"
+        path = os.path.join(self.config.trace_dir, name)
+        try:
+            write_trace(path, tracer)
+        except (OSError, ReproError):
+            pass  # tracing is observability, never a request failure
+
+    # -- dispatch -----------------------------------------------------
+
+    async def _dispatch(
+        self,
+        method: str,
+        params: dict[str, Any],
+        served: dict[str, Any],
+    ) -> dict[str, Any]:
+        if method == "stats":
+            return self._stats_result()
+        if method not in CACHEABLE_METHODS:
+            # health (and any future uncacheable method): run inline,
+            # still through the parity-audited executor.
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                None, functools.partial(execute, method, params)
+            )
+        digest = request_digest(method, params)
+        served["digest"] = digest
+        inflight = self._inflight.get(digest)
+        if inflight is not None:
+            self.stats.coalesced += 1
+            served["coalesced"] = True
+            return await asyncio.shield(inflight)
+        if self.store is not None:
+            hit = self.store.get(digest)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                served["cached"] = True
+                return hit
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[dict[str, Any]]" = loop.create_future()
+        # Coalesced awaiters retrieve the outcome; when there are none,
+        # this no-op retrieval keeps asyncio from logging the exception
+        # as never-consumed.
+        future.add_done_callback(_consume_outcome)
+        self._inflight[digest] = future
+        try:
+            if method == "solvability":
+                # Fail malformed params fast (INVALID_PARAMS) instead
+                # of shipping them to the batch fan-out, where they
+                # would surface as quarantined workers.
+                validate_solvability_params(params)
+                result = await self._solve_batched(digest, params)
+            else:
+                result = await loop.run_in_executor(
+                    None, functools.partial(execute, method, params)
+                )
+        except Exception as exc:
+            # Whatever failed, the coalesced awaiters must be released
+            # with the same outcome — a stuck single-flight future would
+            # hang every duplicate of this digest forever.
+            failure = (
+                exc
+                if isinstance(exc, ServeError)
+                else ServeError(
+                    f"{method} failed: {type(exc).__name__}: {exc}",
+                    EXECUTION_ERROR,
+                )
+            )
+            future.set_exception(failure)
+            self._inflight.pop(digest, None)
+            raise failure from exc
+        self.stats.computed += 1
+        if self.store is not None:
+            self.store.put(digest, method, result)
+        future.set_result(result)
+        self._inflight.pop(digest, None)
+        return result
+
+    def _stats_result(self) -> dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "serve": self.stats.to_json(),
+            "store": (
+                self.store.stats.to_json()
+                if self.store is not None
+                else None
+            ),
+            "store_entries": (
+                len(self.store) if self.store is not None else 0
+            ),
+            "inflight": len(self._inflight),
+            "batch_queue": len(self._batch),
+        }
+
+    # -- micro-batching -----------------------------------------------
+
+    async def _solve_batched(
+        self, digest: str, params: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Queue one solvability query and await its batch's flush."""
+        loop = asyncio.get_running_loop()
+        pending = _PendingSolve(digest, params, loop.create_future())
+        self._batch.append(pending)
+        if len(self._batch) >= self.config.batch_max:
+            await self._flush_batch()
+        elif self._batch_flusher is None or self._batch_flusher.done():
+            self._batch_flusher = loop.create_task(
+                self._flush_after_window()
+            )
+        return await pending.future
+
+    async def _flush_after_window(self) -> None:
+        await asyncio.sleep(self.config.batch_window)
+        await self._flush_batch()
+
+    async def _flush_batch(self) -> None:
+        """Fan the queued queries out through one supervised map."""
+        batch, self._batch = self._batch, []
+        if self._batch_flusher is not None:
+            if asyncio.current_task() is not self._batch_flusher:
+                self._batch_flusher.cancel()
+            self._batch_flusher = None
+        if not batch:
+            return
+        self.stats.batches += 1
+        self.stats.batched_queries += len(batch)
+        loop = asyncio.get_running_loop()
+        call = functools.partial(
+            supervised_map,
+            solve_entry,
+            [entry.params for entry in batch],
+            workers=self.config.workers,
+            config=self.config.supervisor,
+            label="serve-solvability",
+            on_quarantine="keep",
+        )
+        try:
+            outcome = await loop.run_in_executor(None, call)
+        except ReproError as exc:
+            failure = ServeError(
+                f"solvability batch failed: {exc}", EXECUTION_ERROR
+            )
+            for entry in batch:
+                if not entry.future.done():
+                    entry.future.set_exception(failure)
+            return
+        quarantined = {
+            record.index: record for record in outcome.quarantined
+        }
+        for index, entry in enumerate(batch):
+            if entry.future.done():
+                continue
+            record = quarantined.get(index)
+            if record is not None:
+                entry.future.set_exception(
+                    ServeError(
+                        f"solvability failed after "
+                        f"{record.attempts} attempt(s): "
+                        f"{record.error}: {record.message}",
+                        EXECUTION_ERROR,
+                    )
+                )
+                continue
+            result = outcome.results[index]
+            if result is None:
+                entry.future.set_exception(
+                    ServeError(
+                        "solvability batch dropped a query",
+                        EXECUTION_ERROR,
+                    )
+                )
+                continue
+            entry.future.set_result(result)
+
+
+def _consume_outcome(future: "asyncio.Future[dict[str, Any]]") -> None:
+    """Mark a single-flight future's exception as retrieved."""
+    if not future.cancelled():
+        future.exception()
+
+
+async def run_server(config: ServeConfig) -> None:
+    """Build a :class:`SolverService` from ``config`` and serve forever."""
+    service = SolverService(config)
+    await service.start()
+    await service.serve_forever()

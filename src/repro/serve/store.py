@@ -1,0 +1,247 @@
+"""Disk-backed content-addressed result store for the solver service.
+
+One JSON file per request digest, written atomically (temp file in the
+same directory + ``os.replace``) so a crashed or concurrent writer can
+never leave a torn entry.  Every entry embeds
+
+* the store **schema version** — entries written by an older layout are
+  treated as misses and recomputed, never misread;
+* its own **request digest** — a file renamed or copied to the wrong
+  address is detected and dropped;
+* a **payload checksum** (sha256 of the canonical JSON of the result) —
+  bit-rot or a truncated write is detected on read, the entry is
+  discarded, and the service recomputes.
+
+Eviction is LRU by access time under a byte budget.  Access time is
+tracked in the entry's file mtime, stamped from an injectable
+monotonically increasing clock so tests can drive eviction order
+deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.serve.protocol import canonical_json
+
+__all__ = ["STORE_SCHEMA", "StoreStats", "ResultStore"]
+
+#: Layout version of store entries.  Bump on any change to the entry
+#: format; old entries then read as schema mismatches and are recomputed.
+STORE_SCHEMA = 1
+
+_ENTRY_SUFFIX = ".json"
+
+
+def _payload_checksum(result: Any) -> str:
+    """sha256 hex of the canonical JSON bytes of a result payload."""
+    data = canonical_json(result).encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Counters the store accumulates over its lifetime (per instance)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    schema_mismatches: int = 0
+
+    def to_json(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "schema_mismatches": self.schema_mismatches,
+        }
+
+
+@dataclass
+class ResultStore:
+    """Content-addressed result cache under ``root`` (created lazily).
+
+    ``max_bytes`` bounds the total size of entry files; ``None`` means
+    unbounded.  ``clock`` supplies access timestamps (seconds); inject a
+    counter in tests to make LRU eviction order exact.
+    """
+
+    root: str
+    max_bytes: Optional[int] = None
+    clock: Callable[[], float] = time.time
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- addressing ---------------------------------------------------
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest + _ENTRY_SUFFIX)
+
+    def __len__(self) -> int:
+        return len(self._digests())
+
+    def _digests(self) -> list[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(
+            name[: -len(_ENTRY_SUFFIX)]
+            for name in names
+            if name.endswith(_ENTRY_SUFFIX)
+        )
+
+    def __contains__(self, digest: str) -> bool:
+        return os.path.exists(self._path(digest))
+
+    # -- reads --------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[dict[str, Any]]:
+        """The stored result for ``digest``, or ``None`` on any miss.
+
+        Corrupt, misaddressed, and schema-mismatched entries are
+        deleted (they would fail identically on every future read) and
+        reported as misses; the caller recomputes and overwrites.
+        """
+        with self._lock:
+            path = self._path(digest)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except FileNotFoundError:
+                self.stats.misses += 1
+                return None
+            except (OSError, ValueError):
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                self._discard(path)
+                return None
+            if not isinstance(entry, dict):
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                self._discard(path)
+                return None
+            if entry.get("schema") != STORE_SCHEMA:
+                self.stats.schema_mismatches += 1
+                self.stats.misses += 1
+                self._discard(path)
+                return None
+            result = entry.get("result")
+            if (
+                entry.get("digest") != digest
+                or entry.get("checksum") != _payload_checksum(result)
+            ):
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                self._discard(path)
+                return None
+            self.stats.hits += 1
+            self._touch(path)
+            if isinstance(result, dict):
+                return result
+            # Results are endpoint dicts by protocol contract; anything
+            # else got here through a foreign writer — treat as corrupt.
+            self.stats.hits -= 1
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._discard(path)
+            return None
+
+    # -- writes -------------------------------------------------------
+
+    def put(
+        self, digest: str, method: str, result: dict[str, Any]
+    ) -> None:
+        """Persist ``result`` under ``digest`` atomically, then evict."""
+        entry = {
+            "schema": STORE_SCHEMA,
+            "digest": digest,
+            "method": method,
+            "checksum": _payload_checksum(result),
+            "result": result,
+        }
+        data = canonical_json(entry).encode("utf-8")
+        with self._lock:
+            path = self._path(digest)
+            tmp = path + f".tmp-{os.getpid()}-{threading.get_ident()}"
+            try:
+                with open(tmp, "wb") as handle:
+                    handle.write(data)
+                os.replace(tmp, path)
+            except OSError:
+                # A failed write leaves the store exactly as it was;
+                # the service still answers from the live computation.
+                self._discard(tmp)
+                return
+            self.stats.writes += 1
+            self._touch(path)
+            self._evict()
+
+    # -- maintenance --------------------------------------------------
+
+    def _touch(self, path: str) -> None:
+        """Stamp ``path``'s access time from the injected clock."""
+        stamp = self.clock()
+        try:
+            os.utime(path, (stamp, stamp))
+        except OSError:
+            pass  # entry raced an eviction/delete; reads handle it
+
+    def _discard(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass  # already gone (or never created): the desired state
+
+    def total_bytes(self) -> int:
+        """Total size of all entry files currently on disk."""
+        total = 0
+        for digest in self._digests():
+            try:
+                total += os.path.getsize(self._path(digest))
+            except OSError:
+                continue
+        return total
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries until under the byte budget."""
+        if self.max_bytes is None:
+            return
+        entries: list[tuple[float, str, int]] = []
+        total = 0
+        for digest in self._digests():
+            path = self._path(digest)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            entries.append((info.st_mtime, path, info.st_size))
+            total += info.st_size
+        entries.sort()
+        for _mtime, path, size in entries:
+            if total <= self.max_bytes:
+                break
+            self._discard(path)
+            self.stats.evictions += 1
+            total -= size
+
+    def clear(self) -> int:
+        """Remove every entry; the number removed."""
+        with self._lock:
+            digests = self._digests()
+            for digest in digests:
+                self._discard(self._path(digest))
+            return len(digests)

@@ -1,0 +1,92 @@
+"""In-process server harness for tests, audits, and scripts.
+
+:class:`ServerHandle` hosts a :class:`~repro.serve.server.SolverService`
+on a private event loop in a daemon thread, binds an ephemeral port, and
+tears everything down on :meth:`ServerHandle.stop` (or context-manager
+exit).  Audit rule AUD015 and the serve test suite both drive real
+sockets through this harness — the served path under test is the exact
+production code path, not a mock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Optional
+
+from repro.errors import ServeError
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, SolverService
+
+__all__ = ["ServerHandle"]
+
+_START_TIMEOUT_S = 30.0
+
+
+class ServerHandle:
+    """A running service on a background thread, stoppable and pokeable."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.service: Optional[SolverService] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(_START_TIMEOUT_S):
+            raise ServeError("server failed to start within timeout")
+        if self._failure is not None:
+            raise ServeError(f"server failed to start: {self._failure}")
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except Exception as exc:
+            self._failure = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        service = SolverService(self.config)
+        await service.start()
+        self.service = service
+        self.port = service.port
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await service.serve_forever()
+
+    # -- client-side conveniences -------------------------------------
+
+    def connect(self, timeout: float = 60.0) -> ServeClient:
+        """A fresh TCP client bound to this server."""
+        assert self.port is not None
+        return ServeClient(
+            host=self.config.host, port=self.port, timeout=timeout
+        )
+
+    def call(
+        self, method: str, params: Optional[dict[str, Any]] = None
+    ) -> dict[str, Any]:
+        """One request over a throwaway connection; the result payload."""
+        with self.connect() as client:
+            return client.call(method, params)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def stop(self, timeout: float = _START_TIMEOUT_S) -> None:
+        loop, service = self._loop, self.service
+        if loop is not None and service is not None:
+            try:
+                loop.call_soon_threadsafe(service.stop)
+            except RuntimeError:
+                pass  # loop already closed: the thread is finishing
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

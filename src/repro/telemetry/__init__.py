@@ -32,6 +32,7 @@ from repro.telemetry.export import (
     TRACE_VERSION,
     chrome_events,
     load_trace,
+    merge_traces,
     render_chrome,
     render_json,
     render_text,
@@ -91,6 +92,7 @@ __all__ = [
     "TRACE_VERSION",
     "chrome_events",
     "load_trace",
+    "merge_traces",
     "render_chrome",
     "render_json",
     "render_text",

@@ -43,8 +43,11 @@ from repro.topology.table import (
 from repro.topology.wire import (
     WireComplex,
     WireSimplex,
+    canonical_bytes,
     decode_complex,
     decode_simplex,
+    digest_complex,
+    digest_payload,
     encode_complex,
     encode_simplex,
 )
@@ -78,4 +81,7 @@ __all__ = [
     "decode_simplex",
     "encode_complex",
     "decode_complex",
+    "canonical_bytes",
+    "digest_payload",
+    "digest_complex",
 ]

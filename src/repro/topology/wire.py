@@ -34,8 +34,10 @@ through the trusted mask-level fast path.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from fractions import Fraction
+from typing import Hashable, Iterator, Optional
 
 from repro.topology import sanitize as _sanitize
 from repro.topology.complex import SimplicialComplex
@@ -51,6 +53,9 @@ __all__ = [
     "decode_simplex",
     "encode_complex",
     "decode_complex",
+    "canonical_bytes",
+    "digest_payload",
+    "digest_complex",
 ]
 
 
@@ -148,3 +153,102 @@ def decode_complex(
                 [table.decode_mask(mask) for mask in wire.masks]
             )
     return SimplicialComplex._from_masks(table, wire.masks)
+
+
+# ----------------------------------------------------------------------
+# Canonical digests (content-addressed keys)
+# ----------------------------------------------------------------------
+def _canonical_chunks(value: object) -> Iterator[bytes]:
+    """Yield a type-tagged, self-delimiting byte encoding of ``value``.
+
+    The encoding is injective on the value universe the codec actually
+    carries — ``None``, booleans, integers, :class:`~fractions.Fraction`,
+    floats, strings, bytes, and (nested) tuples/lists, sets/frozensets,
+    and dictionaries.  Every chunk starts with a one-byte type tag and
+    carries an explicit length or terminator, so no two distinct values
+    can concatenate to the same stream (the classic ``("ab","c")`` vs
+    ``("a","bc")`` ambiguity is excluded by the length prefixes).
+
+    Unknown immutable value objects (e.g. :class:`~repro.topology.views.
+    View`) fall back to their type name plus ``repr``, which is stable
+    and content-determined for the library's value objects.
+    """
+    # bool before int: Python booleans are integers.
+    if value is None:
+        yield b"N;"
+    elif isinstance(value, bool):
+        yield b"B1;" if value else b"B0;"
+    elif isinstance(value, int):
+        yield b"I%d;" % value
+    elif isinstance(value, Fraction):
+        yield b"Q%d/%d;" % (value.numerator, value.denominator)
+    elif isinstance(value, float):
+        raw = repr(value).encode("ascii")
+        yield b"F%d:%s;" % (len(raw), raw)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        yield b"S%d:%s;" % (len(raw), raw)
+    elif isinstance(value, (bytes, bytearray)):
+        yield b"Y%d:%s;" % (len(value), bytes(value))
+    elif isinstance(value, (tuple, list)):
+        yield b"T%d:" % len(value)
+        for item in value:
+            yield from _canonical_chunks(item)
+        yield b";"
+    elif isinstance(value, (set, frozenset)):
+        encoded = sorted(
+            b"".join(_canonical_chunks(item)) for item in value
+        )
+        yield b"U%d:" % len(encoded)
+        for chunk in encoded:
+            yield chunk
+        yield b";"
+    elif isinstance(value, dict):
+        pairs = sorted(
+            b"".join(_canonical_chunks(key))
+            + b"".join(_canonical_chunks(item))
+            for key, item in value.items()
+        )
+        yield b"D%d:" % len(pairs)
+        for chunk in pairs:
+            yield chunk
+        yield b";"
+    else:
+        tag = type(value).__name__.encode("utf-8")
+        raw = repr(value).encode("utf-8")
+        yield b"O%d:%s:%d:%s;" % (len(tag), tag, len(raw), raw)
+
+
+def canonical_bytes(payload: object) -> bytes:
+    """The canonical byte encoding of a structured payload.
+
+    Equal payloads (by structural value, not identity) produce equal
+    bytes in every process and on every platform; this is the input of
+    :func:`digest_payload` and the parity baseline the serving tier's
+    byte-identity audit (AUD015) compares against.
+    """
+    return b"".join(_canonical_chunks(payload))
+
+
+def digest_payload(payload: object) -> str:
+    """The sha256 hex digest of :func:`canonical_bytes` of ``payload``.
+
+    The cache-key primitive: the serving tier keys its single-flight
+    dedup table and the content-addressed result store by this digest,
+    and it doubles as a general memo key for any canonically-encodable
+    value (property-tested for stability and round-trip agreement in
+    ``tests/topology/test_wire.py``).
+    """
+    return hashlib.sha256(canonical_bytes(payload)).hexdigest()
+
+
+def digest_complex(complex_: SimplicialComplex) -> str:
+    """The sha256 hex digest of a complex's canonical wire encoding.
+
+    Equal complexes — however they were constructed — digest equally,
+    because :func:`encode_complex` is canonical (sorted vertex table,
+    sorted facet masks); distinct complexes digest differently up to
+    sha256 collisions.
+    """
+    wire = encode_complex(complex_)
+    return digest_payload(("wire-complex", wire.pairs, wire.masks))

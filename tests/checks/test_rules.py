@@ -47,13 +47,20 @@ def forge_schedule(groups, views):
 
 
 class TestRegistry:
-    def test_all_fourteen_rules_registered(self):
+    def test_all_fifteen_rules_registered(self):
         assert sorted(RULES) == [
             f"AUD00{i}" for i in range(1, 10)
-        ] + ["AUD010", "AUD011", "AUD012", "AUD013", "AUD014"]
+        ] + ["AUD010", "AUD011", "AUD012", "AUD013", "AUD014", "AUD015"]
 
     def test_rules_partition_by_kind(self):
-        for kind in ("complex", "carrier", "schedule", "task", "model"):
+        for kind in (
+            "complex",
+            "carrier",
+            "schedule",
+            "task",
+            "model",
+            "serve",
+        ):
             assert rules_for_kind(kind), f"no rules for kind {kind}"
 
     def test_duplicate_registration_rejected(self):
@@ -350,6 +357,41 @@ class TestTaskAndClosureRules:
             "closure", "fixture/real-closure", closure, {"base_task": base}
         )
         assert fired_rules([target]) == set()
+
+
+class TestServeParityRule:
+    def test_aud015_clean_on_honest_probes(self):
+        target = AuditTarget(
+            "serve",
+            "fixture/parity",
+            [("lower_bound", {"n": 3, "eps": "1/4"})],
+        )
+        assert fired_rules([target]) == set()
+
+    def test_aud015_fires_when_the_baseline_cannot_run(self):
+        # A probe the in-process handlers reject can never be parity
+        # checked; the rule must say so rather than pass vacuously.
+        target = AuditTarget(
+            "serve",
+            "fixture/broken-probe",
+            [("no_such_method", {})],
+        )
+        findings = [
+            f for f in run_rules([target]) if f.rule_id == "AUD015"
+        ]
+        assert findings
+        assert any(
+            "in-process baseline failed" in f.message for f in findings
+        )
+        assert all(f.severity is Severity.ERROR for f in findings)
+
+    def test_aud015_fires_on_invalid_params(self):
+        target = AuditTarget(
+            "serve",
+            "fixture/bad-params",
+            [("lower_bound", {"n": "several"})],
+        )
+        assert "AUD015" in fired_rules([target])
 
 
 class TestFaultsConfigRule:

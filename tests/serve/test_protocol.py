@@ -1,0 +1,118 @@
+"""Unit tests for the service wire protocol (framing and digests)."""
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    EXECUTION_ERROR,
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    canonical_json,
+    error_line,
+    parse_request,
+    request_digest,
+    response_line,
+)
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_compact_separators(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_key_order_is_immaterial(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json(
+            {"b": 2, "a": 1}
+        )
+
+    def test_non_ascii_is_escaped(self):
+        assert canonical_json("ε").encode("ascii")
+
+
+class TestRequestDigest:
+    def test_is_sha256_hex(self):
+        digest = request_digest("health", {})
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_key_order_is_immaterial(self):
+        assert request_digest(
+            "solvability", {"n": 2, "task": "consensus"}
+        ) == request_digest("solvability", {"task": "consensus", "n": 2})
+
+    def test_method_and_params_both_count(self):
+        base = request_digest("solvability", {"n": 2})
+        assert request_digest("closure", {"n": 2}) != base
+        assert request_digest("solvability", {"n": 3}) != base
+
+
+class TestParseRequest:
+    def test_well_formed(self):
+        rid, method, params = parse_request(
+            '{"jsonrpc": "2.0", "id": 7, "method": "health",'
+            ' "params": {"x": 1}}'
+        )
+        assert (rid, method, params) == (7, "health", {"x": 1})
+
+    def test_params_default_to_empty(self):
+        assert parse_request('{"method": "health"}')[2] == {}
+
+    def test_not_json(self):
+        with pytest.raises(ServeError) as excinfo:
+            parse_request("{nope")
+        assert excinfo.value.code == PARSE_ERROR
+
+    def test_not_an_object(self):
+        with pytest.raises(ServeError) as excinfo:
+            parse_request("[1, 2]")
+        assert excinfo.value.code == INVALID_REQUEST
+
+    def test_missing_method(self):
+        with pytest.raises(ServeError) as excinfo:
+            parse_request('{"id": 1}')
+        assert excinfo.value.code == INVALID_REQUEST
+
+    def test_params_must_be_object(self):
+        with pytest.raises(ServeError) as excinfo:
+            parse_request('{"method": "health", "params": [1]}')
+        assert excinfo.value.code == INVALID_PARAMS
+
+
+class TestResponseLines:
+    def test_response_line_shape(self):
+        envelope = json.loads(response_line(3, {"ok": True}))
+        assert envelope == {
+            "jsonrpc": "2.0",
+            "id": 3,
+            "result": {"ok": True},
+        }
+
+    def test_served_member_is_separate_from_result(self):
+        served = {"digest": "d" * 64, "cached": True, "coalesced": False}
+        with_meta = json.loads(response_line(1, {"ok": True}, served))
+        without = json.loads(response_line(1, {"ok": True}))
+        assert with_meta["served"] == served
+        assert canonical_json(with_meta["result"]) == canonical_json(
+            without["result"]
+        )
+
+    def test_error_line_shape(self):
+        envelope = json.loads(error_line(None, METHOD_NOT_FOUND, "nope"))
+        assert envelope["error"] == {
+            "code": METHOD_NOT_FOUND,
+            "message": "nope",
+        }
+        assert envelope["id"] is None
+
+    def test_error_codes_are_distinct(self):
+        codes = {
+            PARSE_ERROR,
+            INVALID_REQUEST,
+            METHOD_NOT_FOUND,
+            INVALID_PARAMS,
+            EXECUTION_ERROR,
+        }
+        assert len(codes) == 5

@@ -1,0 +1,236 @@
+"""Integration tests for the solver service over real sockets.
+
+One shared server (module-scoped, backed by a temp store) covers the
+serving-tier contract: byte-identity with the in-process handlers,
+store provenance on warm repeats, single-flight coalescing, JSON-RPC
+error codes, and warm restarts.  Queries are chosen cheap (consensus
+``n=2``, small lower bounds) so the suite stays fast.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.handlers import execute
+from repro.serve.protocol import (
+    EXECUTION_ERROR,
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    canonical_json,
+    request_digest,
+)
+from repro.serve.server import ServeConfig
+from repro.serve.testing import ServerHandle
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("serve-store"))
+
+
+@pytest.fixture(scope="module")
+def server(store_dir):
+    config = ServeConfig(store_dir=store_dir, batch_window=0.005)
+    with ServerHandle(config) as handle:
+        yield handle
+
+
+class TestDispatch:
+    def test_health(self, server):
+        result = server.call("health")
+        assert result["status"] == "ok"
+        assert "solvability" in result["methods"]
+
+    def test_stats_shape(self, server):
+        stats = server.call("stats")
+        assert set(stats) >= {
+            "protocol",
+            "serve",
+            "store",
+            "store_entries",
+            "inflight",
+            "batch_queue",
+        }
+
+    def test_cold_then_warm_byte_identity(self, server):
+        params = {"n": 3, "eps": "1/4"}
+        expected = canonical_json(execute("lower_bound", dict(params)))
+        with server.connect() as client:
+            cold = client.call_raw("lower_bound", dict(params))
+            warm = client.call_raw("lower_bound", dict(params))
+        assert canonical_json(cold["result"]) == expected
+        assert canonical_json(warm["result"]) == expected
+        assert cold["served"]["cached"] is False
+        assert warm["served"]["cached"] is True
+
+    def test_served_digest_matches_protocol_digest(self, server):
+        params = {"n": 3, "eps": "1/16"}
+        with server.connect() as client:
+            envelope = client.call_raw("lower_bound", dict(params))
+        assert envelope["served"]["digest"] == request_digest(
+            "lower_bound", params
+        )
+
+    def test_solvability_through_the_batch_path(self, server):
+        params = {
+            "task": "consensus",
+            "n": 2,
+            "rounds": 1,
+            "model": "iis",
+        }
+        expected = canonical_json(execute("solvability", dict(params)))
+        assert (
+            canonical_json(server.call("solvability", dict(params)))
+            == expected
+        )
+
+    def test_closure_parity(self, server):
+        params = {"n": 2, "eps": "1/2", "m": 2, "model": "iis"}
+        expected = canonical_json(execute("closure", dict(params)))
+        assert (
+            canonical_json(server.call("closure", dict(params)))
+            == expected
+        )
+
+
+class TestCoalescing:
+    def test_concurrent_duplicates_coalesce(self, server):
+        # rounds=5 keeps this digest out of every other test's cache
+        # while the subdivision stays small (3^5 facets).
+        params = {
+            "task": "consensus",
+            "n": 2,
+            "rounds": 5,
+            "model": "iis",
+        }
+        before = server.call("stats")["serve"]["coalesced"]
+        payloads: list[str] = []
+        errors: list[str] = []
+
+        def fire() -> None:
+            try:
+                payloads.append(
+                    canonical_json(server.call("solvability", dict(params)))
+                )
+            except Exception as exc:  # surfaced via the errors list
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=fire) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(set(payloads)) == 1
+        after = server.call("stats")["serve"]["coalesced"]
+        assert after > before
+
+
+class TestErrorCodes:
+    def test_unknown_method(self, server):
+        with server.connect() as client:
+            envelope = client.call_raw("no_such_method")
+        assert envelope["error"]["code"] == METHOD_NOT_FOUND
+
+    def test_invalid_params(self, server):
+        with server.connect() as client:
+            envelope = client.call_raw("solvability", {"n": "many"})
+        assert envelope["error"]["code"] == INVALID_PARAMS
+
+    def test_execution_error_for_unknown_task(self, server):
+        with server.connect() as client:
+            envelope = client.call_raw(
+                "solvability", {"task": "telepathy", "n": 2}
+            )
+        assert envelope["error"]["code"] in (
+            INVALID_PARAMS,
+            EXECUTION_ERROR,
+        )
+
+    def test_client_raises_serve_error(self, server):
+        with server.connect() as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.call("no_such_method")
+        assert excinfo.value.code == METHOD_NOT_FOUND
+
+    def _raw_exchange(self, server, payload: bytes) -> dict:
+        with socket.create_connection(
+            (server.config.host, server.port), timeout=30
+        ) as sock:
+            sock.sendall(payload + b"\n")
+            reader = sock.makefile("r", encoding="utf-8")
+            return json.loads(reader.readline())
+
+    def test_parse_error_on_garbage(self, server):
+        envelope = self._raw_exchange(server, b"{nope")
+        assert envelope["error"]["code"] == PARSE_ERROR
+        assert envelope["id"] is None
+
+    def test_invalid_request_on_non_object(self, server):
+        envelope = self._raw_exchange(server, b"[1,2,3]")
+        assert envelope["error"]["code"] == INVALID_REQUEST
+
+    def test_connection_survives_errors(self, server):
+        with server.connect() as client:
+            client.call_raw("no_such_method")
+            assert client.call("health")["status"] == "ok"
+
+
+class TestWarmRestart:
+    def test_second_server_answers_from_the_same_store(
+        self, server, store_dir
+    ):
+        params = {"n": 4, "eps": "1/4"}
+        expected = canonical_json(
+            server.call("lower_bound", dict(params))
+        )
+        with ServerHandle(
+            ServeConfig(store_dir=store_dir, batch_window=0.005)
+        ) as fresh:
+            with fresh.connect() as client:
+                envelope = client.call_raw("lower_bound", dict(params))
+            assert canonical_json(envelope["result"]) == expected
+            assert envelope["served"]["cached"] is True
+
+
+class TestStoreless:
+    def test_server_without_store_still_serves_and_coalesces(self):
+        with ServerHandle(ServeConfig(batch_window=0.005)) as handle:
+            params = {"n": 3, "eps": "1/8"}
+            expected = canonical_json(
+                execute("lower_bound", dict(params))
+            )
+            with handle.connect() as client:
+                first = client.call_raw("lower_bound", dict(params))
+                second = client.call_raw("lower_bound", dict(params))
+            assert canonical_json(first["result"]) == expected
+            assert canonical_json(second["result"]) == expected
+            # No store: the repeat is recomputed, never claims cached.
+            assert second["served"]["cached"] is False
+            stats = handle.call("stats")
+            assert stats["store"] is None
+            assert stats["serve"]["computed"] == 2
+
+
+@pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"),
+    reason="platform has no unix domain sockets",
+)
+class TestUnixSocket:
+    def test_unix_endpoint_serves_and_cleans_up(self, tmp_path):
+        unix_path = str(tmp_path / "serve.sock")
+        config = ServeConfig(unix_path=unix_path, batch_window=0.005)
+        with ServerHandle(config) as handle:
+            from repro.serve.client import call_once
+
+            result = call_once("health", unix_path=unix_path)
+            assert result["status"] == "ok"
+            assert handle.call("health")["status"] == "ok"
+        import os
+
+        assert not os.path.exists(unix_path)

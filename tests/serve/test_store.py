@@ -1,0 +1,195 @@
+"""Adversity tests for the content-addressed result store.
+
+Corruption, misaddressed entries, schema drift, concurrent writers, and
+LRU eviction under a byte budget — the store must always either return
+the exact stored payload or report a miss; it must never return bytes it
+cannot vouch for.
+"""
+
+import itertools
+import json
+import os
+import threading
+
+from repro.serve.protocol import request_digest
+from repro.serve.store import STORE_SCHEMA, ResultStore
+
+
+def _digest(tag: str) -> str:
+    return request_digest("solvability", {"probe": tag})
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        digest = _digest("a")
+        store.put(digest, "solvability", {"solvable": True, "n": 2})
+        assert store.get(digest) == {"solvable": True, "n": 2}
+        assert store.stats.hits == 1
+        assert store.stats.writes == 1
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert store.get(_digest("absent")) is None
+        assert store.stats.misses == 1
+
+    def test_overwrite_replaces(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        digest = _digest("a")
+        store.put(digest, "solvability", {"v": 1})
+        store.put(digest, "solvability", {"v": 2})
+        assert store.get(digest) == {"v": 2}
+        assert len(store) == 1
+
+    def test_contains_and_len(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        digest = _digest("a")
+        assert digest not in store
+        store.put(digest, "solvability", {"v": 1})
+        assert digest in store
+        assert len(store) == 1
+        assert store.clear() == 1
+        assert len(store) == 0
+
+
+class TestCorruptionDetection:
+    def test_truncated_entry_is_dropped_and_recomputable(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        digest = _digest("a")
+        store.put(digest, "solvability", {"v": 1})
+        path = os.path.join(store.root, digest + ".json")
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[: len(raw) // 2])
+        assert store.get(digest) is None
+        assert store.stats.corrupt == 1
+        assert digest not in store  # deleted, not left to fail again
+
+    def test_bit_rot_fails_checksum(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        digest = _digest("a")
+        store.put(digest, "solvability", {"v": 1})
+        path = os.path.join(store.root, digest + ".json")
+        entry = json.loads(open(path).read())
+        entry["result"]["v"] = 2  # flipped payload, stale checksum
+        open(path, "w").write(json.dumps(entry))
+        assert store.get(digest) is None
+        assert store.stats.corrupt == 1
+
+    def test_misaddressed_entry_is_dropped(self, tmp_path):
+        # A file copied/renamed to the wrong digest must not serve.
+        store = ResultStore(str(tmp_path))
+        a, b = _digest("a"), _digest("b")
+        store.put(a, "solvability", {"v": 1})
+        os.replace(
+            os.path.join(store.root, a + ".json"),
+            os.path.join(store.root, b + ".json"),
+        )
+        assert store.get(b) is None
+        assert store.stats.corrupt == 1
+
+    def test_non_object_entry_is_corrupt(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        digest = _digest("a")
+        path = os.path.join(store.root, digest + ".json")
+        open(path, "w").write('["not", "an", "entry"]')
+        assert store.get(digest) is None
+        assert store.stats.corrupt == 1
+
+
+class TestSchemaVersioning:
+    def test_old_schema_reads_as_miss_and_recomputes(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        digest = _digest("a")
+        store.put(digest, "solvability", {"v": 1})
+        path = os.path.join(store.root, digest + ".json")
+        entry = json.loads(open(path).read())
+        entry["schema"] = STORE_SCHEMA - 1
+        open(path, "w").write(json.dumps(entry))
+        assert store.get(digest) is None
+        assert store.stats.schema_mismatches == 1
+        # The caller recomputes and overwrites; the store serves again.
+        store.put(digest, "solvability", {"v": 1})
+        assert store.get(digest) == {"v": 1}
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_leave_one_whole_entry(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        digest = _digest("raced")
+        barrier = threading.Barrier(8)
+
+        def write(worker: int) -> None:
+            barrier.wait()
+            for _ in range(20):
+                store.put(digest, "solvability", {"v": worker})
+
+        threads = [
+            threading.Thread(target=write, args=(w,)) for w in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Atomic temp+rename: whichever write landed last, the entry is
+        # whole and verifiable — never torn.
+        result = store.get(digest)
+        assert result is not None and set(result) == {"v"}
+        assert store.stats.corrupt == 0
+        assert not [
+            name
+            for name in os.listdir(store.root)
+            if ".tmp-" in name
+        ]
+
+    def test_two_stores_share_a_directory(self, tmp_path):
+        a = ResultStore(str(tmp_path))
+        b = ResultStore(str(tmp_path))
+        digest = _digest("shared")
+        a.put(digest, "solvability", {"v": 1})
+        assert b.get(digest) == {"v": 1}
+
+
+class TestEviction:
+    def test_lru_order_with_injected_clock(self, tmp_path):
+        ticks = itertools.count()
+        store = ResultStore(
+            str(tmp_path), clock=lambda: float(next(ticks))
+        )
+        digests = [_digest(tag) for tag in "abcd"]
+        for digest in digests:
+            store.put(digest, "solvability", {"payload": "x" * 64})
+        entry_size = store.total_bytes() // len(digests)
+        # Refresh "a" so "b" becomes the least recently used.
+        assert store.get(digests[0]) is not None
+        store.max_bytes = entry_size * 3
+        store.put(
+            _digest("e"), "solvability", {"payload": "y" * 64}
+        )
+        survivors = {d for d in digests + [_digest("e")] if d in store}
+        assert digests[1] not in survivors  # oldest untouched: evicted
+        assert digests[0] in survivors  # refreshed: kept
+        assert _digest("e") in survivors  # just written: kept
+        assert store.stats.evictions >= 1
+        assert store.total_bytes() <= store.max_bytes
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        for tag in "abcdefgh":
+            store.put(_digest(tag), "solvability", {"t": tag})
+        assert len(store) == 8
+        assert store.stats.evictions == 0
+
+    def test_budget_is_enforced_on_every_put(self, tmp_path):
+        ticks = itertools.count()
+        probe = ResultStore(str(tmp_path / "probe"))
+        probe.put(_digest("size"), "solvability", {"t": "size"})
+        entry_size = probe.total_bytes()
+        store = ResultStore(
+            str(tmp_path / "store"),
+            max_bytes=entry_size * 2,
+            clock=lambda: float(next(ticks)),
+        )
+        for tag in "abcdef":
+            store.put(_digest(tag), "solvability", {"t": tag})
+            assert store.total_bytes() <= store.max_bytes
+        assert len(store) <= 2

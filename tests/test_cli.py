@@ -412,3 +412,109 @@ class TestExperimentCommand:
         err = capsys.readouterr().err
         assert "experiment E1 failed" in err
         assert "KeyError" in err
+
+
+class TestServeClientCommands:
+    def test_serve_and_client_parse(self):
+        parser = build_parser()
+        serve = parser.parse_args(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--store",
+                "/tmp/store",
+                "--batch-window",
+                "0.01",
+                "--batch-max",
+                "4",
+            ]
+        )
+        assert serve.command == "serve"
+        assert serve.store == "/tmp/store"
+        client = parser.parse_args(
+            ["client", "health", "--port", "7341", "--envelope"]
+        )
+        assert client.command == "client"
+        assert client.method == "health"
+        assert client.envelope
+
+    def test_serve_rejects_bad_config(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--port", "70000"])
+
+    def test_client_rejects_bad_params(self):
+        with pytest.raises(SystemExit, match="not JSON"):
+            main(["client", "health", "--params", "{nope"])
+        with pytest.raises(SystemExit, match="JSON object"):
+            main(["client", "health", "--params", "[1]"])
+
+    def test_client_round_trip_against_live_server(self, capsys):
+        import json
+
+        from repro.serve import ServeConfig
+        from repro.serve.testing import ServerHandle
+
+        with ServerHandle(ServeConfig(batch_window=0.005)) as handle:
+            assert (
+                main(
+                    ["client", "health", "--port", str(handle.port)]
+                )
+                == 0
+            )
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["status"] == "ok"
+
+            assert (
+                main(
+                    [
+                        "client",
+                        "lower_bound",
+                        "--params",
+                        '{"n": 3, "eps": "1/8"}',
+                        "--port",
+                        str(handle.port),
+                        "--envelope",
+                    ]
+                )
+                == 0
+            )
+            envelope = json.loads(capsys.readouterr().out)
+            assert "served" in envelope and "result" in envelope
+
+    def test_client_surfaces_server_errors(self, capsys):
+        from repro.serve import ServeConfig
+        from repro.serve.testing import ServerHandle
+
+        with ServerHandle(ServeConfig(batch_window=0.005)) as handle:
+            with pytest.raises(SystemExit, match="request failed"):
+                main(
+                    [
+                        "client",
+                        "no_such_method",
+                        "--port",
+                        str(handle.port),
+                    ]
+                )
+
+
+class TestTraceDirectorySummarize:
+    def test_summarize_merges_request_artifacts(self, tmp_path, capsys):
+        from repro.serve import ServeConfig
+        from repro.serve.testing import ServerHandle
+
+        trace_dir = tmp_path / "traces"
+        config = ServeConfig(
+            trace_dir=str(trace_dir), batch_window=0.005
+        )
+        with ServerHandle(config) as handle:
+            handle.call("health")
+            handle.call("lower_bound", {"n": 3, "eps": "1/8"})
+        assert main(["trace", "summarize", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "serve/request" in out
+
+    def test_empty_directory_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no trace artifacts"):
+            main(["trace", "summarize", str(tmp_path)])
