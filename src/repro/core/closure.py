@@ -27,7 +27,7 @@ from typing import Iterable, Optional
 
 from repro.core.local_task import local_task
 from repro.core.solvability import build_solvability_problem
-from repro.errors import SolvabilityError
+from repro.errors import ChromaticityError, SolvabilityError
 from repro.instrumentation import counter
 from repro.models.base import ComputationModel
 from repro.models.protocol import ProtocolOperator
@@ -74,8 +74,13 @@ class ClosureComputer:
             raise SolvabilityError(
                 "quantify_beta requires an augmented model"
             )
+        #: Membership keyed by ``(Δ(σ), mask of τ over Δ(σ)'s table)``.
+        #: Equal allowed complexes share one interned table, so the mask
+        #: is canonical; the complex itself stays in the key because two
+        #: *different* complexes over the same vertex set also share
+        #: that table — ``(table_id, mask)`` alone would collide.
         self._membership_cache: dict[
-            tuple[SimplicialComplex, Simplex], bool
+            tuple[SimplicialComplex, int], bool
         ] = {}
         self._delta_cache: dict[Simplex, SimplicialComplex] = {}
         # One memoized operator shared by every (σ, τ, β) decision — the
@@ -111,12 +116,35 @@ class ClosureComputer:
         if tau.ids != sigma.ids:
             return False
         allowed = self._task.delta(sigma)
-        if not set(tau.vertices) <= allowed.vertices:
+        table, _ = allowed._ensure_index()
+        try:
+            # The strict encode doubles as the τ ⊆ V(Δ(σ)) test: a
+            # vertex outside the allowed complex is not in its table.
+            mask = table.encode_mask(tau)
+        except ChromaticityError:
             return False
-        key = (allowed, tau)
+        return self._contains_mask(sigma, allowed, mask, tau)
+
+    def _contains_mask(
+        self,
+        sigma: Simplex,
+        allowed: SimplicialComplex,
+        mask: int,
+        tau: Optional[Simplex] = None,
+    ) -> bool:
+        """Memoized membership for a τ already encoded over Δ(σ)'s table.
+
+        ``τ`` itself is only materialized on a cache miss (the local-task
+        decision needs the simplex); mask-level sweeps like
+        :meth:`legal_outputs` pass the mask alone.
+        """
+        key = (allowed, mask)
         found = self._membership_cache.get(key)
         if found is None:
             _MEMBERSHIP_STATS.miss()
+            if tau is None:
+                table, _ = allowed._ensure_index()
+                tau = table.decode_mask_trusted(mask)
             found = self._membership_cache[key] = self._decide(
                 sigma, tau, allowed
             )
@@ -195,16 +223,28 @@ class ClosureComputer:
             model=self._model.name,
         ):
             allowed = self._task.delta(sigma)
+            table, _ = allowed._ensure_index()
+            # Candidate τ masks come straight off the table's per-color
+            # bits; a Simplex is built only for cache-missing members
+            # (inside _contains_mask) and for the returned results.
             per_color = [
-                allowed.vertices_of_color(color)
+                [
+                    1 << table.index_of(vertex)
+                    for vertex in allowed.vertices_of_color(color)
+                ]
                 for color in sorted(sigma.ids)
             ]
             found = []
             for combo in product(*per_color):
-                tau = Simplex(combo)
-                if self.contains(sigma, tau):
-                    found.append(tau)
-            return sorted(found, key=lambda s: s._sort_key())
+                mask = 0
+                for bit in combo:
+                    mask |= bit
+                if self._contains_mask(sigma, allowed, mask):
+                    found.append(mask)
+            return sorted(
+                (table.decode_mask_trusted(mask) for mask in found),
+                key=lambda s: s._sort_key(),
+            )
 
     def delta_prime(self, sigma: Simplex) -> SimplicialComplex:
         """``Δ'(σ)`` as a complex (the legal ``τ`` sets and their faces)."""

@@ -111,58 +111,107 @@ class SolvabilityProblem:
     _by_vertex: dict[Vertex, list[int]] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
-    #: Per-constraint lookup tables derived by :meth:`_index`: the allowed
-    #: faces as plain vertex-frozensets (so membership checks need no
-    #: throwaway :class:`Simplex`), and the allowed pairs indexed as
-    #: ``vertex → color → partners`` for the propagation/consistency fast
-    #: paths.  Tables are shared between constraints with the same allowed
-    #: family.
-    _allowed_faces: list[frozenset[frozenset[Vertex]]] = field(
+    #: Lookup tables derived by :meth:`_index`, all mask-native: every
+    #: output vertex appearing in some allowed family gets a bit in a
+    #: problem-local bit space (``_out_bit``), an allowed face becomes
+    #: the OR of its vertices' bits, and a partial image is consistent
+    #: iff its OR is in the constraint's ``set[int]``.  Building the
+    #: image frozenset per probe was the search's hottest allocation;
+    #: an int OR plus one set lookup replaces it.  Partner tables for
+    #: the pairwise propagation are ``bit → color → partner bit-mask``,
+    #: so arc survival is a single AND against the partner's domain
+    #: mask.  Tables are shared between constraints with the same
+    #: allowed family.
+    _constraint_vertices: list[tuple[Vertex, ...]] = field(
         default_factory=list, init=False, repr=False, compare=False
     )
-    _allowed_partners: list[
-        dict[Vertex, dict[int, frozenset[Vertex]]]
-    ] = field(default_factory=list, init=False, repr=False, compare=False)
+    _allowed_masks: list[set[int]] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+    _allowed_partners: list[dict[int, dict[int, int]]] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+    _out_bit: dict[Vertex, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def _index(self) -> None:
         self._by_vertex = {vertex: [] for vertex in self.candidates}
-        self._allowed_faces = []
+        self._constraint_vertices = []
+        self._allowed_masks = []
         self._allowed_partners = []
-        face_tables: dict[
-            frozenset[Simplex], frozenset[frozenset[Vertex]]
-        ] = {}
+        bit_of: dict[Vertex, int] = {}
+        self._out_bit = bit_of
+        mask_tables: dict[frozenset[Simplex], set[int]] = {}
         partner_tables: dict[
-            frozenset[Simplex], dict[Vertex, dict[int, frozenset[Vertex]]]
+            frozenset[Simplex], dict[int, dict[int, int]]
         ] = {}
         for position, (facet, allowed) in enumerate(self.constraints):
-            for vertex in facet.vertices:
+            vertices = facet.vertices
+            self._constraint_vertices.append(vertices)
+            for vertex in vertices:
                 self._by_vertex[vertex].append(position)
-            faces = face_tables.get(allowed)
-            if faces is None:
-                faces = frozenset(
-                    frozenset(simplex.vertices) for simplex in allowed
-                )
-                face_tables[allowed] = faces
-                collecting: dict[Vertex, dict[int, set]] = {}
-                for pair in faces:
-                    if len(pair) != 2:
-                        continue
-                    first, second = pair
-                    collecting.setdefault(first, {}).setdefault(
-                        second.color, set()
-                    ).add(second)
-                    collecting.setdefault(second, {}).setdefault(
-                        first.color, set()
-                    ).add(first)
-                partner_tables[allowed] = {
-                    vertex: {
-                        color: frozenset(partners)
-                        for color, partners in by_color.items()
-                    }
-                    for vertex, by_color in collecting.items()
-                }
-            self._allowed_faces.append(faces)
+            masks = mask_tables.get(allowed)
+            if masks is None:
+                masks = set()
+                partners: dict[int, dict[int, int]] = {}
+                for simplex in allowed:
+                    mask = 0
+                    for vertex in simplex.vertices:
+                        bit = bit_of.get(vertex)
+                        if bit is None:
+                            bit = bit_of[vertex] = len(bit_of)
+                        mask |= 1 << bit
+                    masks.add(mask)
+                    if len(simplex.vertices) == 2:
+                        first, second = simplex.vertices
+                        first_bit = bit_of[first]
+                        second_bit = bit_of[second]
+                        by_color = partners.setdefault(first_bit, {})
+                        by_color[second.color] = by_color.get(
+                            second.color, 0
+                        ) | (1 << second_bit)
+                        by_color = partners.setdefault(second_bit, {})
+                        by_color[first.color] = by_color.get(
+                            first.color, 0
+                        ) | (1 << first_bit)
+                mask_tables[allowed] = masks
+                partner_tables[allowed] = partners
+            self._allowed_masks.append(masks)
             self._allowed_partners.append(partner_tables[allowed])
+
+    def _image_mask(
+        self,
+        vertices: tuple[Vertex, ...],
+        assignment: dict[Vertex, Vertex],
+    ) -> Optional[int]:
+        """OR of the assigned images' bits over one constraint facet.
+
+        Returns ``None`` when fewer than two of ``vertices`` are
+        assigned (partial images of size < 2 are vacuously consistent:
+        single vertices were filtered into the domains already), and
+        ``-1`` when some image has no bit at all — it appears in no
+        allowed family, so no allowed face can contain it, and ``-1``
+        is never a member of a mask set, making the membership test
+        reject it without a special case.
+        """
+        bit_of = self._out_bit
+        mask = 0
+        count = 0
+        missing = False
+        for vertex in vertices:
+            image = assignment.get(vertex)
+            if image is None:
+                continue
+            count += 1
+            bit = bit_of.get(image)
+            if bit is None:
+                missing = True
+            else:
+                mask |= 1 << bit
+        if count < 2:
+            return None
+        return -1 if missing else mask
 
     def solve(
         self,
@@ -243,13 +292,11 @@ class SolvabilityProblem:
             for vertex, options in domains.items()
             if len(options) == 1
         }
-        for position, (facet, _) in enumerate(self.constraints):
-            pinned = [
-                assignment[v] for v in facet.vertices if v in assignment
-            ]
+        for position, vertices in enumerate(self._constraint_vertices):
+            pinned = self._image_mask(vertices, assignment)
             if (
-                len(pinned) >= 2
-                and frozenset(pinned) not in self._allowed_faces[position]
+                pinned is not None
+                and pinned not in self._allowed_masks[position]
             ):
                 return None
 
@@ -302,15 +349,16 @@ class SolvabilityProblem:
         A candidate for ``u`` survives only if, for every facet containing
         both ``u`` and some ``v``, a candidate of ``v`` forms an allowed
         edge with it (complexes are face-closed, so the pair must itself
-        be an allowed simplex).  Edge tests go through the color-indexed
-        partner tables built by :meth:`_index`, so no simplices are
+        be an allowed simplex).  Edge tests go through the bit-indexed
+        partner tables built by :meth:`_index`: each domain is mirrored
+        as an OR of its candidates' bits, so one arc test is a dict
+        lookup plus a single AND — no simplices (or sets) are
         materialized during the fixpoint.
         """
         arcs = []
         arc_set = set()
-        for position, (facet, _) in enumerate(self.constraints):
+        for position, vertices in enumerate(self._constraint_vertices):
             partners = self._allowed_partners[position]
-            vertices = facet.vertices
             for i, u in enumerate(vertices):
                 for v in vertices[i + 1 :]:
                     for left, right in ((u, v), (v, u)):
@@ -325,22 +373,40 @@ class SolvabilityProblem:
         for arc in arcs:
             watchers.setdefault(arc[1], []).append(arc)
 
-        empty: dict[int, frozenset[Vertex]] = {}
+        bit_of = self._out_bit
+
+        def domain_mask(options: list[Vertex]) -> int:
+            mask = 0
+            for option in options:
+                bit = bit_of.get(option)
+                if bit is not None:
+                    mask |= 1 << bit
+            return mask
+
+        domain_masks = {
+            vertex: domain_mask(options)
+            for vertex, options in domains.items()
+        }
+        empty: dict[int, int] = {}
         while queue:
             u, v, partners = queue.popleft()
-            domain_v = domains[v]
+            mask_v = domain_masks[v]
             color_v = v.color
             kept = []
             for cand_u in domains[u]:
-                allowed_partners = partners.get(cand_u, empty).get(color_v)
-                if allowed_partners is not None and not (
-                    allowed_partners.isdisjoint(domain_v)
-                ):
+                bit = bit_of.get(cand_u)
+                allowed_mask = (
+                    partners.get(bit, empty).get(color_v)
+                    if bit is not None
+                    else None
+                )
+                if allowed_mask is not None and allowed_mask & mask_v:
                     kept.append(cand_u)
             if len(kept) != len(domains[u]):
                 if not kept:
                     return False
                 domains[u] = kept
+                domain_masks[u] = domain_mask(kept)
                 for arc in watchers.get(u, ()):
                     queue.append(arc)
         return True
@@ -353,8 +419,8 @@ class SolvabilityProblem:
         """
         free_set = set(free)
         neighbors: dict[Vertex, set] = {v: set() for v in free_set}
-        for facet, _ in self.constraints:
-            vertices = [v for v in facet.vertices if v in free_set]
+        for constraint_vertices in self._constraint_vertices:
+            vertices = [v for v in constraint_vertices if v in free_set]
             for i, u in enumerate(vertices):
                 for v in vertices[i + 1 :]:
                     neighbors[u].add(v)
@@ -386,26 +452,22 @@ class SolvabilityProblem:
         order = sorted(
             component, key=lambda v: (len(domains[v]), v._sort_key())
         )
-        empty_partners: dict[int, frozenset[Vertex]] = {}
+        constraint_vertices = self._constraint_vertices
+        allowed_masks = self._allowed_masks
+        by_vertex = self._by_vertex
+        image_mask = self._image_mask
 
         def consistent(vertex: Vertex) -> bool:
-            for constraint_index in self._by_vertex[vertex]:
-                facet, _ = self.constraints[constraint_index]
-                partial = [
-                    assignment[v] for v in facet.vertices if v in assignment
-                ]
-                if len(partial) < 2:
-                    continue
-                if len(partial) == 2:
-                    first, second = partial
-                    partners = self._allowed_partners[constraint_index]
-                    if second not in partners.get(first, empty_partners).get(
-                        second.color, ()
-                    ):
-                        return False
-                elif (
-                    frozenset(partial)
-                    not in self._allowed_faces[constraint_index]
+            # One OR sweep plus one set-of-int lookup per touched
+            # constraint, for any arity — the pair case needs no special
+            # path since a two-bit mask lookup is exactly as cheap.
+            for constraint_index in by_vertex[vertex]:
+                partial = image_mask(
+                    constraint_vertices[constraint_index], assignment
+                )
+                if (
+                    partial is not None
+                    and partial not in allowed_masks[constraint_index]
                 ):
                     return False
             return True

@@ -4,16 +4,29 @@ The consensus impossibility proof (Corollary 1) walks a *path* of edges in
 the one-round protocol complex ``P^(1)(τ)`` and uses the fact that a
 simplicial map sends connected complexes to connected complexes.  This module
 provides the 1-skeleton graph of a complex, connected components, and
-shortest paths, implemented with plain BFS (no third-party dependency) plus
-an optional networkx export for analysis.
+shortest paths.
+
+Everything runs mask-native on the complex's ``(table, facet masks)``
+index through the batch kernels of :mod:`repro.topology.kernels`:
+adjacency is a ``list[int]`` of per-bit neighbor masks, components come
+from a union-find over table bits, and shortest paths are a BFS whose
+frontiers are masks.  ``Vertex`` objects only appear at the API
+boundary, and every result is ordered by table index — the table lists
+the vertices in canonical sort order, so outputs are deterministic by
+construction rather than by re-sorting set-iteration output.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Any, Optional
 
 from repro.topology.complex import SimplicialComplex
+from repro.topology.kernels import (
+    bfs_parents,
+    mask_components,
+    vertex_adjacency,
+)
+from repro.topology.table import iter_bits
 from repro.topology.vertex import Vertex
 
 __all__ = [
@@ -31,18 +44,18 @@ def one_skeleton_adjacency(
     """The adjacency structure of the complex's 1-skeleton.
 
     Two vertices are adjacent iff they belong to a common simplex (of any
-    dimension ≥ 1).
+    dimension ≥ 1).  Keys appear in canonical vertex order (the table's
+    index order); isolated vertices map to an empty set.
     """
-    adjacency: dict[Vertex, set[Vertex]] = {
-        vertex: set() for vertex in complex_.vertices
+    table, masks = complex_._ensure_index()
+    adjacency = vertex_adjacency(masks, len(table))
+    vertex_at = table.vertex_at
+    return {
+        vertex_at(index): {
+            vertex_at(neighbor) for neighbor in iter_bits(neighbors)
+        }
+        for index, neighbors in enumerate(adjacency)
     }
-    for facet in complex_.facets:
-        vertices = facet.vertices
-        for index, left in enumerate(vertices):
-            for right in vertices[index + 1 :]:
-                adjacency[left].add(right)
-                adjacency[right].add(left)
-    return adjacency
 
 
 def connected_components(
@@ -51,34 +64,23 @@ def connected_components(
     """The connected components of the 1-skeleton, as vertex sets.
 
     Components are returned in deterministic order (by their smallest
-    vertex).
+    vertex — the lowest set bit of the component mask on the canonical
+    table).
     """
-    adjacency = one_skeleton_adjacency(complex_)
-    remaining = set(adjacency)
-    components: list[frozenset[Vertex]] = []
-    while remaining:
-        seed = min(remaining, key=lambda v: v._sort_key())
-        seen = {seed}
-        frontier = deque([seed])
-        while frontier:
-            current = frontier.popleft()
-            for neighbor in adjacency[current]:
-                if neighbor not in seen:
-                    seen.add(neighbor)
-                    frontier.append(neighbor)
-        components.append(frozenset(seen))
-        remaining -= seen
-    components.sort(
-        key=lambda comp: min(v._sort_key() for v in comp)
-    )
-    return components
+    table, masks = complex_._ensure_index()
+    vertex_at = table.vertex_at
+    return [
+        frozenset(vertex_at(index) for index in iter_bits(component))
+        for component in mask_components(masks, len(table))
+    ]
 
 
 def is_connected(complex_: SimplicialComplex) -> bool:
     """``True`` iff the complex is non-empty and path-connected."""
     if complex_.is_empty():
         return False
-    return len(connected_components(complex_)) == 1
+    table, masks = complex_._ensure_index()
+    return len(mask_components(masks, len(table))) == 1
 
 
 def shortest_path(
@@ -87,33 +89,27 @@ def shortest_path(
     """A shortest vertex path between two vertices, or ``None``.
 
     The path includes both endpoints; a vertex connected to itself yields the
-    singleton path.
+    singleton path.  Ties between equally short paths break toward
+    smaller table indices (= smaller vertices), deterministically.
     """
-    if start not in complex_.vertices or goal not in complex_.vertices:
+    table, masks = complex_._ensure_index()
+    try:
+        start_index = table.index_of(start)
+        goal_index = table.index_of(goal)
+    except KeyError:
+        # Either endpoint is not a vertex of the complex at all.
         return None
-    if start == goal:
+    if start_index == goal_index:
         return [start]
-    adjacency = one_skeleton_adjacency(complex_)
-    parents: dict[Vertex, Vertex] = {}
-    frontier = deque([start])
-    seen = {start}
-    while frontier:
-        current = frontier.popleft()
-        for neighbor in sorted(
-            adjacency[current], key=lambda v: v._sort_key()
-        ):
-            if neighbor in seen:
-                continue
-            parents[neighbor] = current
-            if neighbor == goal:
-                path = [goal]
-                while path[-1] != start:
-                    path.append(parents[path[-1]])
-                path.reverse()
-                return path
-            seen.add(neighbor)
-            frontier.append(neighbor)
-    return None
+    adjacency = vertex_adjacency(masks, len(table))
+    parents = bfs_parents(adjacency, start_index, goal=goal_index)
+    if parents[goal_index] < 0:
+        return None
+    indices = [goal_index]
+    while indices[-1] != start_index:
+        indices.append(parents[indices[-1]])
+    indices.reverse()
+    return [table.vertex_at(index) for index in indices]
 
 
 def to_networkx(complex_: SimplicialComplex) -> Any:
@@ -125,8 +121,12 @@ def to_networkx(complex_: SimplicialComplex) -> Any:
     import networkx as nx
 
     graph = nx.Graph()
-    graph.add_nodes_from(complex_.vertices)
-    for vertex, neighbors in one_skeleton_adjacency(complex_).items():
-        for neighbor in neighbors:
-            graph.add_edge(vertex, neighbor)
+    table, masks = complex_._ensure_index()
+    adjacency = vertex_adjacency(masks, len(table))
+    vertex_at = table.vertex_at
+    graph.add_nodes_from(table.vertices)
+    for index, neighbors in enumerate(adjacency):
+        for neighbor in iter_bits(neighbors):
+            if neighbor > index:
+                graph.add_edge(vertex_at(index), vertex_at(neighbor))
     return graph

@@ -44,6 +44,35 @@ class TestEvaluation:
         with pytest.raises(TaskSpecificationError):
             carrier(triangle)
 
+    def test_mask_key_shares_equal_but_distinct_simplices(self, domain):
+        calls = []
+
+        def delta(sigma):
+            calls.append(sigma)
+            return constant_delta(sigma)
+
+        carrier = CarrierMap(domain, delta)
+        first = Simplex([(1, "a"), (2, "b")])
+        second = Simplex([(2, "b"), (1, "a")])
+        assert first is not second
+        assert carrier(first) == carrier(second)
+        # Both encode to the same (table_id, mask) key: one evaluation.
+        assert len(calls) == 1
+
+    def test_foreign_simplex_falls_back_and_memoizes(self, domain):
+        calls = []
+
+        def delta(sigma):
+            calls.append(sigma)
+            return constant_delta(sigma)
+
+        carrier = CarrierMap(domain, delta)
+        # Not a vertex of the domain: bypasses the mask key entirely.
+        foreign = Simplex([(1, "elsewhere")])
+        assert carrier(foreign) == constant_delta(foreign)
+        assert carrier(foreign) == constant_delta(foreign)
+        assert len(calls) == 1
+
 
 class TestStructuralChecks:
     def test_monotone(self, domain):

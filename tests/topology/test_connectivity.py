@@ -98,6 +98,25 @@ class TestPaths:
             assert right in adjacency[left]
 
 
+class TestDeterminism:
+    """Regression: mask-native results are ordered by the vertex table."""
+
+    def test_adjacency_keys_follow_table_order(self, iis, triangle):
+        complex_ = iis.one_round_complex(triangle)
+        adjacency = one_skeleton_adjacency(complex_)
+        assert list(adjacency) == complex_.sorted_vertices()
+
+    def test_components_stable_across_runs(self, disconnected):
+        first = connected_components(disconnected)
+        second = connected_components(disconnected)
+        assert first == second
+        smallest = [
+            min(component, key=lambda v: v._sort_key())
+            for component in first
+        ]
+        assert smallest == sorted(smallest, key=lambda v: v._sort_key())
+
+
 class TestNetworkxExport:
     def test_export_matches_adjacency(self, path_complex):
         graph = to_networkx(path_complex)
